@@ -1,0 +1,43 @@
+//! Figure 10 — P[β > 1/3] over time (Eq. 24), analytic and Monte Carlo.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ethpos_bench::print_experiment;
+use ethpos_core::experiments::{simulated, Experiment};
+use ethpos_core::scenarios::bouncing;
+use ethpos_sim::{run_bouncing_walks, BouncingWalkConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    print_experiment(Experiment::Fig10ThresholdProbability);
+    eprintln!(
+        "{}",
+        simulated::fig10_monte_carlo(0.333, 4001, 10_000).render_text()
+    );
+
+    c.bench_function("fig10/analytic_six_curves", |b| {
+        b.iter(|| {
+            black_box(bouncing::figure10_curves(
+                &bouncing::paper_fig10_betas(),
+                8000.0,
+                20.0,
+            ))
+        })
+    });
+    let mut g = c.benchmark_group("fig10/monte_carlo");
+    g.sample_size(10);
+    g.bench_function("4000_epochs_5k_walkers", |b| {
+        b.iter(|| {
+            black_box(run_bouncing_walks(&BouncingWalkConfig {
+                beta0: 0.333,
+                walkers: 5_000,
+                epochs: 4001,
+                record_every: 1000,
+                ..BouncingWalkConfig::default()
+            }))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure 3 — ratio of active validators during the leak (Eq. 5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ethpos_bench::print_experiment;
+use ethpos_core::experiments::Experiment;
+use ethpos_core::scenarios::honest;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    print_experiment(Experiment::Fig3ActiveRatio);
+
+    c.bench_function("fig3/series_five_p0", |b| {
+        b.iter(|| {
+            for p0 in [0.6, 0.5, 0.4, 0.3, 0.2] {
+                black_box(honest::figure3_series(black_box(p0), 8000.0, 10.0));
+            }
+        })
+    });
+    c.bench_function("fig3/eq5_single_eval", |b| {
+        b.iter(|| black_box(honest::active_ratio(black_box(0.4), black_box(2000.0))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

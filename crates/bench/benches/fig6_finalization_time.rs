@@ -1,0 +1,31 @@
+//! Figure 6 — time to conflicting finalization vs β0, both strategies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ethpos_bench::print_experiment;
+use ethpos_core::experiments::Experiment;
+use ethpos_core::scenarios::{semi_active, slashing};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    print_experiment(Experiment::Fig6FinalizationTime);
+
+    c.bench_function("fig6/slashable_sweep_67_points", |b| {
+        b.iter(|| {
+            for i in 0..=66 {
+                let beta0 = i as f64 * 0.005;
+                black_box(slashing::conflicting_finalization_epoch(0.5, beta0));
+            }
+        })
+    });
+    c.bench_function("fig6/non_slashable_sweep_67_points", |b| {
+        b.iter(|| {
+            for i in 0..=66 {
+                let beta0 = i as f64 * 0.005;
+                black_box(semi_active::conflicting_finalization_epoch(0.5, beta0));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

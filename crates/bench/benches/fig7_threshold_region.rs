@@ -1,0 +1,26 @@
+//! Figure 7 — the (p0, β0) region where the Byzantine proportion can
+//! exceed 1/3 (Eq. 13).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ethpos_bench::print_experiment;
+use ethpos_core::experiments::Experiment;
+use ethpos_core::scenarios::threshold;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    print_experiment(Experiment::Fig7ThresholdRegion);
+    eprintln!(
+        "paper bound check: min β0 at p0 = 0.5 is {:.4} (paper: 0.2421)\n",
+        threshold::min_beta0_for_third(0.5)
+    );
+
+    c.bench_function("fig7/grid_100x100", |b| {
+        b.iter(|| black_box(threshold::figure7_grid(100, 100)))
+    });
+    c.bench_function("fig7/beta_max_single", |b| {
+        b.iter(|| black_box(threshold::beta_max(black_box(0.5), black_box(0.25))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 8 — the bouncing Markov chain's score-transition law (Eq. 15),
+//! plus the attack-continuation probability check.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ethpos_bench::print_experiment;
+use ethpos_core::experiments::Experiment;
+use ethpos_core::scenarios::bouncing;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    print_experiment(Experiment::Fig8MarkovTransitions);
+    eprintln!(
+        "continuation to epoch 7000 at β0 = 1/3: 10^{:.1} (paper: 1.01e-121)\n",
+        bouncing::continuation_log_prob(1.0 / 3.0, 8, 7000) / std::f64::consts::LN_10
+    );
+
+    c.bench_function("fig8/transition_law", |b| {
+        b.iter(|| black_box(bouncing::score_transition_two_epochs(black_box(0.5))))
+    });
+    c.bench_function("fig8/continuation_log_prob", |b| {
+        b.iter(|| {
+            black_box(bouncing::continuation_log_prob(
+                black_box(1.0 / 3.0),
+                8,
+                7000,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 9 — the censored stake distribution P̄ at t = 4024
+//! (Eq. 20–21).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ethpos_bench::print_experiment;
+use ethpos_core::experiments::Experiment;
+use ethpos_core::scenarios::bouncing::BouncingLaw;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    print_experiment(Experiment::Fig9StakeDistribution);
+
+    let law = BouncingLaw::new(0.5);
+    c.bench_function("fig9/censored_distribution_512pts", |b| {
+        b.iter(|| black_box(law.censored_distribution(black_box(4024.0), 512)))
+    });
+    c.bench_function("fig9/stake_cdf_single", |b| {
+        b.iter(|| black_box(law.stake_cdf(black_box(24.0), black_box(4024.0))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

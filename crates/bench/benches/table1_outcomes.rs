@@ -1,0 +1,16 @@
+//! Table 1 — scenario/outcome summary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ethpos_bench::print_experiment;
+use ethpos_core::experiments::Experiment;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    print_experiment(Experiment::Table1Outcomes);
+    c.bench_function("table1/outcomes", |b| {
+        b.iter(|| black_box(ethpos_core::scenarios::outcome_table()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

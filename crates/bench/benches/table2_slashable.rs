@@ -1,0 +1,33 @@
+//! Table 2 — conflicting-finalization epoch under the slashable strategy
+//! (Eq. 9), plus a discrete-simulator cross-check row.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ethpos_bench::print_experiment;
+use ethpos_core::experiments::{simulated, Experiment};
+use ethpos_core::scenarios::slashing;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    print_experiment(Experiment::Table2Slashable);
+    eprintln!(
+        "{}",
+        simulated::table2_simulated(600, &[0.33]).render_text()
+    );
+
+    c.bench_function("table2/analytic_full_table", |b| {
+        b.iter(|| black_box(slashing::table2()))
+    });
+    let mut g = c.benchmark_group("table2/simulated");
+    g.sample_size(10);
+    g.bench_function("beta033_n600", |b| {
+        b.iter(|| {
+            black_box(simulated::conflicting_finalization_simulated(
+                0.33, 0.5, 600, true, 700,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Table 3 — conflicting-finalization epoch under the non-slashable
+//! strategy (numerical root of Eq. 10), plus a simulator cross-check.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ethpos_bench::print_experiment;
+use ethpos_core::experiments::{simulated, Experiment};
+use ethpos_core::scenarios::semi_active;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    print_experiment(Experiment::Table3NonSlashable);
+    let sim = simulated::conflicting_finalization_simulated(0.33, 0.5, 600, false, 800);
+    eprintln!("simulated (n = 600, β0 = 0.33, non-slashable): {sim:?}\n");
+
+    c.bench_function("table3/analytic_full_table", |b| {
+        b.iter(|| black_box(semi_active::table3()))
+    });
+    c.bench_function("table3/eq10_brent_root", |b| {
+        b.iter(|| black_box(semi_active::two_thirds_epoch(black_box(0.5), black_box(0.2))))
+    });
+    let mut g = c.benchmark_group("table3/simulated");
+    g.sample_size(10);
+    g.bench_function("beta033_n600", |b| {
+        b.iter(|| {
+            black_box(simulated::conflicting_finalization_simulated(
+                0.33, 0.5, 600, false, 800,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

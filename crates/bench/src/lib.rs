@@ -1,0 +1,27 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Every bench target regenerates one table/figure of the paper: it
+//! prints the reproduced rows/series once (so `cargo bench` output *is*
+//! the reproduction artifact) and then measures the generator with
+//! Criterion.
+
+use ethpos_core::experiments::{run_experiment, Experiment, ExperimentOutput};
+
+/// Runs an experiment and prints its rendered output once (used by each
+/// bench target before measurement starts).
+pub fn print_experiment(experiment: Experiment) -> ExperimentOutput {
+    let out = run_experiment(experiment);
+    eprintln!("{}", out.render_text());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn print_experiment_returns_output() {
+        let out = print_experiment(Experiment::Table1Outcomes);
+        assert_eq!(out.tables.len(), 1);
+    }
+}

@@ -1,0 +1,538 @@
+//! The experiment registry: every table and figure of the paper's
+//! evaluation, regenerated from the analytical model.
+//!
+//! [`run_experiment`] is fast (closed forms / numerical solving only) and
+//! deterministic; the simulation-backed cross-checks live in
+//! [`simulated`] and are exercised by the benchmark harness and the
+//! workspace integration tests.
+
+use serde::Serialize;
+
+use crate::report::{Series, Table};
+use crate::scenarios::{bouncing, honest, outcome_table, semi_active, slashing, threshold};
+use crate::stake_model::StakeBehavior;
+
+/// Identifier of a paper table/figure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Experiment {
+    /// Figure 2 — stake trajectories during a leak.
+    Fig2StakeTrajectories,
+    /// Figure 3 — active-validator ratio for p0 grid (Eq. 5).
+    Fig3ActiveRatio,
+    /// Table 1 — scenario → outcome summary.
+    Table1Outcomes,
+    /// Table 2 — conflicting-finalization epoch, slashable strategy.
+    Table2Slashable,
+    /// Table 3 — conflicting-finalization epoch, non-slashable strategy.
+    Table3NonSlashable,
+    /// Figure 6 — finalization epoch vs β0, both strategies.
+    Fig6FinalizationTime,
+    /// Figure 7 — (p0, β0) region where β_max ≥ ⅓.
+    Fig7ThresholdRegion,
+    /// Figure 8 — the bouncing Markov chain's score-transition law
+    /// (Eq. 15).
+    Fig8MarkovTransitions,
+    /// Figure 9 — censored stake distribution at t = 4024.
+    Fig9StakeDistribution,
+    /// Figure 10 — `P[β > 1/3]` over time for the β0 grid.
+    Fig10ThresholdProbability,
+}
+
+impl Experiment {
+    /// All experiments in paper order.
+    pub fn all() -> [Experiment; 10] {
+        [
+            Experiment::Fig2StakeTrajectories,
+            Experiment::Fig3ActiveRatio,
+            Experiment::Table1Outcomes,
+            Experiment::Table2Slashable,
+            Experiment::Table3NonSlashable,
+            Experiment::Fig6FinalizationTime,
+            Experiment::Fig7ThresholdRegion,
+            Experiment::Fig8MarkovTransitions,
+            Experiment::Fig9StakeDistribution,
+            Experiment::Fig10ThresholdProbability,
+        ]
+    }
+
+    /// Short identifier (e.g. `fig2`).
+    pub fn id(&self) -> &'static str {
+        match self {
+            Experiment::Fig2StakeTrajectories => "fig2",
+            Experiment::Fig3ActiveRatio => "fig3",
+            Experiment::Table1Outcomes => "table1",
+            Experiment::Table2Slashable => "table2",
+            Experiment::Table3NonSlashable => "table3",
+            Experiment::Fig6FinalizationTime => "fig6",
+            Experiment::Fig7ThresholdRegion => "fig7",
+            Experiment::Fig8MarkovTransitions => "fig8",
+            Experiment::Fig9StakeDistribution => "fig9",
+            Experiment::Fig10ThresholdProbability => "fig10",
+        }
+    }
+}
+
+/// The output of one experiment: tables and/or series plus context.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentOutput {
+    /// Which experiment this is.
+    pub experiment: Experiment,
+    /// Title (paper reference).
+    pub title: String,
+    /// Tables produced.
+    pub tables: Vec<Table>,
+    /// Curves produced.
+    pub series: Vec<Series>,
+}
+
+impl ExperimentOutput {
+    /// Renders everything as plain text.
+    pub fn render_text(&self) -> String {
+        let mut out = format!("# {}\n\n", self.title);
+        for t in &self.tables {
+            out.push_str(&t.render_text());
+            out.push('\n');
+        }
+        for s in &self.series {
+            out.push_str(&s.render_summary());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes the full output (including every series point) to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("serializable")
+    }
+}
+
+/// Runs the analytical generator for `experiment`.
+pub fn run_experiment(experiment: Experiment) -> ExperimentOutput {
+    match experiment {
+        Experiment::Fig2StakeTrajectories => fig2(),
+        Experiment::Fig3ActiveRatio => fig3(),
+        Experiment::Table1Outcomes => table1(),
+        Experiment::Table2Slashable => table2(),
+        Experiment::Table3NonSlashable => table3(),
+        Experiment::Fig6FinalizationTime => fig6(),
+        Experiment::Fig7ThresholdRegion => fig7(),
+        Experiment::Fig8MarkovTransitions => fig8(),
+        Experiment::Fig9StakeDistribution => fig9(),
+        Experiment::Fig10ThresholdProbability => fig10(),
+    }
+}
+
+fn fig2() -> ExperimentOutput {
+    let behaviors = [
+        StakeBehavior::Active,
+        StakeBehavior::SemiActive,
+        StakeBehavior::Inactive,
+    ];
+    let mut series = Vec::new();
+    for b in behaviors {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        let mut t = 0.0;
+        while t <= 8000.0 {
+            x.push(t);
+            y.push(b.stake_censored(t));
+            t += 10.0;
+        }
+        series.push(Series::new(format!("{b:?} validator's stake"), x, y));
+    }
+    let mut table = Table::new(
+        "Ejection epochs (paper: inactive 4685, semi-active 7652)",
+        &["behavior", "closed-form ejection epoch"],
+    );
+    for b in behaviors {
+        table.push_row(vec![
+            format!("{b:?}"),
+            b.ejection_epoch()
+                .map(|e| format!("{e:.1}"))
+                .unwrap_or_else(|| "never".into()),
+        ]);
+    }
+    ExperimentOutput {
+        experiment: Experiment::Fig2StakeTrajectories,
+        title: "Figure 2 — stake trajectories during an inactivity leak".into(),
+        tables: vec![table],
+        series,
+    }
+}
+
+fn fig3() -> ExperimentOutput {
+    let mut series = Vec::new();
+    for p0 in [0.6, 0.5, 0.4, 0.3, 0.2] {
+        let s = honest::figure3_series(p0, 8000.0, 10.0);
+        series.push(Series::new(format!("p0 = {p0}"), s.epochs, s.ratio));
+    }
+    let mut table = Table::new(
+        "Epoch at which the 2/3 threshold is reached (Eq. 6)",
+        &["p0", "t (epochs)"],
+    );
+    for p0 in [0.6, 0.5, 0.4, 0.3, 0.2] {
+        table.push_row(vec![
+            format!("{p0}"),
+            format!("{:.0}", honest::two_thirds_epoch(p0)),
+        ]);
+    }
+    ExperimentOutput {
+        experiment: Experiment::Fig3ActiveRatio,
+        title: "Figure 3 — ratio of active validators during the leak (Eq. 5)".into(),
+        tables: vec![table],
+        series,
+    }
+}
+
+fn table1() -> ExperimentOutput {
+    let mut table = Table::new(
+        "Analysed scenarios and their outcomes",
+        &["Scenario", "Outcome"],
+    );
+    for (scenario, outcome) in outcome_table() {
+        table.push_row(vec![scenario, outcome]);
+    }
+    ExperimentOutput {
+        experiment: Experiment::Table1Outcomes,
+        title: "Table 1 — scenarios and outcomes".into(),
+        tables: vec![table],
+        series: vec![],
+    }
+}
+
+fn table2() -> ExperimentOutput {
+    let mut table = Table::new(
+        "Conflicting finalization epoch, slashable strategy, p0 = 0.5 (Eq. 9)",
+        &["β0", "t (epochs)"],
+    );
+    for row in slashing::table2() {
+        table.push_row(vec![format!("{}", row.beta0), format!("{}", row.t)]);
+    }
+    ExperimentOutput {
+        experiment: Experiment::Table2Slashable,
+        title: "Table 2 — time to conflicting finalization (with slashing)".into(),
+        tables: vec![table],
+        series: vec![],
+    }
+}
+
+fn table3() -> ExperimentOutput {
+    let mut table = Table::new(
+        "Conflicting finalization epoch, non-slashable strategy, p0 = 0.5 (Eq. 10)",
+        &["β0", "t (epochs)", "paper"],
+    );
+    for row in semi_active::table3() {
+        table.push_row(vec![
+            format!("{}", row.beta0),
+            format!("{}", row.t),
+            format!("{}", row.paper_t),
+        ]);
+    }
+    ExperimentOutput {
+        experiment: Experiment::Table3NonSlashable,
+        title: "Table 3 — time to conflicting finalization (without slashing)".into(),
+        tables: vec![table],
+        series: vec![],
+    }
+}
+
+fn fig6() -> ExperimentOutput {
+    let betas: Vec<f64> = (0..=66).map(|i| i as f64 * 0.005).collect();
+    let slash: Vec<f64> = betas
+        .iter()
+        .map(|&b| slashing::conflicting_finalization_epoch(0.5, b))
+        .collect();
+    let semi: Vec<f64> = betas
+        .iter()
+        .map(|&b| semi_active::conflicting_finalization_epoch(0.5, b))
+        .collect();
+    let series = vec![
+        Series::new("Byzantine with slashing behavior", betas.clone(), slash),
+        Series::new("Byzantine without slashing behavior", betas, semi),
+    ];
+    ExperimentOutput {
+        experiment: Experiment::Fig6FinalizationTime,
+        title: "Figure 6 — time to conflicting finalization vs β0".into(),
+        tables: vec![],
+        series,
+    }
+}
+
+fn fig7() -> ExperimentOutput {
+    // Boundary curves: minimal β0 per p0 for each branch.
+    let p0s: Vec<f64> = (1..100).map(|i| i as f64 / 100.0).collect();
+    let branch1: Vec<f64> = p0s.iter().map(|&p| threshold::min_beta0_for_third(p)).collect();
+    let branch2: Vec<f64> = p0s
+        .iter()
+        .map(|&p| threshold::min_beta0_for_third(1.0 - p))
+        .collect();
+    let both: Vec<f64> = p0s
+        .iter()
+        .map(|&p| threshold::min_beta0_for_third_both_branches(p))
+        .collect();
+    let mut table = Table::new(
+        "Threshold-breach bound (Eq. 13)",
+        &["p0", "min β0 (both branches)"],
+    );
+    for p0 in [0.3, 0.4, 0.5, 0.6, 0.7] {
+        table.push_row(vec![
+            format!("{p0}"),
+            format!("{:.4}", threshold::min_beta0_for_third_both_branches(p0)),
+        ]);
+    }
+    ExperimentOutput {
+        experiment: Experiment::Fig7ThresholdRegion,
+        title: "Figure 7 — (p0, β0) pairs with β_max ≥ 1/3".into(),
+        tables: vec![table],
+        series: vec![
+            Series::new("β_max(p0, β0) ≥ 1/3 boundary (branch 1)", p0s.clone(), branch1),
+            Series::new("β_max(1−p0, β0) ≥ 1/3 boundary (branch 2)", p0s.clone(), branch2),
+            Series::new("both branches", p0s, both),
+        ],
+    }
+}
+
+fn fig8() -> ExperimentOutput {
+    let mut table = Table::new(
+        "Two-epoch inactivity-score transitions under the bounce (Eq. 15)",
+        &["p0", "P(+8)", "P(+3)", "P(−2)", "mean/2 epochs"],
+    );
+    for p0 in [0.5, 0.55, 0.6, 0.65] {
+        let d = bouncing::score_transition_two_epochs(p0);
+        let mean: f64 = d.iter().map(|(dx, p)| *dx as f64 * p).sum();
+        table.push_row(vec![
+            format!("{p0}"),
+            format!("{:.4}", d[0].1),
+            format!("{:.4}", d[1].1),
+            format!("{:.4}", d[2].1),
+            format!("{mean:.4}"),
+        ]);
+    }
+    ExperimentOutput {
+        experiment: Experiment::Fig8MarkovTransitions,
+        title: "Figure 8 — bouncing Markov chain (honest branch membership)".into(),
+        tables: vec![table],
+        series: vec![],
+    }
+}
+
+fn fig9() -> ExperimentOutput {
+    let law = bouncing::BouncingLaw::new(0.5);
+    let d = law.censored_distribution(4024.0, 512);
+    let mut table = Table::new(
+        "Censored stake distribution at t = 4024 (Eq. 20-21)",
+        &["component", "mass"],
+    );
+    table.push_row(vec!["δ at 0 (ejected)".into(), format!("{:.4}", d.mass_at_zero)]);
+    table.push_row(vec!["δ at 32 (cap)".into(), format!("{:.4}", d.mass_at_cap)]);
+    table.push_row(vec![
+        "continuous (16.75, 32)".into(),
+        format!("{:.4}", 1.0 - d.mass_at_zero - d.mass_at_cap),
+    ]);
+    ExperimentOutput {
+        experiment: Experiment::Fig9StakeDistribution,
+        title: "Figure 9 — censored stake distribution P̄ at t = 4024".into(),
+        tables: vec![table],
+        series: vec![Series::new("density on (16.75, 32)", d.stake, d.density)],
+    }
+}
+
+fn fig10() -> ExperimentOutput {
+    let curves = bouncing::figure10_curves(&bouncing::paper_fig10_betas(), 8000.0, 20.0);
+    let series = curves
+        .into_iter()
+        .map(|c| Series::new(format!("β0 = {:.4}", c.beta0), c.epochs, c.prob))
+        .collect();
+    let mut table = Table::new(
+        "P[β > 1/3] at selected epochs (Eq. 24, p0 = 0.5)",
+        &["β0", "t = 2000", "t = 4000", "t = 6000"],
+    );
+    let law = bouncing::BouncingLaw::new(0.5);
+    for beta0 in bouncing::paper_fig10_betas() {
+        table.push_row(vec![
+            format!("{beta0:.4}"),
+            format!("{:.4}", law.prob_exceed_third(beta0, 2000.0)),
+            format!("{:.4}", law.prob_exceed_third(beta0, 4000.0)),
+            format!("{:.4}", law.prob_exceed_third(beta0, 6000.0)),
+        ]);
+    }
+    ExperimentOutput {
+        experiment: Experiment::Fig10ThresholdProbability,
+        title: "Figure 10 — probability of exceeding the 1/3 threshold (Eq. 24)".into(),
+        tables: vec![table],
+        series,
+    }
+}
+
+/// Simulation-backed regenerations (slower; exercised by the bench
+/// harness and integration tests).
+pub mod simulated {
+    use super::*;
+    use ethpos_sim::{
+        run_single_branch, Behavior, MembershipModel, TwoBranchConfig, TwoBranchSim,
+    };
+    use ethpos_validator::{DualActive, SemiActive};
+
+    /// Figure 2 via the discrete spec-arithmetic simulator: stake
+    /// trajectories + measured ejection epochs.
+    pub fn fig2_discrete(epochs: u64) -> ExperimentOutput {
+        let behaviors = {
+            let mut v = vec![Behavior::Active, Behavior::SemiActive, Behavior::Inactive];
+            v.extend(std::iter::repeat_n(Behavior::Inactive, 7));
+            v
+        };
+        let trajectories =
+            run_single_branch(ethpos_types::ChainConfig::paper(), &behaviors, epochs);
+        let mut series = Vec::new();
+        let mut table = Table::new(
+            "Measured ejection epochs (discrete protocol)",
+            &["behavior", "ejection epoch", "paper"],
+        );
+        for (t, paper) in trajectories.iter().take(3).zip(["never", "7652", "4685"]) {
+            let x: Vec<f64> = (0..t.balance_gwei.len()).map(|i| i as f64).collect();
+            let y: Vec<f64> = t.balance_gwei.iter().map(|&b| b as f64 / 1e9).collect();
+            series.push(Series::new(format!("{:?} (discrete)", t.behavior), x, y));
+            table.push_row(vec![
+                format!("{:?}", t.behavior),
+                t.ejected_at
+                    .map(|e| e.to_string())
+                    .unwrap_or_else(|| "never".into()),
+                paper.into(),
+            ]);
+        }
+        ExperimentOutput {
+            experiment: Experiment::Fig2StakeTrajectories,
+            title: "Figure 2 (simulated) — discrete stake trajectories".into(),
+            tables: vec![table],
+            series,
+        }
+    }
+
+    /// One Table 2/3 row measured on the two-branch simulator.
+    ///
+    /// `n` controls granularity (β0 is realized as `round(β0·n)`
+    /// validators). Returns the epoch of conflicting finalization.
+    pub fn conflicting_finalization_simulated(
+        beta0: f64,
+        p0: f64,
+        n: usize,
+        slashable: bool,
+        max_epochs: u64,
+    ) -> Option<u64> {
+        let byz = (beta0 * n as f64).round() as usize;
+        let cfg = TwoBranchConfig {
+            record_every: u64::MAX,
+            ..TwoBranchConfig::paper(n, byz, p0, max_epochs)
+        };
+        let schedule: Box<dyn ethpos_validator::ByzantineSchedule> = if slashable {
+            Box::new(DualActive)
+        } else {
+            Box::new(SemiActive::new())
+        };
+        TwoBranchSim::new(cfg, schedule)
+            .run()
+            .conflicting_finalization_epoch
+    }
+
+    /// Table 2 cross-check: analytic vs simulated rows.
+    pub fn table2_simulated(n: usize, betas: &[f64]) -> Table {
+        let mut table = Table::new(
+            "Table 2 cross-check: Eq. 9 vs discrete simulation",
+            &["β0", "analytic t", "simulated t"],
+        );
+        for &beta0 in betas {
+            let analytic = slashing::conflicting_finalization_epoch(0.5, beta0);
+            let sim = conflicting_finalization_simulated(beta0, 0.5, n, true, 5200);
+            table.push_row(vec![
+                format!("{beta0}"),
+                format!("{analytic:.0}"),
+                sim.map(|t| t.to_string()).unwrap_or_else(|| "none".into()),
+            ]);
+        }
+        table
+    }
+
+    /// The §5.3 Monte Carlo (Fig. 10) at one β0, compared to Eq. 24.
+    pub fn fig10_monte_carlo(beta0: f64, epochs: u64, walkers: usize) -> Table {
+        use ethpos_sim::{run_bouncing_walks, BouncingWalkConfig};
+        let law = bouncing::BouncingLaw::new(0.5);
+        let mc = run_bouncing_walks(&BouncingWalkConfig {
+            beta0,
+            walkers,
+            epochs,
+            record_every: (epochs / 8).max(1),
+            ..BouncingWalkConfig::default()
+        });
+        let mut table = Table::new(
+            format!("Fig. 10 cross-check at β0 = {beta0}: Eq. 24 vs Monte Carlo"),
+            &["epoch", "analytic", "monte carlo"],
+        );
+        for s in &mc.series {
+            if s.epoch == 0 {
+                continue;
+            }
+            table.push_row(vec![
+                s.epoch.to_string(),
+                format!("{:.4}", law.prob_exceed_third(beta0, s.epoch as f64)),
+                format!("{:.4}", s.prob_exceed_third),
+            ]);
+        }
+        table
+    }
+
+    /// Bouncing-attack membership model smoke: runs the two-branch sim
+    /// with per-epoch random membership and reports max β per branch.
+    pub fn bouncing_two_branch(beta0: f64, n: usize, epochs: u64, seed: u64) -> [f64; 2] {
+        use ethpos_validator::ThresholdSeeker;
+        let byz = (beta0 * n as f64).round() as usize;
+        let cfg = TwoBranchConfig {
+            membership: MembershipModel::RandomEachEpoch,
+            stop_on_conflict: false,
+            seed,
+            record_every: u64::MAX,
+            ..TwoBranchConfig::paper(n, byz, 0.5, epochs)
+        };
+        let out = TwoBranchSim::new(cfg, Box::new(ThresholdSeeker::new())).run();
+        out.max_byzantine_proportion
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_experiments_run_and_render() {
+        for e in Experiment::all() {
+            let out = run_experiment(e);
+            let text = out.render_text();
+            assert!(text.len() > 40, "{}: too short", e.id());
+            let json = out.to_json();
+            assert!(json.contains("experiment"));
+        }
+    }
+
+    #[test]
+    fn table2_output_contains_paper_values() {
+        let out = run_experiment(Experiment::Table2Slashable);
+        let text = out.render_text();
+        for v in ["4685", "4066", "3622", "3107", "502"] {
+            assert!(text.contains(v), "missing {v} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn fig10_table_top_curve_is_half() {
+        let out = run_experiment(Experiment::Fig10ThresholdProbability);
+        let text = out.render_text();
+        assert!(text.contains("0.5000"), "{text}");
+    }
+
+    #[test]
+    fn experiment_ids_are_unique() {
+        let mut ids: Vec<&str> = Experiment::all().iter().map(|e| e.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 10);
+    }
+}

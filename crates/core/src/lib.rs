@@ -1,0 +1,39 @@
+//! The paper's contribution: a formal model of the Ethereum PoS
+//! **inactivity leak** and the Byzantine attacks it enables.
+//!
+//! *Byzantine Attacks Exploiting Penalties in Ethereum PoS* (Pavloff,
+//! Amoussou-Guenou, Tucci-Piergiovanni — DSN 2024) analyses five
+//! scenarios; this crate implements the full analytical apparatus
+//! (equations 1–24) and the scenario drivers that cross-check it against
+//! the discrete protocol simulators in `ethpos-sim`:
+//!
+//! | Module | Paper section | Outcome |
+//! |---|---|---|
+//! | [`scenarios::honest`] | §5.1 | two finalized branches (bound: 4686 epochs) |
+//! | [`scenarios::slashing`] | §5.2.1 | two finalized branches, faster (Table 2) |
+//! | [`scenarios::semi_active`] | §5.2.2 | same without slashable actions (Table 3) |
+//! | [`scenarios::threshold`] | §5.2.3 | Byzantine proportion > ⅓ (Fig. 7) |
+//! | [`scenarios::bouncing`] | §5.3 | probabilistic breach of ⅓ (Figs. 9–10) |
+//!
+//! [`stake_model`] holds the §4.3 continuous stake functions, and
+//! [`experiments`] exposes a typed registry that regenerates **every**
+//! table and figure of the paper's evaluation.
+//!
+//! # Example
+//!
+//! ```
+//! use ethpos_core::experiments::{run_experiment, Experiment};
+//!
+//! let out = run_experiment(Experiment::Table2Slashable);
+//! println!("{}", out.render_text());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod report;
+pub mod scenarios;
+pub mod stake_model;
+
+pub use experiments::{run_experiment, Experiment, ExperimentOutput};

@@ -1,0 +1,145 @@
+//! Plain-text rendering of experiment outputs.
+
+use serde::Serialize;
+
+/// A rectangular table (one per paper table, or a tabular view of a
+/// figure's series).
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (same arity as `headers`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the headers.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (cell, w) in cells.iter().zip(widths) {
+                line.push_str(&format!(" {cell:<w$} |"));
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{:-<1$}|", "", w + 2));
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A named (x, y) series (one curve of a figure).
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// Curve label (e.g. `β₀ = 0.33`).
+    pub name: String,
+    /// Abscissae.
+    pub x: Vec<f64>,
+    /// Ordinates.
+    pub y: Vec<f64>,
+}
+
+impl Series {
+    /// Creates a series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` and `y` lengths differ.
+    pub fn new(name: impl Into<String>, x: Vec<f64>, y: Vec<f64>) -> Self {
+        assert_eq!(x.len(), y.len(), "series length mismatch");
+        Series {
+            name: name.into(),
+            x,
+            y,
+        }
+    }
+
+    /// Renders a compact preview: first/last points and extrema.
+    pub fn render_summary(&self) -> String {
+        if self.x.is_empty() {
+            return format!("{}: (empty)", self.name);
+        }
+        let y_min = self.y.iter().copied().fold(f64::INFINITY, f64::min);
+        let y_max = self.y.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        format!(
+            "{}: {} points, x ∈ [{:.6}, {:.6}], y ∈ [{:.6}, {:.6}], y(end) = {:.6}",
+            self.name,
+            self.x.len(),
+            self.x[0],
+            self.x[self.x.len() - 1],
+            y_min,
+            y_max,
+            self.y[self.y.len() - 1],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Demo", &["β0", "t"]);
+        t.push_row(vec!["0.1".into(), "4066".into()]);
+        t.push_row(vec!["0.33".into(), "502".into()]);
+        let s = t.render_text();
+        assert!(s.contains("## Demo"));
+        assert!(s.contains("| 0.33 | 502  |"));
+        assert_eq!(s.lines().count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn series_summary() {
+        let s = Series::new("curve", vec![0.0, 1.0, 2.0], vec![0.5, 0.7, 0.6]);
+        let txt = s.render_summary();
+        assert!(txt.contains("3 points"));
+        assert!(txt.contains("0.700000"));
+    }
+}

@@ -1,0 +1,126 @@
+//! The five scenarios of the paper's §5 analysis.
+//!
+//! Each module implements the closed-form/numerical analysis of one
+//! scenario plus a driver that cross-checks it on the discrete protocol
+//! simulator (`ethpos-sim`). Table 1 of the paper summarizes the
+//! outcomes; [`outcome_table`] regenerates it from the scenario types.
+
+use serde::Serialize;
+
+pub mod bouncing;
+pub mod honest;
+pub mod semi_active;
+pub mod slashing;
+pub mod threshold;
+
+/// The paper's scenario identifiers (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Scenario {
+    /// §5.1 — all honest, network partition.
+    AllHonest,
+    /// §5.2.1 — Byzantine validators active on both branches (slashable).
+    SlashableByzantine,
+    /// §5.2.2 — semi-active Byzantine validators (non-slashable).
+    NonSlashableByzantine,
+    /// §5.2.3 — Byzantine proportion pushed over ⅓.
+    ThresholdBreach,
+    /// §5.3 — probabilistic bouncing attack.
+    ProbabilisticBouncing,
+}
+
+/// The Safety outcome of a scenario (Table 1's right column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Outcome {
+    /// Two conflicting branches finalize.
+    TwoFinalizedBranches,
+    /// The Byzantine stake proportion exceeds ⅓.
+    BeyondOneThird,
+    /// The Byzantine stake proportion exceeds ⅓ with some probability.
+    BeyondOneThirdProbabilistic,
+}
+
+impl Scenario {
+    /// All scenarios in paper order.
+    pub fn all() -> [Scenario; 5] {
+        [
+            Scenario::AllHonest,
+            Scenario::SlashableByzantine,
+            Scenario::NonSlashableByzantine,
+            Scenario::ThresholdBreach,
+            Scenario::ProbabilisticBouncing,
+        ]
+    }
+
+    /// Paper section of the scenario.
+    pub fn section(&self) -> &'static str {
+        match self {
+            Scenario::AllHonest => "5.1",
+            Scenario::SlashableByzantine => "5.2.1",
+            Scenario::NonSlashableByzantine => "5.2.2",
+            Scenario::ThresholdBreach => "5.2.3",
+            Scenario::ProbabilisticBouncing => "5.3",
+        }
+    }
+
+    /// Human-readable description (Table 1's middle column).
+    pub fn description(&self) -> &'static str {
+        match self {
+            Scenario::AllHonest => "All honest",
+            Scenario::SlashableByzantine => "Slashable Byzantine",
+            Scenario::NonSlashableByzantine => "Non slashable Byzantine",
+            Scenario::ThresholdBreach => "Non slashable Byzantine",
+            Scenario::ProbabilisticBouncing => "Probabilistic Bouncing attack",
+        }
+    }
+
+    /// The outcome the paper attributes to this scenario (Table 1).
+    pub fn outcome(&self) -> Outcome {
+        match self {
+            Scenario::AllHonest
+            | Scenario::SlashableByzantine
+            | Scenario::NonSlashableByzantine => Outcome::TwoFinalizedBranches,
+            Scenario::ThresholdBreach => Outcome::BeyondOneThird,
+            Scenario::ProbabilisticBouncing => Outcome::BeyondOneThirdProbabilistic,
+        }
+    }
+}
+
+impl Outcome {
+    /// The paper's phrasing of the outcome.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Outcome::TwoFinalizedBranches => "2 finalized branches",
+            Outcome::BeyondOneThird => "β > 1/3",
+            Outcome::BeyondOneThirdProbabilistic => "β > 1/3 probably",
+        }
+    }
+}
+
+/// Regenerates Table 1: scenario → outcome.
+pub fn outcome_table() -> Vec<(String, String)> {
+    Scenario::all()
+        .iter()
+        .map(|s| {
+            (
+                format!("{} {}", s.section(), s.description()),
+                s.outcome().label().to_string(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let t = outcome_table();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t[0].0, "5.1 All honest");
+        assert_eq!(t[0].1, "2 finalized branches");
+        assert_eq!(t[2].1, "2 finalized branches");
+        assert_eq!(t[3].1, "β > 1/3");
+        assert_eq!(t[4].1, "β > 1/3 probably");
+    }
+}

@@ -1,0 +1,215 @@
+//! §5.2.2 — semi-active Byzantine validators (non-slashable).
+//!
+//! Byzantine validators alternate between the branches (active every
+//! other epoch on each), so their own stake decays as
+//! `s₀·e^(−3t²/2²⁸)` while honest-inactive stake decays as
+//! `s₀·e^(−t²/2²⁵)`. The branch ratio is (Eq. 10):
+//!
+//! ```text
+//!            p0(1−β0) + β0·e^(−3t²/2²⁸)
+//! ratio(t) = ─────────────────────────────────────────────────
+//!            p0(1−β0) + β0·e^(−3t²/2²⁸) + (1−p0)(1−β0)·e^(−t²/2²⁵)
+//! ```
+//!
+//! Eq. 10 has no closed form in `t`; the threshold epoch is found with
+//! Brent's method. The paper's own numerical solution for
+//! `p0 = 0.5, β0 = 0.33` is **t = 555.65** (⇒ 556 epochs), which this
+//! module reproduces to two decimals. For the other β₀ rows the paper's
+//! table values sit ≈0.5 % above the Eq.-10 roots (see EXPERIMENTS.md);
+//! both are reported.
+
+use serde::Serialize;
+
+use crate::stake_model::{inactive_stake, semi_active_stake, PAPER_EJECT_INACTIVE, STAKE_0};
+use ethpos_stats::brent;
+
+/// Eq. 10: active-stake ratio with semi-active Byzantine validators.
+pub fn active_ratio(p0: f64, beta0: f64, t: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p0));
+    assert!((0.0..1.0).contains(&beta0));
+    if t >= PAPER_EJECT_INACTIVE {
+        return 1.0;
+    }
+    let byz = beta0 * semi_active_stake(t) / STAKE_0;
+    let honest_inactive = (1.0 - p0) * (1.0 - beta0) * inactive_stake(t) / STAKE_0;
+    let active = p0 * (1.0 - beta0) + byz;
+    active / (active + honest_inactive)
+}
+
+/// Numerically solves Eq. 10 for the ⅔ threshold epoch on the branch with
+/// honest proportion `p0` (0 if immediate, capped at 4685).
+pub fn two_thirds_epoch(p0: f64, beta0: f64) -> f64 {
+    assert!(p0 > 0.0 && p0 < 1.0);
+    assert!((0.0..1.0).contains(&beta0));
+    let f = |t: f64| active_ratio(p0, beta0, t) - 2.0 / 3.0;
+    if f(0.0) >= 0.0 {
+        return 0.0;
+    }
+    if f(PAPER_EJECT_INACTIVE - 1e-9) < 0.0 {
+        return PAPER_EJECT_INACTIVE;
+    }
+    brent(f, 0.0, PAPER_EJECT_INACTIVE, 1e-9).expect("bracketed root")
+}
+
+/// Conflicting finalization epoch: the slower of the two branches.
+pub fn conflicting_finalization_epoch(p0: f64, beta0: f64) -> f64 {
+    two_thirds_epoch(p0, beta0).max(two_thirds_epoch(1.0 - p0, beta0))
+}
+
+/// One row of Table 3.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Table3Row {
+    /// Initial Byzantine proportion.
+    pub beta0: f64,
+    /// Epoch of finalization on conflicting branches (Eq. 10 root,
+    /// rounded up).
+    pub t: u64,
+    /// The value printed in the paper's Table 3.
+    pub paper_t: u64,
+}
+
+/// Regenerates Table 3 (p0 = 0.5): epoch of conflicting finalization per
+/// initial Byzantine proportion, non-slashable strategy.
+pub fn table3() -> Vec<Table3Row> {
+    let paper = [4685u64, 4221, 3819, 3328, 556];
+    [0.0, 0.1, 0.15, 0.2, 0.33]
+        .into_iter()
+        .zip(paper)
+        .map(|(beta0, paper_t)| Table3Row {
+            beta0,
+            t: conflicting_finalization_epoch(0.5, beta0).ceil() as u64,
+            paper_t,
+        })
+        .collect()
+}
+
+/// Eq. 10 under **spec** penalty semantics: the Byzantine (semi-active)
+/// stake decays like `e^(−3t²/2²⁹)` instead of the paper's
+/// `e^(−3t²/2²⁸)` (EXPERIMENTS.md finding 1), making their help last
+/// longer and conflicting finalization slightly faster.
+pub fn active_ratio_spec(p0: f64, beta0: f64, t: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p0));
+    assert!((0.0..1.0).contains(&beta0));
+    if t >= PAPER_EJECT_INACTIVE {
+        return 1.0;
+    }
+    let byz = beta0 * crate::stake_model::semi_active_stake_spec(t) / STAKE_0;
+    let honest_inactive = (1.0 - p0) * (1.0 - beta0) * inactive_stake(t) / STAKE_0;
+    let active = p0 * (1.0 - beta0) + byz;
+    active / (active + honest_inactive)
+}
+
+/// The ⅔ threshold epoch under spec penalty semantics.
+pub fn two_thirds_epoch_spec(p0: f64, beta0: f64) -> f64 {
+    let f = |t: f64| active_ratio_spec(p0, beta0, t) - 2.0 / 3.0;
+    if f(0.0) >= 0.0 {
+        return 0.0;
+    }
+    if f(PAPER_EJECT_INACTIVE - 1e-9) < 0.0 {
+        return PAPER_EJECT_INACTIVE;
+    }
+    brent(f, 0.0, PAPER_EJECT_INACTIVE, 1e-9).expect("bracketed root")
+}
+
+/// Table 3 under both penalty semantics, for the ablation study.
+pub fn table3_semantics_ablation() -> Vec<(f64, u64, u64)> {
+    [0.0, 0.1, 0.15, 0.2, 0.33]
+        .into_iter()
+        .map(|beta0| {
+            (
+                beta0,
+                two_thirds_epoch(0.5, beta0).max(two_thirds_epoch(0.5, beta0)).ceil() as u64,
+                two_thirds_epoch_spec(0.5, beta0).ceil() as u64,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pins the paper's own numerical example: t = 555.65 for β₀ = 0.33.
+    #[test]
+    fn paper_numerical_example_reproduced() {
+        let t = two_thirds_epoch(0.5, 0.33);
+        assert!(
+            (t - 555.65).abs() < 0.02,
+            "t = {t}, paper reports 555.65"
+        );
+    }
+
+    /// Table 3 rows: β₀ = 0 and β₀ = 0.33 match the paper exactly; the
+    /// middle rows solve Eq. 10 within 0.6% of the paper's values.
+    #[test]
+    fn table3_rows_within_tolerance() {
+        for row in table3() {
+            if row.beta0 == 0.0 || row.beta0 == 0.33 {
+                assert_eq!(row.t, row.paper_t, "β0 = {}", row.beta0);
+            } else {
+                let rel =
+                    (row.t as f64 - row.paper_t as f64).abs() / row.paper_t as f64;
+                assert!(
+                    rel < 0.006,
+                    "β0 = {}: ours {} vs paper {} ({rel:.4})",
+                    row.beta0,
+                    row.t,
+                    row.paper_t
+                );
+            }
+        }
+    }
+
+    /// Semi-active is never faster than the slashable strategy (§5.2.2:
+    /// "not as rapid as being active on both branches simultaneously").
+    #[test]
+    fn semi_active_is_slower_than_dual_active() {
+        for beta0 in [0.05, 0.1, 0.2, 0.3, 0.33] {
+            let dual = crate::scenarios::slashing::two_thirds_epoch(0.5, beta0);
+            let semi = two_thirds_epoch(0.5, beta0);
+            assert!(
+                semi >= dual,
+                "β0 = {beta0}: semi {semi} < dual {dual}"
+            );
+        }
+    }
+
+    #[test]
+    fn reduces_to_honest_case_at_beta_zero() {
+        let semi = two_thirds_epoch(0.5, 0.0);
+        let honest = crate::scenarios::honest::two_thirds_epoch(0.5);
+        assert_eq!(semi, honest);
+    }
+
+    #[test]
+    fn spec_semantics_accelerates_conflicting_finalization() {
+        // Under spec semantics the Byzantine stake decays slower, so the
+        // threshold is reached earlier — the §5.2.2 attack is strictly
+        // cheaper against the real protocol than the paper's model says.
+        for (beta0, paper_t, spec_t) in table3_semantics_ablation() {
+            if beta0 == 0.0 {
+                assert_eq!(paper_t, spec_t); // no Byzantine stake at all
+            } else {
+                assert!(
+                    spec_t < paper_t,
+                    "β0 = {beta0}: spec {spec_t} must beat paper {paper_t}"
+                );
+            }
+        }
+        // magnitude: ~3-4% at β0 = 0.2
+        let (_, paper_t, spec_t) = table3_semantics_ablation()[3];
+        let rel = (paper_t - spec_t) as f64 / paper_t as f64;
+        assert!((0.01..0.08).contains(&rel), "rel = {rel}");
+    }
+
+    #[test]
+    fn ratio_is_two_thirds_at_the_root() {
+        for beta0 in [0.1, 0.2, 0.33] {
+            let t = two_thirds_epoch(0.5, beta0);
+            if t > 0.0 && t < PAPER_EJECT_INACTIVE {
+                let r = active_ratio(0.5, beta0, t);
+                assert!((r - 2.0 / 3.0).abs() < 1e-6, "ratio at root = {r}");
+            }
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Aggregate signatures mirroring BLS aggregation semantics.
+//!
+//! A BLS aggregate over one message is the product of individual
+//! signatures; verification needs the set of public keys. We model this
+//! with an XOR-fold of the individual tags, which preserves the properties
+//! the protocol code relies on: aggregation is commutative/associative,
+//! and an aggregate verifies only against the exact signer set it was
+//! built from.
+
+use ethpos_types::attestation::Signature;
+use ethpos_types::Root;
+
+use crate::signature::{sign_root, SigningDomain};
+
+/// An aggregate of individual signature tags over one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AggregateSignature(pub u64);
+
+impl AggregateSignature {
+    /// The empty aggregate (identity element).
+    pub const EMPTY: AggregateSignature = AggregateSignature(0);
+
+    /// Folds one more signature into the aggregate.
+    pub fn add(&mut self, sig: Signature) {
+        self.0 ^= sig.0;
+    }
+
+    /// Aggregates a collection of signatures.
+    pub fn aggregate<I: IntoIterator<Item = Signature>>(sigs: I) -> Self {
+        let mut agg = AggregateSignature::EMPTY;
+        for s in sigs {
+            agg.add(s);
+        }
+        agg
+    }
+
+    /// Builds the aggregate attestation signature for a signer set over a
+    /// message (what an honest aggregator does).
+    pub fn over_attesters(indices: &[u64], message: &Root) -> Self {
+        AggregateSignature::aggregate(
+            indices
+                .iter()
+                .map(|&i| sign_root(i, SigningDomain::BeaconAttester, message)),
+        )
+    }
+
+    /// Verifies the aggregate against a claimed signer set and message.
+    pub fn fast_aggregate_verify(&self, indices: &[u64], message: &Root) -> bool {
+        AggregateSignature::over_attesters(indices, message) == *self
+    }
+
+    /// Collapses the aggregate into a wire [`Signature`] tag.
+    pub fn to_signature(self) -> Signature {
+        Signature(self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hashing::hash;
+
+    #[test]
+    fn aggregate_verifies_exact_signer_set() {
+        let msg = hash(b"attestation-data");
+        let agg = AggregateSignature::over_attesters(&[1, 2, 3], &msg);
+        assert!(agg.fast_aggregate_verify(&[1, 2, 3], &msg));
+        assert!(!agg.fast_aggregate_verify(&[1, 2], &msg));
+        assert!(!agg.fast_aggregate_verify(&[1, 2, 4], &msg));
+    }
+
+    #[test]
+    fn aggregation_is_order_independent() {
+        let msg = hash(b"m");
+        let s = |i: u64| sign_root(i, SigningDomain::BeaconAttester, &msg);
+        let a = AggregateSignature::aggregate([s(1), s(2), s(3)]);
+        let b = AggregateSignature::aggregate([s(3), s(1), s(2)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_aggregate_verifies_empty_set() {
+        let msg = hash(b"m");
+        assert!(AggregateSignature::EMPTY.fast_aggregate_verify(&[], &msg));
+        assert!(!AggregateSignature::EMPTY.fast_aggregate_verify(&[1], &msg));
+    }
+
+    #[test]
+    fn aggregate_binds_message() {
+        let m1 = hash(b"m1");
+        let m2 = hash(b"m2");
+        let agg = AggregateSignature::over_attesters(&[1, 2], &m1);
+        assert!(!agg.fast_aggregate_verify(&[1, 2], &m2));
+    }
+}

@@ -1,0 +1,223 @@
+//! 256-bit hashing from four keyed SipHash-2-4 lanes.
+//!
+//! SipHash-2-4 is a well-studied keyed PRF; running four lanes with
+//! distinct fixed keys over the same input yields a 256-bit digest that is
+//! (for simulation purposes) collision-free and avalanche-complete. This
+//! replaces SHA-256 from the real protocol; see `DESIGN.md` §4.
+
+use ethpos_types::Root;
+
+/// Fixed lane keys (nothing-up-my-sleeve: digits of π in hex).
+const LANE_KEYS: [(u64, u64); 4] = [
+    (0x243f_6a88_85a3_08d3, 0x1319_8a2e_0370_7344),
+    (0xa409_3822_299f_31d0, 0x082e_fa98_ec4e_6c89),
+    (0x4528_21e6_38d0_1377, 0xbe54_66cf_34e9_0c6c),
+    (0xc0ac_29b7_c97c_50dd, 0x3f84_d5b5_b547_0917),
+];
+
+/// Incremental 256-bit hasher (four SipHash-2-4 lanes).
+///
+/// # Example
+///
+/// ```
+/// use ethpos_crypto::Hasher;
+///
+/// let mut h = Hasher::new();
+/// h.update(b"hello");
+/// h.update_u64(42);
+/// let root = h.finalize();
+/// assert!(!root.is_zero());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hasher {
+    buf: Vec<u8>,
+}
+
+impl Hasher {
+    /// Creates an empty hasher.
+    pub fn new() -> Self {
+        Hasher { buf: Vec::new() }
+    }
+
+    /// Appends bytes to the input.
+    pub fn update(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a little-endian `u64` to the input.
+    pub fn update_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a root to the input.
+    pub fn update_root(&mut self, r: &Root) {
+        self.buf.extend_from_slice(r.as_bytes());
+    }
+
+    /// Produces the 256-bit digest.
+    pub fn finalize(&self) -> Root {
+        let mut out = [0u8; 32];
+        for (i, (k0, k1)) in LANE_KEYS.iter().enumerate() {
+            let lane = siphash24(*k0, *k1, &self.buf);
+            out[i * 8..(i + 1) * 8].copy_from_slice(&lane.to_le_bytes());
+        }
+        Root::new(out)
+    }
+}
+
+impl Default for Hasher {
+    fn default() -> Self {
+        Hasher::new()
+    }
+}
+
+/// Hashes a byte slice to a 256-bit root.
+pub fn hash(bytes: &[u8]) -> Root {
+    let mut h = Hasher::new();
+    h.update(bytes);
+    h.finalize()
+}
+
+/// Hashes the concatenation of two roots (Merkle-style combine).
+pub fn hash_concat(a: &Root, b: &Root) -> Root {
+    let mut h = Hasher::new();
+    h.update_root(a);
+    h.update_root(b);
+    h.finalize()
+}
+
+/// Hashes a sequence of `u64` words — convenient for hashing structured
+/// fixed-size records.
+pub fn hash_u64(words: &[u64]) -> Root {
+    let mut h = Hasher::new();
+    for w in words {
+        h.update_u64(*w);
+    }
+    h.finalize()
+}
+
+/// SipHash-2-4 with the given 128-bit key, per the reference
+/// specification (Aumasson & Bernstein).
+pub fn siphash24(k0: u64, k1: u64, data: &[u8]) -> u64 {
+    let mut v0 = 0x736f_6d65_7073_6575u64 ^ k0;
+    let mut v1 = 0x646f_7261_6e64_6f6du64 ^ k1;
+    let mut v2 = 0x6c79_6765_6e65_7261u64 ^ k0;
+    let mut v3 = 0x7465_6462_7974_6573u64 ^ k1;
+
+    macro_rules! sipround {
+        () => {
+            v0 = v0.wrapping_add(v1);
+            v1 = v1.rotate_left(13);
+            v1 ^= v0;
+            v0 = v0.rotate_left(32);
+            v2 = v2.wrapping_add(v3);
+            v3 = v3.rotate_left(16);
+            v3 ^= v2;
+            v0 = v0.wrapping_add(v3);
+            v3 = v3.rotate_left(21);
+            v3 ^= v0;
+            v2 = v2.wrapping_add(v1);
+            v1 = v1.rotate_left(17);
+            v1 ^= v2;
+            v2 = v2.rotate_left(32);
+        };
+    }
+
+    let len = data.len();
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let m = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        v3 ^= m;
+        sipround!();
+        sipround!();
+        v0 ^= m;
+    }
+
+    // final block: remaining bytes plus length in the top byte
+    let rem = chunks.remainder();
+    let mut last = [0u8; 8];
+    last[..rem.len()].copy_from_slice(rem);
+    last[7] = (len & 0xff) as u8;
+    let m = u64::from_le_bytes(last);
+    v3 ^= m;
+    sipround!();
+    sipround!();
+    v0 ^= m;
+
+    v2 ^= 0xff;
+    sipround!();
+    sipround!();
+    sipround!();
+    sipround!();
+
+    v0 ^ v1 ^ v2 ^ v3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    /// Reference test vector from the SipHash paper (Appendix A):
+    /// key = 00 01 … 0f, input = 00 01 … 0e, output = 0xa129ca6149be45e5.
+    #[test]
+    fn siphash_reference_vector() {
+        let k0 = u64::from_le_bytes([0, 1, 2, 3, 4, 5, 6, 7]);
+        let k1 = u64::from_le_bytes([8, 9, 10, 11, 12, 13, 14, 15]);
+        let input: Vec<u8> = (0u8..15).collect();
+        assert_eq!(siphash24(k0, k1, &input), 0xa129_ca61_49be_45e5);
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        assert_eq!(hash(b"abc"), hash(b"abc"));
+        assert_ne!(hash(b"abc"), hash(b"abd"));
+    }
+
+    #[test]
+    fn empty_input_hashes() {
+        assert!(!hash(b"").is_zero());
+    }
+
+    #[test]
+    fn hash_concat_is_order_sensitive() {
+        let a = hash(b"a");
+        let b = hash(b"b");
+        assert_ne!(hash_concat(&a, &b), hash_concat(&b, &a));
+    }
+
+    #[test]
+    fn no_collisions_on_small_domain() {
+        let mut seen = HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(hash_u64(&[i])), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn length_extension_distinguished() {
+        // inputs that differ only by trailing zero bytes must hash apart
+        assert_ne!(hash(&[1, 2, 3]), hash(&[1, 2, 3, 0]));
+        assert_ne!(hash(&[]), hash(&[0]));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_deterministic(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+            prop_assert_eq!(hash(&data), hash(&data));
+        }
+
+        #[test]
+        fn prop_single_bit_flip_changes_digest(
+            data in proptest::collection::vec(any::<u8>(), 1..64),
+            byte in 0usize..64,
+            bit in 0u8..8,
+        ) {
+            let byte = byte % data.len();
+            let mut flipped = data.clone();
+            flipped[byte] ^= 1 << bit;
+            prop_assert_ne!(hash(&data), hash(&flipped));
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Deterministic validator key pairs.
+
+use core::fmt;
+
+use crate::hashing::hash_u64;
+
+/// A validator's secret key (a 64-bit seed in the simulation).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SecretKey(u64);
+
+/// A validator's public key, derived from the secret key by hashing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PublicKey(pub u64);
+
+/// A secret/public key pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Keypair {
+    /// Secret half.
+    pub secret: SecretKey,
+    /// Public half.
+    pub public: PublicKey,
+}
+
+const KEY_DERIVATION_DOMAIN: u64 = 0x6b65_795f_6465_7269; // "key_deri"
+
+impl SecretKey {
+    /// Creates a secret key from a raw seed.
+    pub const fn from_seed(seed: u64) -> Self {
+        SecretKey(seed)
+    }
+
+    /// Derives the matching public key.
+    pub fn public_key(&self) -> PublicKey {
+        let digest = hash_u64(&[KEY_DERIVATION_DOMAIN, self.0]);
+        PublicKey(u64::from_le_bytes(
+            digest.as_bytes()[..8].try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Raw seed (used by the signing primitive; never exposed in
+    /// user-facing output).
+    pub(crate) const fn seed(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Keypair {
+    /// Derives the canonical key pair of validator `index`.
+    ///
+    /// Every crate in the workspace derives keys the same way, so public
+    /// keys are globally consistent without a registry handshake.
+    pub fn derive(index: u64) -> Self {
+        let secret = SecretKey::from_seed(index.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ index);
+        Keypair {
+            secret,
+            public: secret.public_key(),
+        }
+    }
+}
+
+impl fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SecretKey(<redacted>)")
+    }
+}
+
+impl fmt::Display for PublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pk:{:016x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn derivation_is_deterministic() {
+        assert_eq!(Keypair::derive(7), Keypair::derive(7));
+    }
+
+    #[test]
+    fn distinct_indices_yield_distinct_keys() {
+        let mut seen = HashSet::new();
+        for i in 0..4096u64 {
+            assert!(seen.insert(Keypair::derive(i).public), "pk collision at {i}");
+        }
+    }
+
+    #[test]
+    fn public_key_does_not_leak_seed() {
+        let kp = Keypair::derive(3);
+        assert_ne!(kp.public.0, kp.secret.seed());
+        assert_eq!(format!("{:?}", kp.secret), "SecretKey(<redacted>)");
+    }
+}

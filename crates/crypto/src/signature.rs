@@ -1,0 +1,130 @@
+//! Signature tags: deterministic, attributable, unforgeable-by-construction
+//! within the simulation.
+//!
+//! A tag is `SipHash(secret, domain, message)`. Verification re-derives the
+//! tag from the *claimed signer's* secret — which the verifier does not
+//! have. To keep the simulation honest, verification instead recomputes
+//! through a keyed one-way chain: the tag commits to `(signer seed,
+//! domain, message)`, and [`verify`] recomputes it via the signer's
+//! canonical keypair. Since every strategy in the workspace only ever
+//! signs through [`sign`], no code path can fabricate a tag for a
+//! validator it does not control — which is precisely the paper's
+//! assumption.
+
+use ethpos_types::attestation::Signature;
+use ethpos_types::Root;
+
+use crate::hashing::hash_u64;
+use crate::keys::{Keypair, SecretKey};
+
+/// Domain separation for the two message kinds validators sign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SigningDomain {
+    /// Beacon block proposals.
+    BeaconProposer,
+    /// Attestations.
+    BeaconAttester,
+}
+
+impl SigningDomain {
+    const fn tag(self) -> u64 {
+        match self {
+            SigningDomain::BeaconProposer => 0x0000_0000_7072_6f70, // "prop"
+            SigningDomain::BeaconAttester => 0x0000_0000_6174_7473, // "atts"
+        }
+    }
+}
+
+fn tag_for(secret: &SecretKey, domain: SigningDomain, message: &Root) -> Signature {
+    let mut words = vec![secret.seed(), domain.tag()];
+    words.extend(
+        message
+            .as_bytes()
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes"))),
+    );
+    let digest = hash_u64(&words);
+    Signature(u64::from_le_bytes(
+        digest.as_bytes()[..8].try_into().expect("8 bytes"),
+    ))
+}
+
+/// Signs a message root with a secret key under a domain.
+pub fn sign(secret: &SecretKey, domain: SigningDomain, message: &Root) -> Signature {
+    tag_for(secret, domain, message)
+}
+
+/// Signs with the canonical keypair of validator `index` — the common case
+/// in the simulators.
+pub fn sign_root(index: u64, domain: SigningDomain, message: &Root) -> Signature {
+    sign(&Keypair::derive(index).secret, domain, message)
+}
+
+/// Verifies that `signature` is validator-`index`'s signature over
+/// `message` under `domain`.
+pub fn verify(index: u64, domain: SigningDomain, message: &Root, signature: Signature) -> bool {
+    sign_root(index, domain, message) == signature
+}
+
+/// Alias of [`verify`] reading closer to spec pseudocode.
+pub fn verify_root(
+    index: u64,
+    domain: SigningDomain,
+    message: &Root,
+    signature: Signature,
+) -> bool {
+    verify(index, domain, message, signature)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let msg = crate::hashing::hash(b"block");
+        let sig = sign_root(5, SigningDomain::BeaconProposer, &msg);
+        assert!(verify(5, SigningDomain::BeaconProposer, &msg, sig));
+    }
+
+    #[test]
+    fn wrong_signer_fails() {
+        let msg = crate::hashing::hash(b"block");
+        let sig = sign_root(5, SigningDomain::BeaconProposer, &msg);
+        assert!(!verify(6, SigningDomain::BeaconProposer, &msg, sig));
+    }
+
+    #[test]
+    fn wrong_domain_fails() {
+        let msg = crate::hashing::hash(b"block");
+        let sig = sign_root(5, SigningDomain::BeaconProposer, &msg);
+        assert!(!verify(5, SigningDomain::BeaconAttester, &msg, sig));
+    }
+
+    #[test]
+    fn wrong_message_fails() {
+        let msg = crate::hashing::hash(b"block");
+        let other = crate::hashing::hash(b"other");
+        let sig = sign_root(5, SigningDomain::BeaconProposer, &msg);
+        assert!(!verify(5, SigningDomain::BeaconProposer, &other, sig));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(index in 0u64..10_000, word in any::<u64>()) {
+            let msg = crate::hashing::hash_u64(&[word]);
+            let sig = sign_root(index, SigningDomain::BeaconAttester, &msg);
+            prop_assert!(verify(index, SigningDomain::BeaconAttester, &msg, sig));
+        }
+
+        #[test]
+        fn prop_signatures_bind_signer(a in 0u64..1000, b in 0u64..1000, word in any::<u64>()) {
+            prop_assume!(a != b);
+            let msg = crate::hashing::hash_u64(&[word]);
+            let sa = sign_root(a, SigningDomain::BeaconAttester, &msg);
+            let sb = sign_root(b, SigningDomain::BeaconAttester, &msg);
+            prop_assert_ne!(sa, sb);
+        }
+    }
+}

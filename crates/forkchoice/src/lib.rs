@@ -1,0 +1,54 @@
+//! LMD-GHOST fork choice with Casper FFG checkpoint gating.
+//!
+//! The paper's candidate chain (Definition 1) is selected by this crate: a
+//! proto-array implementation of *latest-message-driven greedy heaviest
+//! observed sub-tree*, walking from the justified checkpoint towards the
+//! heaviest descendant, where each validator's weight is its effective
+//! balance and only its **latest** block vote counts.
+//!
+//! The store also implements the historical `SAFE_SLOTS_TO_UPDATE_JUSTIFIED`
+//! rule: outside the first `j` slots of an epoch, a newly learned justified
+//! checkpoint is parked as *best justified* and only adopted at the next
+//! epoch boundary. That `j` is exactly the parameter of the probabilistic
+//! bouncing attack (paper §5.3): the attack continues while some Byzantine
+//! proposer lands in the first `j` slots.
+//!
+//! Layout follows Lighthouse's `proto_array` module, compacted.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod proto_array;
+pub mod store;
+pub mod vote_tracker;
+
+pub use proto_array::ProtoArray;
+pub use store::ForkChoiceStore;
+pub use vote_tracker::VoteTracker;
+
+/// Fork-choice errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ForkChoiceError {
+    /// Referenced block is unknown to the store.
+    UnknownBlock(ethpos_types::Root),
+    /// A block was inserted twice.
+    DuplicateBlock(ethpos_types::Root),
+    /// The justified root is not in the tree.
+    UnknownJustifiedRoot(ethpos_types::Root),
+}
+
+impl core::fmt::Display for ForkChoiceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ForkChoiceError::UnknownBlock(r) => write!(f, "unknown block 0x{}", r.short_hex()),
+            ForkChoiceError::DuplicateBlock(r) => {
+                write!(f, "duplicate block 0x{}", r.short_hex())
+            }
+            ForkChoiceError::UnknownJustifiedRoot(r) => {
+                write!(f, "unknown justified root 0x{}", r.short_hex())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ForkChoiceError {}

@@ -1,0 +1,546 @@
+//! The proto-array: a flat, append-only block tree with weight
+//! propagation and best-descendant links.
+
+use std::collections::HashMap;
+
+use ethpos_types::{Root, Slot};
+
+use crate::ForkChoiceError;
+
+/// One node of the proto-array.
+#[derive(Debug, Clone)]
+pub struct ProtoNode {
+    /// Block root.
+    pub root: Root,
+    /// Index of the parent node, if any.
+    pub parent: Option<usize>,
+    /// Block slot.
+    pub slot: Slot,
+    /// Accumulated attestation weight (Gwei).
+    pub weight: u128,
+    /// Heaviest child, if any.
+    pub best_child: Option<usize>,
+    /// Deepest node on the heaviest path through `best_child`.
+    pub best_descendant: Option<usize>,
+}
+
+/// Append-only proto-array block tree.
+///
+/// Blocks are inserted in topological order (parents before children,
+/// guaranteed because blocks reference parents by root). Weight changes
+/// are applied as per-node deltas propagated root-ward in one backward
+/// pass, exactly like Lighthouse's `apply_score_changes`.
+#[derive(Debug, Clone, Default)]
+pub struct ProtoArray {
+    nodes: Vec<ProtoNode>,
+    indices: HashMap<Root, usize>,
+    children: Vec<Vec<usize>>,
+}
+
+impl ProtoArray {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        ProtoArray::default()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the tree has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Node index of `root`.
+    pub fn index_of(&self, root: &Root) -> Option<usize> {
+        self.indices.get(root).copied()
+    }
+
+    /// Node at `index`.
+    pub fn node(&self, index: usize) -> &ProtoNode {
+        &self.nodes[index]
+    }
+
+    /// True if the tree contains `root`.
+    pub fn contains(&self, root: &Root) -> bool {
+        self.indices.contains_key(root)
+    }
+
+    /// Inserts a block. The parent must already be present (or `None` for
+    /// the anchor/genesis block).
+    ///
+    /// # Errors
+    ///
+    /// [`ForkChoiceError::DuplicateBlock`] if `root` is already present;
+    /// [`ForkChoiceError::UnknownBlock`] if the parent is missing.
+    pub fn insert(
+        &mut self,
+        root: Root,
+        parent_root: Option<Root>,
+        slot: Slot,
+    ) -> Result<usize, ForkChoiceError> {
+        if self.contains(&root) {
+            return Err(ForkChoiceError::DuplicateBlock(root));
+        }
+        let parent = match parent_root {
+            None => None,
+            Some(p) => Some(
+                self.index_of(&p)
+                    .ok_or(ForkChoiceError::UnknownBlock(p))?,
+            ),
+        };
+        let index = self.nodes.len();
+        self.nodes.push(ProtoNode {
+            root,
+            parent,
+            slot,
+            weight: 0,
+            best_child: None,
+            best_descendant: None,
+        });
+        self.indices.insert(root, index);
+        self.children.push(Vec::new());
+        if let Some(p) = parent {
+            self.children[p].push(index);
+            self.update_best_links(index);
+        }
+        Ok(index)
+    }
+
+    /// Applies per-node weight deltas (indexed like `nodes`; shorter
+    /// slices are zero-extended), propagating each node's delta to its
+    /// parent and refreshing best-child/best-descendant links.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if a delta would drive a weight negative — callers
+    /// must keep vote accounting consistent.
+    pub fn apply_score_changes(&mut self, deltas: &[i128]) {
+        let mut deltas: Vec<i128> = {
+            let mut d = deltas.to_vec();
+            d.resize(self.nodes.len(), 0);
+            d
+        };
+        // Backward pass: children before parents (insertion is
+        // topological, so index order suffices).
+        for i in (0..self.nodes.len()).rev() {
+            let delta = deltas[i];
+            if delta != 0 {
+                let w = self.nodes[i].weight as i128 + delta;
+                debug_assert!(w >= 0, "negative weight at node {i}");
+                self.nodes[i].weight = w.max(0) as u128;
+                if let Some(p) = self.nodes[i].parent {
+                    deltas[p] += delta;
+                }
+            }
+        }
+        // Refresh best links bottom-up.
+        for i in (0..self.nodes.len()).rev() {
+            if self.nodes[i].parent.is_some() {
+                self.update_best_links(i);
+            }
+        }
+    }
+
+    /// Returns the head: follow `best_descendant` from `anchor_root`.
+    ///
+    /// # Errors
+    ///
+    /// [`ForkChoiceError::UnknownJustifiedRoot`] if the anchor is absent.
+    pub fn find_head(&self, anchor_root: &Root) -> Result<Root, ForkChoiceError> {
+        let idx = self
+            .index_of(anchor_root)
+            .ok_or(ForkChoiceError::UnknownJustifiedRoot(*anchor_root))?;
+        let node = &self.nodes[idx];
+        let best = node.best_descendant.unwrap_or(idx);
+        Ok(self.nodes[best].root)
+    }
+
+    /// True if `descendant` has `ancestor` on its root-ward path
+    /// (inclusive).
+    pub fn is_descendant(&self, ancestor: &Root, descendant: &Root) -> bool {
+        let (Some(a), Some(mut d)) = (self.index_of(ancestor), self.index_of(descendant)) else {
+            return false;
+        };
+        loop {
+            if d == a {
+                return true;
+            }
+            match self.nodes[d].parent {
+                // parents always have smaller indices; stop early
+                Some(p) if d > a => d = p,
+                _ => return false,
+            }
+        }
+    }
+
+    /// The root-ward chain from `root` (inclusive) to the anchor.
+    pub fn chain_of(&self, root: &Root) -> Vec<Root> {
+        let mut out = Vec::new();
+        let Some(mut i) = self.index_of(root) else {
+            return out;
+        };
+        loop {
+            out.push(self.nodes[i].root);
+            match self.nodes[i].parent {
+                Some(p) => i = p,
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Prunes every node that is not `new_anchor` or one of its
+    /// descendants, re-rooting the tree at `new_anchor` (what clients do
+    /// when finality advances). Weights and best links are preserved.
+    ///
+    /// # Errors
+    ///
+    /// [`ForkChoiceError::UnknownBlock`] if `new_anchor` is absent.
+    pub fn prune_to(&mut self, new_anchor: &Root) -> Result<(), ForkChoiceError> {
+        let anchor_idx = self
+            .index_of(new_anchor)
+            .ok_or(ForkChoiceError::UnknownBlock(*new_anchor))?;
+        if anchor_idx == 0 {
+            return Ok(()); // already the root
+        }
+        // Mark descendants (topological order ⇒ one forward pass).
+        let mut keep = vec![false; self.nodes.len()];
+        keep[anchor_idx] = true;
+        for i in (anchor_idx + 1)..self.nodes.len() {
+            if let Some(p) = self.nodes[i].parent {
+                keep[i] = keep[p];
+            }
+        }
+        // Remap indices.
+        let mut remap = vec![usize::MAX; self.nodes.len()];
+        let mut next = 0usize;
+        for (i, &k) in keep.iter().enumerate() {
+            if k {
+                remap[i] = next;
+                next += 1;
+            }
+        }
+        let old_nodes = std::mem::take(&mut self.nodes);
+        let old_children = std::mem::take(&mut self.children);
+        self.indices.clear();
+        for (i, node) in old_nodes.into_iter().enumerate() {
+            if !keep[i] {
+                continue;
+            }
+            let new_idx = remap[i];
+            let parent = if i == anchor_idx {
+                None
+            } else {
+                node.parent.map(|p| remap[p])
+            };
+            self.indices.insert(node.root, new_idx);
+            self.nodes.push(ProtoNode {
+                root: node.root,
+                parent,
+                slot: node.slot,
+                weight: node.weight,
+                best_child: node.best_child.and_then(|c| {
+                    if keep[c] {
+                        Some(remap[c])
+                    } else {
+                        None
+                    }
+                }),
+                best_descendant: node.best_descendant.and_then(|d| {
+                    if keep[d] {
+                        Some(remap[d])
+                    } else {
+                        None
+                    }
+                }),
+            });
+            self.children.push(
+                old_children[i]
+                    .iter()
+                    .filter(|&&c| keep[c])
+                    .map(|&c| remap[c])
+                    .collect(),
+            );
+        }
+        Ok(())
+    }
+
+    /// Re-evaluates whether `child_index` should be its parent's best
+    /// child, and updates the parent's best descendant.
+    fn update_best_links(&mut self, child_index: usize) {
+        let parent_index = match self.nodes[child_index].parent {
+            Some(p) => p,
+            None => return,
+        };
+        let child_weight = self.nodes[child_index].weight;
+        let child_best_descendant = self.nodes[child_index]
+            .best_descendant
+            .unwrap_or(child_index);
+
+        let parent = &self.nodes[parent_index];
+        let replace = match parent.best_child {
+            None => true,
+            Some(current) if current == child_index => true,
+            Some(current) => {
+                let cw = self.nodes[current].weight;
+                // Tie-break on root bytes for determinism (spec ties break
+                // on highest root lexicographically).
+                child_weight > cw
+                    || (child_weight == cw
+                        && self.nodes[child_index].root > self.nodes[current].root)
+            }
+        };
+        if replace {
+            // Verify the incumbent keeps its crown if it is heavier: when
+            // current == child_index we must re-compare against siblings.
+            let best = self.heaviest_child(parent_index);
+            let best_descendant = best.map(|b| self.nodes[b].best_descendant.unwrap_or(b));
+            let parent = &mut self.nodes[parent_index];
+            parent.best_child = best;
+            parent.best_descendant = best_descendant;
+            // Propagate the (possibly changed) best descendant upward.
+            if let Some(gp) = self.nodes[parent_index].parent {
+                let _ = gp;
+                self.bubble_best_descendant(parent_index);
+            }
+        } else {
+            // Parent's best child unchanged, but its best descendant may
+            // still need to reflect the child's deeper best descendant.
+            let parent = &mut self.nodes[parent_index];
+            if parent.best_child == Some(child_index) {
+                parent.best_descendant = Some(child_best_descendant);
+            }
+        }
+    }
+
+    /// Recomputes the heaviest child of `parent` from its children list.
+    fn heaviest_child(&self, parent: usize) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for &i in &self.children[parent] {
+            best = match best {
+                None => Some(i),
+                Some(b) => {
+                    let (bw, iw) = (self.nodes[b].weight, self.nodes[i].weight);
+                    if iw > bw || (iw == bw && self.nodes[i].root > self.nodes[b].root) {
+                        Some(i)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        best
+    }
+
+    /// Pushes `node`'s best-descendant change up the ancestor chain.
+    fn bubble_best_descendant(&mut self, mut node: usize) {
+        while let Some(parent) = self.nodes[node].parent {
+            if self.nodes[parent].best_child == Some(node) {
+                let bd = self.nodes[node].best_descendant.unwrap_or(node);
+                self.nodes[parent].best_descendant = Some(bd);
+                node = parent;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(v: u64) -> Root {
+        Root::from_u64(v)
+    }
+
+    /// Builds:  0 ─ 1 ─ 2
+    ///               └── 3
+    fn small_tree() -> ProtoArray {
+        let mut p = ProtoArray::new();
+        p.insert(r(0), None, Slot::new(0)).unwrap();
+        p.insert(r(1), Some(r(0)), Slot::new(1)).unwrap();
+        p.insert(r(2), Some(r(1)), Slot::new(2)).unwrap();
+        p.insert(r(3), Some(r(1)), Slot::new(2)).unwrap();
+        p
+    }
+
+    #[test]
+    fn head_without_votes_is_deterministic() {
+        let p = small_tree();
+        // Equal (zero) weights: tie-break on larger root.
+        let head = p.find_head(&r(0)).unwrap();
+        assert_eq!(head, r(3).max(r(2)));
+    }
+
+    #[test]
+    fn votes_move_the_head() {
+        let mut p = small_tree();
+        let i2 = p.index_of(&r(2)).unwrap();
+        let mut deltas = vec![0i128; p.len()];
+        deltas[i2] = 100;
+        p.apply_score_changes(&deltas);
+        assert_eq!(p.find_head(&r(0)).unwrap(), r(2));
+        // Outvote the other branch.
+        let i3 = p.index_of(&r(3)).unwrap();
+        let mut deltas = vec![0i128; p.len()];
+        deltas[i3] = 150;
+        p.apply_score_changes(&deltas);
+        assert_eq!(p.find_head(&r(0)).unwrap(), r(3));
+    }
+
+    #[test]
+    fn weights_propagate_to_ancestors() {
+        let mut p = small_tree();
+        let i2 = p.index_of(&r(2)).unwrap();
+        let mut deltas = vec![0i128; p.len()];
+        deltas[i2] = 42;
+        p.apply_score_changes(&deltas);
+        let i1 = p.index_of(&r(1)).unwrap();
+        let i0 = p.index_of(&r(0)).unwrap();
+        assert_eq!(p.node(i1).weight, 42);
+        assert_eq!(p.node(i0).weight, 42);
+    }
+
+    #[test]
+    fn negative_deltas_remove_weight() {
+        let mut p = small_tree();
+        let i2 = p.index_of(&r(2)).unwrap();
+        let mut deltas = vec![0i128; p.len()];
+        deltas[i2] = 100;
+        p.apply_score_changes(&deltas);
+        let mut deltas = vec![0i128; p.len()];
+        deltas[i2] = -100;
+        p.apply_score_changes(&deltas);
+        assert_eq!(p.node(i2).weight, 0);
+        let i0 = p.index_of(&r(0)).unwrap();
+        assert_eq!(p.node(i0).weight, 0);
+    }
+
+    #[test]
+    fn head_from_intermediate_anchor() {
+        let mut p = small_tree();
+        let i3 = p.index_of(&r(3)).unwrap();
+        let mut deltas = vec![0i128; p.len()];
+        deltas[i3] = 10;
+        p.apply_score_changes(&deltas);
+        // Anchored at block 1, head = 3; anchored at 2, head = 2 itself.
+        assert_eq!(p.find_head(&r(1)).unwrap(), r(3));
+        assert_eq!(p.find_head(&r(2)).unwrap(), r(2));
+    }
+
+    #[test]
+    fn duplicate_and_orphan_inserts_fail() {
+        let mut p = small_tree();
+        assert_eq!(
+            p.insert(r(1), Some(r(0)), Slot::new(9)),
+            Err(ForkChoiceError::DuplicateBlock(r(1)))
+        );
+        assert_eq!(
+            p.insert(r(9), Some(r(42)), Slot::new(9)),
+            Err(ForkChoiceError::UnknownBlock(r(42)))
+        );
+    }
+
+    #[test]
+    fn descendant_relation() {
+        let p = small_tree();
+        assert!(p.is_descendant(&r(0), &r(3)));
+        assert!(p.is_descendant(&r(1), &r(2)));
+        assert!(p.is_descendant(&r(2), &r(2)));
+        assert!(!p.is_descendant(&r(2), &r(3)));
+        assert!(!p.is_descendant(&r(3), &r(1)));
+    }
+
+    #[test]
+    fn chain_of_walks_to_anchor() {
+        let p = small_tree();
+        assert_eq!(p.chain_of(&r(2)), vec![r(2), r(1), r(0)]);
+        assert_eq!(p.chain_of(&r(9)), Vec::<Root>::new());
+    }
+
+    #[test]
+    fn prune_keeps_subtree_and_weights() {
+        let mut p = small_tree();
+        let i2 = p.index_of(&r(2)).unwrap();
+        let mut deltas = vec![0i128; p.len()];
+        deltas[i2] = 77;
+        p.apply_score_changes(&deltas);
+        p.prune_to(&r(1)).unwrap();
+        assert_eq!(p.len(), 3); // 1, 2, 3
+        assert!(!p.contains(&r(0)));
+        assert!(p.contains(&r(1)));
+        let i2 = p.index_of(&r(2)).unwrap();
+        assert_eq!(p.node(i2).weight, 77);
+        // head computation still works from the new anchor
+        assert_eq!(p.find_head(&r(1)).unwrap(), r(2));
+        // and new blocks can be inserted
+        p.insert(r(9), Some(r(2)), Slot::new(3)).unwrap();
+        assert!(p.is_descendant(&r(1), &r(9)));
+    }
+
+    #[test]
+    fn prune_to_root_is_noop() {
+        let mut p = small_tree();
+        p.prune_to(&r(0)).unwrap();
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn prune_unknown_anchor_fails() {
+        let mut p = small_tree();
+        assert_eq!(
+            p.prune_to(&r(42)),
+            Err(ForkChoiceError::UnknownBlock(r(42)))
+        );
+    }
+
+    #[test]
+    fn prune_drops_sibling_branch() {
+        // After pruning to block 2, its sibling 3 disappears.
+        let mut p = small_tree();
+        p.prune_to(&r(2)).unwrap();
+        assert_eq!(p.len(), 1);
+        assert!(!p.contains(&r(3)));
+        assert_eq!(p.find_head(&r(2)).unwrap(), r(2));
+    }
+
+    #[test]
+    fn deep_chain_head() {
+        let mut p = ProtoArray::new();
+        p.insert(r(0), None, Slot::new(0)).unwrap();
+        for i in 1..100u64 {
+            p.insert(r(i), Some(r(i - 1)), Slot::new(i)).unwrap();
+        }
+        assert_eq!(p.find_head(&r(0)).unwrap(), r(99));
+        assert_eq!(p.find_head(&r(57)).unwrap(), r(99));
+    }
+
+    #[test]
+    fn fork_with_competing_weights_converges() {
+        // Two long branches from a common ancestor; the heavier wins.
+        let mut p = ProtoArray::new();
+        p.insert(r(0), None, Slot::new(0)).unwrap();
+        for i in 1..=10u64 {
+            p.insert(r(i), Some(r(i - 1)), Slot::new(i)).unwrap(); // branch A: 1..10
+            p.insert(r(100 + i), Some(if i == 1 { r(0) } else { r(100 + i - 1) }), Slot::new(i))
+                .unwrap(); // branch B: 101..110
+        }
+        let tip_a = p.index_of(&r(10)).unwrap();
+        let tip_b = p.index_of(&r(110)).unwrap();
+        let mut deltas = vec![0i128; p.len()];
+        deltas[tip_a] = 60;
+        deltas[tip_b] = 40;
+        p.apply_score_changes(&deltas);
+        assert_eq!(p.find_head(&r(0)).unwrap(), r(10));
+        // Shift 30 weight from A to B.
+        let mut deltas = vec![0i128; p.len()];
+        deltas[tip_a] = -30;
+        deltas[tip_b] = 30;
+        p.apply_score_changes(&deltas);
+        assert_eq!(p.find_head(&r(0)).unwrap(), r(110));
+    }
+}

@@ -1,0 +1,343 @@
+//! The fork-choice store: proto-array + votes + checkpoint gating.
+
+use ethpos_types::{Checkpoint, Epoch, Gwei, Root, Slot};
+
+use crate::proto_array::ProtoArray;
+use crate::vote_tracker::VoteTracker;
+use crate::ForkChoiceError;
+
+/// A validator's-eye view of the block tree: blocks, latest messages and
+/// the justified/finalized checkpoints the head computation is anchored
+/// at.
+#[derive(Debug, Clone)]
+pub struct ForkChoiceStore {
+    proto: ProtoArray,
+    votes: Vec<VoteTracker>,
+    /// Balance snapshot used for the last delta application.
+    applied_balances: Vec<u64>,
+    justified: Checkpoint,
+    best_justified: Checkpoint,
+    finalized: Checkpoint,
+    /// First `j` slots of an epoch during which the justified checkpoint
+    /// may move immediately.
+    safe_slots_to_update_justified: u64,
+    slots_per_epoch: u64,
+}
+
+impl ForkChoiceStore {
+    /// Creates a store anchored at `genesis_root` with `n` validators.
+    pub fn new(
+        genesis_root: Root,
+        n: usize,
+        slots_per_epoch: u64,
+        safe_slots_to_update_justified: u64,
+    ) -> Self {
+        let mut proto = ProtoArray::new();
+        proto
+            .insert(genesis_root, None, Slot::GENESIS)
+            .expect("fresh tree accepts the anchor");
+        let genesis_checkpoint = Checkpoint::genesis(genesis_root);
+        ForkChoiceStore {
+            proto,
+            votes: vec![VoteTracker::default(); n],
+            applied_balances: vec![0; n],
+            justified: genesis_checkpoint,
+            best_justified: genesis_checkpoint,
+            finalized: genesis_checkpoint,
+            safe_slots_to_update_justified,
+            slots_per_epoch,
+        }
+    }
+
+    /// The block tree.
+    pub fn proto_array(&self) -> &ProtoArray {
+        &self.proto
+    }
+
+    /// Current justified checkpoint (fork-choice anchor).
+    pub fn justified_checkpoint(&self) -> Checkpoint {
+        self.justified
+    }
+
+    /// Best justified checkpoint seen (pending adoption).
+    pub fn best_justified_checkpoint(&self) -> Checkpoint {
+        self.best_justified
+    }
+
+    /// Finalized checkpoint.
+    pub fn finalized_checkpoint(&self) -> Checkpoint {
+        self.finalized
+    }
+
+    /// True if `root` is known.
+    pub fn contains_block(&self, root: &Root) -> bool {
+        self.proto.contains(root)
+    }
+
+    /// Registers a block (spec `on_block`, tree bookkeeping only; state
+    /// transition happens in `ethpos-state`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates proto-array insertion failures.
+    pub fn on_block(&mut self, root: Root, parent: Root, slot: Slot) -> Result<(), ForkChoiceError> {
+        self.proto.insert(root, Some(parent), slot)?;
+        Ok(())
+    }
+
+    /// Registers a validator's block vote (spec `on_attestation`, LMD
+    /// part). Unknown blocks are ignored by the caller's choice — the
+    /// simulation delivers in order, so the target is always known.
+    pub fn on_attestation(&mut self, validator: usize, block_root: Root, epoch: Epoch) {
+        if validator >= self.votes.len() {
+            return;
+        }
+        self.votes[validator].observe(block_root, epoch);
+    }
+
+    /// Learns a (possibly) newer justified checkpoint, applying the
+    /// `SAFE_SLOTS_TO_UPDATE_JUSTIFIED` gate: inside the first `j` slots
+    /// of the epoch the checkpoint moves immediately; later it is parked
+    /// in `best_justified` and adopted at the next epoch boundary via
+    /// [`ForkChoiceStore::on_tick`].
+    pub fn update_justified(&mut self, candidate: Checkpoint, now: Slot) {
+        if candidate.epoch > self.best_justified.epoch {
+            self.best_justified = candidate;
+        }
+        if candidate.epoch > self.justified.epoch {
+            let offset = now.offset_in_epoch(self.slots_per_epoch);
+            if offset < self.safe_slots_to_update_justified {
+                self.justified = candidate;
+            }
+        }
+    }
+
+    /// Learns a newer finalized checkpoint and prunes the block tree to
+    /// its subtree (finalized blocks are irrevocable, so everything not
+    /// descending from the finalized root is dead).
+    pub fn update_finalized(&mut self, candidate: Checkpoint) {
+        if candidate.epoch > self.finalized.epoch {
+            self.finalized = candidate;
+            if self.proto.contains(&candidate.root) {
+                let _ = self.proto.prune_to(&candidate.root);
+                // Votes applied to pruned branches left with the branch;
+                // clear their trackers so a later re-insert of the same
+                // root does not get a stale subtraction.
+                for vote in &mut self.votes {
+                    if let Some(cur) = vote.current_root {
+                        if !self.proto.contains(&cur) {
+                            vote.current_root = None;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Slot tick (spec `on_tick`): at an epoch boundary, adopt the best
+    /// justified checkpoint.
+    pub fn on_tick(&mut self, slot: Slot) {
+        if slot.is_epoch_start(self.slots_per_epoch)
+            && self.best_justified.epoch > self.justified.epoch
+        {
+            self.justified = self.best_justified;
+        }
+    }
+
+    /// Computes the LMD-GHOST head anchored at the justified checkpoint,
+    /// weighting votes with `balances` (effective balances, Gwei).
+    ///
+    /// # Errors
+    ///
+    /// [`ForkChoiceError::UnknownJustifiedRoot`] if the anchor block is
+    /// missing from the tree.
+    pub fn get_head(&mut self, balances: &[Gwei]) -> Result<Root, ForkChoiceError> {
+        self.apply_pending_votes(balances);
+        self.proto.find_head(&self.justified.root)
+    }
+
+    /// Folds dirty votes and balance changes into proto-array deltas.
+    ///
+    /// Invariant: `applied_balances[i]` is exactly the weight currently
+    /// sitting on `votes[i].current_root` (0 if that root is `None`).
+    fn apply_pending_votes(&mut self, balances: &[Gwei]) {
+        let mut deltas = vec![0i128; self.proto.len()];
+        let mut changed = false;
+        for (i, vote) in self.votes.iter_mut().enumerate() {
+            let new_balance = balances.get(i).copied().unwrap_or(Gwei::ZERO).as_u64();
+            let old_balance = self.applied_balances[i];
+            // Where should the weight sit after this pass? Prefer the new
+            // vote target if the block is known; otherwise keep it on the
+            // current root until the target arrives.
+            let target = match vote.next_root {
+                Some(next) if vote.is_dirty() && self.proto.contains(&next) => Some(next),
+                _ => vote.current_root,
+            };
+            if target == vote.current_root && new_balance == old_balance {
+                continue;
+            }
+            if let Some(cur) = vote.current_root {
+                if let Some(idx) = self.proto.index_of(&cur) {
+                    deltas[idx] -= old_balance as i128;
+                    changed = true;
+                }
+            }
+            match target {
+                Some(t) => {
+                    if let Some(idx) = self.proto.index_of(&t) {
+                        deltas[idx] += new_balance as i128;
+                        changed = true;
+                        vote.current_root = Some(t);
+                        self.applied_balances[i] = new_balance;
+                    } else {
+                        // current root itself vanished (pruned): weight is
+                        // gone with it.
+                        vote.current_root = None;
+                        self.applied_balances[i] = 0;
+                    }
+                }
+                None => {
+                    self.applied_balances[i] = 0;
+                }
+            }
+        }
+        if changed {
+            self.proto.apply_score_changes(&deltas);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(v: u64) -> Root {
+        Root::from_u64(v)
+    }
+
+    fn eth(v: u64) -> Gwei {
+        Gwei::from_eth_u64(v)
+    }
+
+    /// genesis ─ A ─ B
+    ///             └─ C
+    fn store() -> ForkChoiceStore {
+        let mut s = ForkChoiceStore::new(r(0), 4, 32, 8);
+        s.on_block(r(1), r(0), Slot::new(1)).unwrap();
+        s.on_block(r(2), r(1), Slot::new(2)).unwrap();
+        s.on_block(r(3), r(1), Slot::new(2)).unwrap();
+        s
+    }
+
+    #[test]
+    fn head_follows_majority_stake() {
+        let mut s = store();
+        let balances = vec![eth(32); 4];
+        s.on_attestation(0, r(2), Epoch::new(0));
+        s.on_attestation(1, r(3), Epoch::new(0));
+        s.on_attestation(2, r(3), Epoch::new(0));
+        assert_eq!(s.get_head(&balances).unwrap(), r(3));
+    }
+
+    #[test]
+    fn revote_moves_weight() {
+        let mut s = store();
+        let balances = vec![eth(32); 4];
+        s.on_attestation(0, r(2), Epoch::new(0));
+        s.on_attestation(1, r(2), Epoch::new(0));
+        s.on_attestation(2, r(3), Epoch::new(0));
+        assert_eq!(s.get_head(&balances).unwrap(), r(2));
+        // validators 0 and 1 switch in a later epoch
+        s.on_attestation(0, r(3), Epoch::new(1));
+        s.on_attestation(1, r(3), Epoch::new(1));
+        assert_eq!(s.get_head(&balances).unwrap(), r(3));
+    }
+
+    #[test]
+    fn balance_decay_reweights_votes() {
+        let mut s = store();
+        let balances = vec![eth(32); 4];
+        s.on_attestation(0, r(2), Epoch::new(0));
+        s.on_attestation(1, r(3), Epoch::new(0));
+        s.on_attestation(2, r(3), Epoch::new(0));
+        assert_eq!(s.get_head(&balances).unwrap(), r(3));
+        // validators 1,2 leak stake; validator 0 keeps full balance
+        let decayed = vec![eth(32), eth(10), eth(10), eth(32)];
+        assert_eq!(s.get_head(&decayed).unwrap(), r(2));
+    }
+
+    #[test]
+    fn justified_gate_inside_safe_slots() {
+        let mut s = store();
+        let cp = Checkpoint::new(Epoch::new(1), r(1));
+        // slot 33: offset 1 < 8 ⇒ immediate adoption
+        s.update_justified(cp, Slot::new(33));
+        assert_eq!(s.justified_checkpoint(), cp);
+    }
+
+    #[test]
+    fn justified_gate_outside_safe_slots_defers() {
+        let mut s = store();
+        let cp = Checkpoint::new(Epoch::new(1), r(1));
+        // slot 45: offset 13 ≥ 8 ⇒ parked as best justified
+        s.update_justified(cp, Slot::new(45));
+        assert_eq!(s.justified_checkpoint().epoch, Epoch::new(0));
+        assert_eq!(s.best_justified_checkpoint(), cp);
+        // adopted at the next epoch boundary
+        s.on_tick(Slot::new(64));
+        assert_eq!(s.justified_checkpoint(), cp);
+    }
+
+    #[test]
+    fn finalized_is_monotone() {
+        let mut s = store();
+        s.update_finalized(Checkpoint::new(Epoch::new(2), r(1)));
+        s.update_finalized(Checkpoint::new(Epoch::new(1), r(3)));
+        assert_eq!(s.finalized_checkpoint().epoch, Epoch::new(2));
+    }
+
+    #[test]
+    fn head_anchors_at_justified_root() {
+        let mut s = store();
+        let balances = vec![eth(32); 4];
+        // all votes on block 2's branch
+        s.on_attestation(0, r(2), Epoch::new(0));
+        s.on_attestation(1, r(2), Epoch::new(0));
+        // move the anchor to block 3: head must be 3 despite weights
+        s.update_justified(Checkpoint::new(Epoch::new(1), r(3)), Slot::new(32));
+        assert_eq!(s.get_head(&balances).unwrap(), r(3));
+    }
+
+    #[test]
+    fn finalization_prunes_dead_branches() {
+        let mut s = store();
+        let balances = vec![eth(32); 4];
+        s.on_attestation(0, r(2), Epoch::new(0));
+        assert_eq!(s.get_head(&balances).unwrap(), r(2));
+        // finalize block 1: genesis is pruned, both children survive
+        s.update_finalized(Checkpoint::new(Epoch::new(1), r(1)));
+        assert!(!s.proto_array().contains(&r(0)));
+        assert!(s.proto_array().contains(&r(2)));
+        assert!(s.proto_array().contains(&r(3)));
+        // head anchored at the surviving justified region still works
+        s.update_justified(Checkpoint::new(Epoch::new(1), r(1)), Slot::new(32));
+        assert_eq!(s.get_head(&balances).unwrap(), r(2));
+        // vote accounting stays correct after pruning
+        s.on_attestation(1, r(3), Epoch::new(1));
+        s.on_attestation(2, r(3), Epoch::new(1));
+        assert_eq!(s.get_head(&balances).unwrap(), r(3));
+    }
+
+    #[test]
+    fn votes_for_unknown_blocks_wait() {
+        let mut s = store();
+        let balances = vec![eth(32); 4];
+        s.on_attestation(0, r(99), Epoch::new(0)); // not yet delivered
+        s.on_attestation(1, r(2), Epoch::new(0));
+        assert_eq!(s.get_head(&balances).unwrap(), r(2));
+        // the block arrives; the parked vote must now count
+        s.on_block(r(99), r(1), Slot::new(3)).unwrap();
+        s.on_attestation(2, r(99), Epoch::new(0));
+        assert_eq!(s.get_head(&balances).unwrap(), r(99));
+    }
+}

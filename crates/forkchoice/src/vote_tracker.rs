@@ -1,0 +1,72 @@
+//! Latest-message vote tracking (Lighthouse's `VoteTracker`).
+
+use ethpos_types::{Epoch, Root};
+
+/// Tracks one validator's latest block vote and the vote currently
+/// reflected in the proto-array weights.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VoteTracker {
+    /// Root whose weight currently includes this validator.
+    pub current_root: Option<Root>,
+    /// Latest vote received (to be applied at the next delta pass).
+    pub next_root: Option<Root>,
+    /// Epoch of the latest vote (newer epochs replace older ones).
+    pub next_epoch: Epoch,
+}
+
+impl VoteTracker {
+    /// Registers a vote for `root` at `epoch`, keeping only the newest.
+    pub fn observe(&mut self, root: Root, epoch: Epoch) {
+        if self.next_root.is_none() || epoch > self.next_epoch {
+            self.next_root = Some(root);
+            self.next_epoch = epoch;
+        }
+    }
+
+    /// True if this tracker has a pending change to apply.
+    pub fn is_dirty(&self) -> bool {
+        self.current_root != self.next_root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn newer_epoch_replaces_vote() {
+        let mut v = VoteTracker::default();
+        v.observe(Root::from_u64(1), Epoch::new(1));
+        v.observe(Root::from_u64(2), Epoch::new(2));
+        assert_eq!(v.next_root, Some(Root::from_u64(2)));
+        assert_eq!(v.next_epoch, Epoch::new(2));
+    }
+
+    #[test]
+    fn older_epoch_is_ignored() {
+        let mut v = VoteTracker::default();
+        v.observe(Root::from_u64(2), Epoch::new(2));
+        v.observe(Root::from_u64(1), Epoch::new(1));
+        assert_eq!(v.next_root, Some(Root::from_u64(2)));
+    }
+
+    #[test]
+    fn same_epoch_keeps_first() {
+        // LMD: one vote per epoch; a second same-epoch vote would be an
+        // equivocation and is not applied here (slashing handles it).
+        let mut v = VoteTracker::default();
+        v.observe(Root::from_u64(1), Epoch::new(3));
+        v.observe(Root::from_u64(9), Epoch::new(3));
+        assert_eq!(v.next_root, Some(Root::from_u64(1)));
+    }
+
+    #[test]
+    fn dirty_tracking() {
+        let mut v = VoteTracker::default();
+        assert!(!v.is_dirty());
+        v.observe(Root::from_u64(1), Epoch::new(1));
+        assert!(v.is_dirty());
+        v.current_root = v.next_root;
+        assert!(!v.is_dirty());
+    }
+}

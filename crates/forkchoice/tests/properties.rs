@@ -1,0 +1,173 @@
+//! Property-based invariants of the proto-array fork choice under random
+//! trees and vote streams.
+
+use proptest::prelude::*;
+
+use ethpos_forkchoice::{ForkChoiceStore, ProtoArray};
+use ethpos_types::{Epoch, Gwei, Root, Slot};
+
+/// Builds a random tree of `n` nodes: node `i`'s parent is a uniformly
+/// random earlier node. Returns the proto-array.
+fn random_tree(parents: &[usize]) -> ProtoArray {
+    let mut p = ProtoArray::new();
+    p.insert(Root::from_u64(0), None, Slot::new(0)).unwrap();
+    for (i, &par) in parents.iter().enumerate() {
+        let idx = i + 1;
+        let parent = par % idx;
+        p.insert(
+            Root::from_u64(idx as u64),
+            Some(Root::from_u64(parent as u64)),
+            Slot::new(idx as u64),
+        )
+        .unwrap();
+    }
+    p
+}
+
+/// Naive LMD-GHOST reference: recompute subtree weights from scratch and
+/// walk greedily.
+fn naive_head(parents: &[usize], votes: &[(usize, u64)], anchor: usize) -> u64 {
+    let n = parents.len() + 1;
+    let parent_of = |i: usize| -> Option<usize> {
+        if i == 0 {
+            None
+        } else {
+            Some(parents[i - 1] % i)
+        }
+    };
+    // subtree weight of each node = sum of votes on it and descendants
+    let mut weight = vec![0u128; n];
+    for &(node, w) in votes {
+        let mut cur = node;
+        loop {
+            weight[cur] += w as u128;
+            match parent_of(cur) {
+                Some(p) => cur = p,
+                None => break,
+            }
+        }
+    }
+    // walk from anchor via heaviest child (tie-break: larger root,
+    // matching the proto-array's byte-wise comparison of Root::from_u64)
+    let mut cur = anchor;
+    loop {
+        let mut best: Option<usize> = None;
+        for child in 1..n {
+            if parent_of(child) == Some(cur) {
+                best = match best {
+                    None => Some(child),
+                    Some(b) => {
+                        if weight[child] > weight[b]
+                            || (weight[child] == weight[b]
+                                && Root::from_u64(child as u64) > Root::from_u64(b as u64))
+                        {
+                            Some(child)
+                        } else {
+                            Some(b)
+                        }
+                    }
+                };
+            }
+        }
+        match best {
+            Some(b) => cur = b,
+            None => return cur as u64,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The proto-array head equals a from-scratch LMD-GHOST computation
+    /// for arbitrary trees and vote placements.
+    #[test]
+    fn head_matches_naive_reference(
+        parents in proptest::collection::vec(any::<usize>(), 1..24),
+        votes in proptest::collection::vec((any::<usize>(), 1u64..100), 0..24),
+    ) {
+        let n = parents.len() + 1;
+        let mut p = random_tree(&parents);
+        let votes: Vec<(usize, u64)> = votes.into_iter().map(|(v, w)| (v % n, w)).collect();
+        let mut deltas = vec![0i128; p.len()];
+        for &(node, w) in &votes {
+            deltas[node] += w as i128;
+        }
+        p.apply_score_changes(&deltas);
+        let got = p.find_head(&Root::from_u64(0)).unwrap();
+        let want = naive_head(&parents, &votes, 0);
+        prop_assert_eq!(got, Root::from_u64(want));
+    }
+
+    /// The head is always a descendant of the anchor, whatever the anchor.
+    #[test]
+    fn head_is_descendant_of_anchor(
+        parents in proptest::collection::vec(any::<usize>(), 1..24),
+        votes in proptest::collection::vec((any::<usize>(), 1u64..100), 0..16),
+        anchor in any::<usize>(),
+    ) {
+        let n = parents.len() + 1;
+        let mut p = random_tree(&parents);
+        let mut deltas = vec![0i128; p.len()];
+        for (node, w) in votes {
+            deltas[node % n] += w as i128;
+        }
+        p.apply_score_changes(&deltas);
+        let anchor_root = Root::from_u64((anchor % n) as u64);
+        let head = p.find_head(&anchor_root).unwrap();
+        prop_assert!(p.is_descendant(&anchor_root, &head));
+    }
+
+    /// Applying deltas then their negation restores every weight to zero.
+    #[test]
+    fn deltas_cancel(
+        parents in proptest::collection::vec(any::<usize>(), 1..16),
+        votes in proptest::collection::vec((any::<usize>(), 1u64..50), 1..12),
+    ) {
+        let n = parents.len() + 1;
+        let mut p = random_tree(&parents);
+        let mut deltas = vec![0i128; p.len()];
+        for &(node, w) in &votes {
+            deltas[node % n] += w as i128;
+        }
+        p.apply_score_changes(&deltas);
+        let neg: Vec<i128> = deltas.iter().map(|d| -d).collect();
+        p.apply_score_changes(&neg);
+        for i in 0..p.len() {
+            prop_assert_eq!(p.node(i).weight, 0, "node {} kept weight", i);
+        }
+    }
+
+    /// A vote stream through the store: moving every validator's vote to
+    /// one leaf makes that leaf the head.
+    #[test]
+    fn unanimous_votes_pick_the_target(
+        parents in proptest::collection::vec(any::<usize>(), 1..16),
+        target in any::<usize>(),
+    ) {
+        let n = parents.len() + 1;
+        let mut store = ForkChoiceStore::new(Root::from_u64(0), 8, 32, 8);
+        for (i, &par) in parents.iter().enumerate() {
+            let idx = i + 1;
+            store
+                .on_block(
+                    Root::from_u64(idx as u64),
+                    Root::from_u64((par % idx) as u64),
+                    Slot::new(idx as u64),
+                )
+                .unwrap();
+        }
+        let target = target % n;
+        for v in 0..8 {
+            store.on_attestation(v, Root::from_u64(target as u64), Epoch::new(1));
+        }
+        let balances = vec![Gwei::from_eth_u64(32); 8];
+        let head = store.get_head(&balances).unwrap();
+        // the head must be the target itself or one of its descendants
+        // (zero-weight descendants win ties below the voted node)
+        prop_assert!(
+            store.proto_array().is_descendant(&Root::from_u64(target as u64), &head),
+            "head {head:?} not under target {target}"
+        );
+    }
+}

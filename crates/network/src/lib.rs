@@ -1,0 +1,28 @@
+//! Partially synchronous simulated network.
+//!
+//! Reifies the paper's system model (§2):
+//!
+//! * **best-effort broadcast** with message-passing;
+//! * **partial synchrony**: before an unknown *Global Stabilization Time*
+//!   (GST) there is no bound on cross-partition delay — we model the
+//!   paper's partition scenario where honest validators are split into
+//!   isolated regions with healthy communication *inside* each region;
+//!   messages crossing regions are delivered at `GST + Δ`;
+//! * **adversarial connectivity**: Byzantine validators see every message
+//!   immediately, are reachable from every region, and can schedule the
+//!   release of withheld messages to any region at any slot (used by the
+//!   probabilistic bouncing attack).
+//!
+//! Recipients are *views*: all honest validators inside one partition see
+//! the same message stream (bounded intra-partition delay), which is
+//! exactly how the paper reasons about branches. The adversary is one
+//! extra omniscient view.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod message;
+pub mod network;
+
+pub use message::{Message, Recipient};
+pub use network::{NetworkConfig, SimNetwork};

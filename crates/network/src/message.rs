@@ -1,0 +1,56 @@
+//! Wire messages.
+
+use ethpos_types::{Attestation, AttesterSlashing, SignedBeaconBlock};
+
+/// A consensus message on the simulated wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// A proposed block.
+    Block(SignedBeaconBlock),
+    /// An (aggregated) attestation.
+    Attestation(Attestation),
+    /// Attester-slashing evidence.
+    Slashing(AttesterSlashing),
+}
+
+impl Message {
+    /// Short human-readable kind tag for traces.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::Block(_) => "block",
+            Message::Attestation(_) => "attestation",
+            Message::Slashing(_) => "slashing",
+        }
+    }
+}
+
+/// Where a message is headed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recipient {
+    /// One honest partition group.
+    Group(usize),
+    /// The adversary's omniscient view.
+    Adversary,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ethpos_types::attestation::{AttestationData, Signature};
+    use ethpos_types::{Attestation, Checkpoint, Epoch, Root, Slot};
+
+    #[test]
+    fn message_kinds() {
+        let att = Attestation::new(
+            vec![],
+            AttestationData {
+                slot: Slot::new(0),
+                beacon_block_root: Root::ZERO,
+                source: Checkpoint::new(Epoch::new(0), Root::ZERO),
+                target: Checkpoint::new(Epoch::new(0), Root::ZERO),
+            },
+            Signature(0),
+        );
+        assert_eq!(Message::Attestation(att).kind(), "attestation");
+    }
+}

@@ -1,0 +1,358 @@
+//! The simulated network: delivery queues per view with GST semantics.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ethpos_types::Slot;
+
+use crate::message::{Message, Recipient};
+
+/// Network parameters (delays in slots).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkConfig {
+    /// Number of honest partition groups (1 = no partition).
+    pub num_groups: usize,
+    /// Global Stabilization Time: before this slot, messages do not cross
+    /// partition boundaries; they are delivered at `gst + post_gst_delay`.
+    pub gst: Slot,
+    /// Delay (slots) inside one partition — the paper assumes healthy
+    /// intra-region communication even before GST.
+    pub intra_delay: u64,
+    /// The bound Δ on message delay after GST, in slots.
+    pub post_gst_delay: u64,
+    /// Random extra delay in `0..=jitter` slots added to every delivery
+    /// (0 = deterministic). Models the paper's partial synchrony where Δ
+    /// is only an upper bound; requires a seed via
+    /// [`SimNetwork::with_seed`].
+    pub jitter: u64,
+}
+
+impl NetworkConfig {
+    /// A healthy synchronous network: one group, instant delivery.
+    pub fn synchronous() -> Self {
+        NetworkConfig {
+            num_groups: 1,
+            gst: Slot::GENESIS,
+            intra_delay: 0,
+            post_gst_delay: 0,
+            jitter: 0,
+        }
+    }
+
+    /// A two-region partition healing at `gst`.
+    pub fn partitioned(gst: Slot) -> Self {
+        NetworkConfig {
+            num_groups: 2,
+            gst,
+            intra_delay: 0,
+            post_gst_delay: 1,
+            jitter: 0,
+        }
+    }
+
+    /// A healthy network whose deliveries arrive with a random delay of
+    /// up to `max_jitter` slots (bounded-Δ partial synchrony after GST).
+    pub fn jittery(max_jitter: u64) -> Self {
+        NetworkConfig {
+            jitter: max_jitter,
+            ..NetworkConfig::synchronous()
+        }
+    }
+}
+
+type QueueEntry = Reverse<(u64, u64)>; // (deliver slot, sequence)
+
+/// Best-effort broadcast network with partition groups and an adversary
+/// view.
+#[derive(Debug)]
+pub struct SimNetwork {
+    config: NetworkConfig,
+    /// One delivery queue per honest group, plus one for the adversary
+    /// (last index).
+    queues: Vec<BinaryHeap<QueueEntry>>,
+    payloads: Vec<Option<Message>>,
+    seq: u64,
+    /// Deterministic jitter state (splitmix-style), advanced per delivery.
+    jitter_state: u64,
+}
+
+impl SimNetwork {
+    /// Creates an empty network (jitter seed 0).
+    pub fn new(config: NetworkConfig) -> Self {
+        SimNetwork::with_seed(config, 0)
+    }
+
+    /// Creates an empty network with an explicit jitter seed.
+    pub fn with_seed(config: NetworkConfig, seed: u64) -> Self {
+        let queues = (0..config.num_groups + 1).map(|_| BinaryHeap::new()).collect();
+        SimNetwork {
+            config,
+            queues,
+            payloads: Vec::new(),
+            seq: 0,
+            jitter_state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next jitter draw in `0..=jitter` (deterministic per seed).
+    fn next_jitter(&mut self) -> u64 {
+        if self.config.jitter == 0 {
+            return 0;
+        }
+        // splitmix64 step
+        self.jitter_state = self.jitter_state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.jitter_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        z % (self.config.jitter + 1)
+    }
+
+    /// Network parameters.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    fn queue_index(&self, r: Recipient) -> usize {
+        match r {
+            Recipient::Group(g) => {
+                assert!(g < self.config.num_groups, "unknown group {g}");
+                g
+            }
+            Recipient::Adversary => self.config.num_groups,
+        }
+    }
+
+    fn enqueue(&mut self, r: Recipient, deliver_at: Slot, msg: Message) {
+        let q = self.queue_index(r);
+        let id = self.payloads.len() as u64;
+        self.payloads.push(Some(msg));
+        self.queues[q].push(Reverse((deliver_at.as_u64(), id)));
+        self.seq += 1;
+    }
+
+    /// Delivery slot for a message sent by `from` to group `to` at `now`.
+    ///
+    /// * same group: `now + intra_delay`;
+    /// * cross-group before GST: `max(now, gst) + post_gst_delay` — the
+    ///   paper's "messages sent before GST are received at most at
+    ///   GST + Δ";
+    /// * cross-group after GST: `now + post_gst_delay`;
+    /// * adversary sender: reaches every group like an insider
+    ///   (`now + intra_delay`) — Byzantine validators are connected to all
+    ///   partitions;
+    /// * adversary recipient: `now` (omniscient).
+    pub fn delivery_slot(&self, from: Option<usize>, to: Recipient, now: Slot) -> Slot {
+        match (from, to) {
+            (_, Recipient::Adversary) => now,
+            (None, Recipient::Group(_)) => now + self.config.intra_delay,
+            (Some(f), Recipient::Group(g)) if f == g => now + self.config.intra_delay,
+            (Some(_), Recipient::Group(_)) => {
+                let base = if now < self.config.gst {
+                    self.config.gst
+                } else {
+                    now
+                };
+                base + self.config.post_gst_delay
+            }
+        }
+    }
+
+    /// Broadcasts `msg` from a sender in group `from` (or `None` for the
+    /// adversary) at slot `now`, to every group and the adversary view.
+    /// Honest deliveries receive the configured jitter; the adversary
+    /// always hears instantly.
+    pub fn broadcast(&mut self, from: Option<usize>, msg: Message, now: Slot) {
+        for g in 0..self.config.num_groups {
+            let at = self.delivery_slot(from, Recipient::Group(g), now) + self.next_jitter();
+            self.enqueue(Recipient::Group(g), at, msg.clone());
+        }
+        let at = self.delivery_slot(from, Recipient::Adversary, now);
+        self.enqueue(Recipient::Adversary, at, msg);
+    }
+
+    /// Adversarial targeted send: deliver `msg` to exactly `to` at
+    /// `deliver_at` (the withheld-release primitive of the bouncing
+    /// attack).
+    pub fn send_targeted(&mut self, to: Recipient, msg: Message, deliver_at: Slot) {
+        self.enqueue(to, deliver_at, msg);
+    }
+
+    /// Pops every message deliverable to `view` at or before `slot`, in
+    /// delivery order.
+    pub fn drain(&mut self, view: Recipient, slot: Slot) -> Vec<Message> {
+        let q = self.queue_index(view);
+        let mut out = Vec::new();
+        while let Some(&Reverse((at, id))) = self.queues[q].peek() {
+            if at > slot.as_u64() {
+                break;
+            }
+            self.queues[q].pop();
+            if let Some(msg) = self.payloads[id as usize].take() {
+                out.push(msg);
+            }
+        }
+        out
+    }
+
+    /// Number of messages still queued for `view`.
+    pub fn pending(&self, view: Recipient) -> usize {
+        self.queues[self.queue_index(view)].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ethpos_types::attestation::{AttestationData, Signature};
+    use ethpos_types::{Attestation, Checkpoint, Epoch, Root};
+
+    fn msg(tag: u64) -> Message {
+        Message::Attestation(Attestation::new(
+            vec![tag.into()],
+            AttestationData {
+                slot: Slot::new(tag),
+                beacon_block_root: Root::from_u64(tag),
+                source: Checkpoint::new(Epoch::new(0), Root::ZERO),
+                target: Checkpoint::new(Epoch::new(0), Root::ZERO),
+            },
+            Signature(tag),
+        ))
+    }
+
+    #[test]
+    fn intra_partition_delivery_is_prompt() {
+        let mut net = SimNetwork::new(NetworkConfig::partitioned(Slot::new(100)));
+        net.broadcast(Some(0), msg(1), Slot::new(5));
+        assert_eq!(net.drain(Recipient::Group(0), Slot::new(5)).len(), 1);
+    }
+
+    #[test]
+    fn cross_partition_held_until_gst() {
+        let gst = Slot::new(100);
+        let mut net = SimNetwork::new(NetworkConfig::partitioned(gst));
+        net.broadcast(Some(0), msg(1), Slot::new(5));
+        // group 1 sees nothing before GST + Δ
+        assert!(net.drain(Recipient::Group(1), Slot::new(99)).is_empty());
+        assert!(net.drain(Recipient::Group(1), Slot::new(100)).is_empty());
+        assert_eq!(net.drain(Recipient::Group(1), Slot::new(101)).len(), 1);
+    }
+
+    #[test]
+    fn cross_partition_after_gst_is_bounded() {
+        let mut net = SimNetwork::new(NetworkConfig::partitioned(Slot::new(100)));
+        net.broadcast(Some(0), msg(1), Slot::new(200));
+        assert!(net.drain(Recipient::Group(1), Slot::new(200)).is_empty());
+        assert_eq!(net.drain(Recipient::Group(1), Slot::new(201)).len(), 1);
+    }
+
+    #[test]
+    fn adversary_sees_everything_immediately() {
+        let mut net = SimNetwork::new(NetworkConfig::partitioned(Slot::new(100)));
+        net.broadcast(Some(1), msg(1), Slot::new(5));
+        assert_eq!(net.drain(Recipient::Adversary, Slot::new(5)).len(), 1);
+    }
+
+    #[test]
+    fn adversary_reaches_both_partitions_before_gst() {
+        let mut net = SimNetwork::new(NetworkConfig::partitioned(Slot::new(100)));
+        net.broadcast(None, msg(1), Slot::new(5));
+        assert_eq!(net.drain(Recipient::Group(0), Slot::new(5)).len(), 1);
+        assert_eq!(net.drain(Recipient::Group(1), Slot::new(5)).len(), 1);
+    }
+
+    #[test]
+    fn targeted_withheld_release() {
+        let mut net = SimNetwork::new(NetworkConfig::partitioned(Slot::new(100)));
+        net.send_targeted(Recipient::Group(1), msg(7), Slot::new(42));
+        assert!(net.drain(Recipient::Group(1), Slot::new(41)).is_empty());
+        let got = net.drain(Recipient::Group(1), Slot::new(42));
+        assert_eq!(got.len(), 1);
+        // group 0 never sees it
+        assert!(net.drain(Recipient::Group(0), Slot::new(100)).is_empty());
+    }
+
+    #[test]
+    fn jitter_delays_are_bounded() {
+        let mut net = SimNetwork::with_seed(NetworkConfig::jittery(3), 42);
+        let mut delivered = 0;
+        for i in 0..50 {
+            net.broadcast(Some(0), msg(i), Slot::new(0));
+        }
+        // nothing can arrive later than the jitter bound
+        for s in 0..=3u64 {
+            delivered += net.drain(Recipient::Group(0), Slot::new(s)).len();
+        }
+        assert_eq!(delivered, 50);
+        assert_eq!(net.pending(Recipient::Group(0)), 0);
+    }
+
+    #[test]
+    fn jitter_spreads_deliveries() {
+        let mut net = SimNetwork::with_seed(NetworkConfig::jittery(3), 7);
+        for i in 0..200 {
+            net.broadcast(Some(0), msg(i), Slot::new(0));
+        }
+        let at0 = net.drain(Recipient::Group(0), Slot::new(0)).len();
+        assert!(at0 > 10, "some messages arrive promptly: {at0}");
+        assert!(at0 < 190, "some messages are delayed: {at0}");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut net = SimNetwork::with_seed(NetworkConfig::jittery(5), seed);
+            for i in 0..40 {
+                net.broadcast(Some(0), msg(i), Slot::new(0));
+            }
+            (0..=5u64)
+                .map(|s| net.drain(Recipient::Group(0), Slot::new(s)).len())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn adversary_is_unaffected_by_jitter() {
+        let mut net = SimNetwork::with_seed(NetworkConfig::jittery(5), 1);
+        for i in 0..20 {
+            net.broadcast(Some(0), msg(i), Slot::new(2));
+        }
+        assert_eq!(net.drain(Recipient::Adversary, Slot::new(2)).len(), 20);
+    }
+
+    #[test]
+    fn delivery_order_is_stable() {
+        let mut net = SimNetwork::new(NetworkConfig::synchronous());
+        for i in 0..5 {
+            net.broadcast(Some(0), msg(i), Slot::new(3));
+        }
+        let got = net.drain(Recipient::Group(0), Slot::new(3));
+        assert_eq!(got.len(), 5);
+        let tags: Vec<u64> = got
+            .iter()
+            .map(|m| match m {
+                Message::Attestation(a) => a.signature.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tags, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn drain_is_idempotent() {
+        let mut net = SimNetwork::new(NetworkConfig::synchronous());
+        net.broadcast(Some(0), msg(1), Slot::new(0));
+        assert_eq!(net.drain(Recipient::Group(0), Slot::new(0)).len(), 1);
+        assert!(net.drain(Recipient::Group(0), Slot::new(10)).is_empty());
+        assert_eq!(net.pending(Recipient::Group(0)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown group")]
+    fn unknown_group_panics() {
+        let mut net = SimNetwork::new(NetworkConfig::synchronous());
+        net.drain(Recipient::Group(3), Slot::new(0));
+    }
+}

@@ -1,0 +1,537 @@
+//! Two-branch epoch-level simulation.
+//!
+//! Emulates the paper's partition scenario: honest validators split into
+//! two branches (a proportion `p0` active on branch 0), Byzantine
+//! validators coordinated across both, each branch evolving its own
+//! [`BeaconState`] with the exact integer spec arithmetic. Byzantine
+//! participation per epoch is delegated to a
+//! [`ethpos_validator::ByzantineSchedule`].
+//!
+//! Branch checkpoint roots are synthetic but branch-distinct, so the
+//! states' own justification/finalization machinery runs unmodified and
+//! *conflicting finalization* (the paper's Safety loss №1) is observable
+//! by comparing finalized checkpoints.
+
+use rand::RngExt;
+use serde::Serialize;
+
+use ethpos_state::attestations::synthetic_branch_root;
+use ethpos_state::participation::{
+    TIMELY_HEAD_FLAG_INDEX, TIMELY_SOURCE_FLAG_INDEX, TIMELY_TARGET_FLAG_INDEX,
+};
+use ethpos_state::{BeaconState, ParticipationFlags};
+use ethpos_stats::seeded_rng;
+use ethpos_types::{ChainConfig, ValidatorIndex};
+use ethpos_validator::{BranchStatus, ByzantineSchedule};
+
+/// How honest validators map to branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MembershipModel {
+    /// Network partition: the split is fixed for the whole run
+    /// (scenarios 5.1, 5.2.x).
+    FixedPartition,
+    /// Probabilistic bouncing: each honest validator lands on branch 0
+    /// with probability `p0`, independently every epoch (scenario 5.3,
+    /// the Markov chain of paper Fig. 8).
+    RandomEachEpoch,
+}
+
+/// Configuration of a two-branch run.
+#[derive(Debug, Clone)]
+pub struct TwoBranchConfig {
+    /// Protocol constants (use [`ChainConfig::paper`] for paper numbers).
+    pub chain: ChainConfig,
+    /// Registry size.
+    pub n: usize,
+    /// Number of Byzantine validators (indices `0..byzantine`).
+    pub byzantine: usize,
+    /// Fraction of honest validators on branch 0.
+    pub p0: f64,
+    /// Honest membership model.
+    pub membership: MembershipModel,
+    /// Epoch horizon.
+    pub max_epochs: u64,
+    /// RNG seed (only used by [`MembershipModel::RandomEachEpoch`]).
+    pub seed: u64,
+    /// Stop as soon as both branches have finalized conflicting
+    /// checkpoints.
+    pub stop_on_conflict: bool,
+    /// Record a full [`EpochRecord`] every `record_every` epochs (1 =
+    /// every epoch).
+    pub record_every: u64,
+}
+
+impl TwoBranchConfig {
+    /// A paper-faithful configuration: `n` validators, `byzantine` of them
+    /// Byzantine, honest split `p0`, fixed partition.
+    pub fn paper(n: usize, byzantine: usize, p0: f64, max_epochs: u64) -> Self {
+        TwoBranchConfig {
+            chain: ChainConfig::paper(),
+            n,
+            byzantine,
+            p0,
+            membership: MembershipModel::FixedPartition,
+            max_epochs,
+            seed: 0,
+            stop_on_conflict: true,
+            record_every: 1,
+        }
+    }
+}
+
+/// Per-branch metrics captured at the end of an epoch.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct BranchEpochStats {
+    /// Active-stake ratio of this epoch's attesters (honest + Byzantine if
+    /// they attested) over the total active stake — the paper's Eq. 5/8/10
+    /// ratio.
+    pub active_ratio: f64,
+    /// Byzantine proportion of the total active stake — the paper's
+    /// Eq. 11 β(t).
+    pub byzantine_proportion: f64,
+    /// Justified epoch of the branch state.
+    pub justified_epoch: u64,
+    /// Finalized epoch of the branch state.
+    pub finalized_epoch: u64,
+    /// Total active effective stake (Gwei).
+    pub total_active_stake: u64,
+    /// Number of ejected (exited) honest validators.
+    pub ejected_honest: usize,
+    /// Number of ejected (exited) Byzantine validators.
+    pub ejected_byzantine: usize,
+}
+
+/// One recorded epoch.
+#[derive(Debug, Clone, Serialize)]
+pub struct EpochRecord {
+    /// Epoch number.
+    pub epoch: u64,
+    /// Stats per branch.
+    pub branch: [BranchEpochStats; 2],
+    /// Whether the Byzantine validators attested on branch 0 / 1 this
+    /// epoch — the raw material of the paper's Fig. 4 (dual-active) and
+    /// Fig. 5 (alternating) attack schematics.
+    pub byzantine_active: [bool; 2],
+}
+
+/// Result of a run.
+#[derive(Debug, Clone, Serialize)]
+pub struct TwoBranchOutcome {
+    /// First epoch at which **both** branches had finalized a checkpoint
+    /// beyond genesis — conflicting finalization, the paper's Safety
+    /// loss №1.
+    pub conflicting_finalization_epoch: Option<u64>,
+    /// First epoch at which the Byzantine proportion exceeded ⅓ on branch
+    /// 0 / branch 1 — the paper's Safety loss №2.
+    pub byzantine_exceeds_third_epoch: [Option<u64>; 2],
+    /// Maximum Byzantine proportion observed per branch.
+    pub max_byzantine_proportion: [f64; 2],
+    /// Per-epoch records (thinned by `record_every`).
+    pub history: Vec<EpochRecord>,
+    /// Number of epochs simulated.
+    pub epochs_run: u64,
+}
+
+/// The two-branch simulator.
+///
+/// # Example
+///
+/// Run the paper's §5.2.1 scenario at β₀ = ⅓ (immediate conflicting
+/// finalization):
+///
+/// ```
+/// use ethpos_sim::{TwoBranchConfig, TwoBranchSim};
+/// use ethpos_validator::DualActive;
+///
+/// let cfg = TwoBranchConfig::paper(120, 40, 0.5, 50); // β0 = 1/3
+/// let outcome = TwoBranchSim::new(cfg, Box::new(DualActive)).run();
+/// assert!(outcome.conflicting_finalization_epoch.unwrap() < 10);
+/// ```
+pub struct TwoBranchSim {
+    config: TwoBranchConfig,
+    branches: [BeaconState; 2],
+    schedule: Box<dyn ByzantineSchedule>,
+    rng: rand::rngs::StdRng,
+    /// Fixed honest membership (branch id per honest validator) for
+    /// [`MembershipModel::FixedPartition`].
+    fixed_membership: Vec<u8>,
+    flags: ParticipationFlags,
+}
+
+impl core::fmt::Debug for TwoBranchSim {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("TwoBranchSim")
+            .field("n", &self.config.n)
+            .field("byzantine", &self.config.byzantine)
+            .field("p0", &self.config.p0)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TwoBranchSim {
+    /// Creates a simulator with the given Byzantine schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `byzantine > n` or `p0 ∉ [0, 1]`.
+    pub fn new(config: TwoBranchConfig, schedule: Box<dyn ByzantineSchedule>) -> Self {
+        assert!(config.byzantine <= config.n, "byzantine > n");
+        assert!(
+            (0.0..=1.0).contains(&config.p0),
+            "p0 must be in [0,1], got {}",
+            config.p0
+        );
+        let branches = [
+            BeaconState::genesis(config.chain.clone(), config.n),
+            BeaconState::genesis(config.chain.clone(), config.n),
+        ];
+        let n_honest = config.n - config.byzantine;
+        let on_branch0 = (config.p0 * n_honest as f64).round() as usize;
+        let fixed_membership: Vec<u8> = (0..n_honest)
+            .map(|h| if h < on_branch0 { 0u8 } else { 1u8 })
+            .collect();
+        let mut flags = ParticipationFlags::EMPTY;
+        flags.set(TIMELY_SOURCE_FLAG_INDEX);
+        flags.set(TIMELY_TARGET_FLAG_INDEX);
+        flags.set(TIMELY_HEAD_FLAG_INDEX);
+        let rng = seeded_rng(config.seed);
+        TwoBranchSim {
+            config,
+            branches,
+            schedule,
+            rng,
+            fixed_membership,
+            flags,
+        }
+    }
+
+    /// Read access to a branch state (0 or 1).
+    pub fn branch(&self, b: usize) -> &BeaconState {
+        &self.branches[b]
+    }
+
+    /// The configured Byzantine count.
+    pub fn byzantine_count(&self) -> usize {
+        self.config.byzantine
+    }
+
+    fn branch_stake_breakdown(
+        &self,
+        b: usize,
+        honest_on_branch: &[bool],
+    ) -> (u64, u64, u64, usize, usize) {
+        let state = &self.branches[b];
+        let epoch = state.current_epoch();
+        let byz = self.config.byzantine;
+        let mut honest_active = 0u64;
+        let mut byz_stake = 0u64;
+        let mut ejected_honest = 0usize;
+        let mut ejected_byz = 0usize;
+        for (i, v) in state.validators().iter().enumerate() {
+            let active = v.is_active_at(epoch);
+            if i < byz {
+                if active {
+                    byz_stake += v.effective_balance.as_u64();
+                } else {
+                    ejected_byz += 1;
+                }
+            } else if active {
+                if honest_on_branch[i - byz] {
+                    honest_active += v.effective_balance.as_u64();
+                }
+            } else {
+                ejected_honest += 1;
+            }
+        }
+        let total = state.total_active_balance().as_u64();
+        (honest_active, byz_stake, total, ejected_honest, ejected_byz)
+    }
+
+    /// Runs the simulation.
+    pub fn run(mut self) -> TwoBranchOutcome {
+        let n_honest = self.config.n - self.config.byzantine;
+        let mut outcome = TwoBranchOutcome {
+            conflicting_finalization_epoch: None,
+            byzantine_exceeds_third_epoch: [None, None],
+            max_byzantine_proportion: [0.0, 0.0],
+            history: Vec::new(),
+            epochs_run: 0,
+        };
+
+        for epoch in 0..self.config.max_epochs {
+            // 1. Honest membership for this epoch.
+            let honest_on_branch0: Vec<bool> = match self.config.membership {
+                MembershipModel::FixedPartition => {
+                    self.fixed_membership.iter().map(|&g| g == 0).collect()
+                }
+                MembershipModel::RandomEachEpoch => (0..n_honest)
+                    .map(|_| self.rng.random_bool(self.config.p0))
+                    .collect(),
+            };
+            let honest_on_branch1: Vec<bool> =
+                honest_on_branch0.iter().map(|&b| !b).collect();
+
+            // 2. Adversary observation & decision.
+            let statuses = [0, 1].map(|b| {
+                let membership = if b == 0 {
+                    &honest_on_branch0
+                } else {
+                    &honest_on_branch1
+                };
+                let (honest_active, byz_stake, total, _, _) =
+                    self.branch_stake_breakdown(b, membership);
+                BranchStatus {
+                    branch: b,
+                    epoch,
+                    total_active_stake: total,
+                    honest_active_stake: honest_active,
+                    byzantine_stake: byz_stake,
+                    justified_epoch: self.branches[b].current_justified_checkpoint().epoch.as_u64(),
+                    finalized_epoch: self.branches[b].finalized_checkpoint().epoch.as_u64(),
+                }
+            });
+            let byz_participates = self.schedule.participate(&statuses);
+
+            // 3. Mark participation and advance each branch one epoch.
+            let mut stats: Vec<BranchEpochStats> = Vec::with_capacity(2);
+            #[allow(clippy::needless_range_loop)] // b indexes three parallel arrays
+            for b in 0..2 {
+                let membership = if b == 0 {
+                    &honest_on_branch0
+                } else {
+                    &honest_on_branch1
+                };
+                let byz = self.config.byzantine;
+                let flags = self.flags;
+                {
+                    let state = &mut self.branches[b];
+                    let cur = state.current_epoch();
+                    if byz_participates[b] {
+                        for i in 0..byz {
+                            if state.validators()[i].is_active_at(cur) {
+                                state.merge_current_participation(ValidatorIndex::from(i), flags);
+                            }
+                        }
+                    }
+                    for (h, &on) in membership.iter().enumerate() {
+                        if on {
+                            let i = byz + h;
+                            if state.validators()[i].is_active_at(cur) {
+                                state.merge_current_participation(ValidatorIndex::from(i), flags);
+                            }
+                        }
+                    }
+                }
+
+                // participating stake for the ratio metric, before advancing
+                let (honest_active, byz_stake, total, ejected_honest, ejected_byz) =
+                    self.branch_stake_breakdown(b, membership);
+                let attesting =
+                    honest_active + if byz_participates[b] { byz_stake } else { 0 };
+
+                let state = &mut self.branches[b];
+                let spe = state.config().slots_per_epoch;
+                let next_start = (state.current_epoch() + 1).start_slot(spe);
+                state.process_slots(next_start).expect("monotone epochs");
+                // Install this branch's synthetic checkpoint root for the
+                // new epoch so FFG targets differ across branches.
+                state.set_block_root(
+                    next_start,
+                    synthetic_branch_root(b as u64, epoch + 1),
+                );
+
+                stats.push(BranchEpochStats {
+                    active_ratio: if total > 0 {
+                        attesting as f64 / total as f64
+                    } else {
+                        0.0
+                    },
+                    byzantine_proportion: if total > 0 {
+                        byz_stake as f64 / total as f64
+                    } else {
+                        0.0
+                    },
+                    justified_epoch: state.current_justified_checkpoint().epoch.as_u64(),
+                    finalized_epoch: state.finalized_checkpoint().epoch.as_u64(),
+                    total_active_stake: total,
+                    ejected_honest,
+                    ejected_byzantine: ejected_byz,
+                });
+            }
+            let stats = [stats[0], stats[1]];
+            outcome.epochs_run = epoch + 1;
+
+            // 4. Safety monitors.
+            for (b, stat) in stats.iter().enumerate() {
+                outcome.max_byzantine_proportion[b] =
+                    outcome.max_byzantine_proportion[b].max(stat.byzantine_proportion);
+                if outcome.byzantine_exceeds_third_epoch[b].is_none()
+                    && stat.byzantine_proportion > 1.0 / 3.0
+                {
+                    outcome.byzantine_exceeds_third_epoch[b] = Some(epoch);
+                }
+            }
+            if outcome.conflicting_finalization_epoch.is_none()
+                && stats[0].finalized_epoch > 0
+                && stats[1].finalized_epoch > 0
+            {
+                outcome.conflicting_finalization_epoch = Some(epoch);
+            }
+
+            if epoch % self.config.record_every == 0 {
+                outcome.history.push(EpochRecord {
+                    epoch,
+                    branch: stats,
+                    byzantine_active: byz_participates,
+                });
+            }
+
+            if self.config.stop_on_conflict && outcome.conflicting_finalization_epoch.is_some() {
+                break;
+            }
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ethpos_validator::{DualActive, SemiActive, ThresholdSeeker};
+
+    /// §5.1 sanity at a reduced horizon: with p0 = 0.5 and no Byzantine
+    /// validators, neither branch can justify for a long time.
+    #[test]
+    fn honest_even_split_stays_unfinalized_early() {
+        // Effective-balance hysteresis keeps the ratio at exactly 0.5
+        // until the first 1-ETH step of the inactive cohort (≈ epoch 513);
+        // run to 800 to observe the ratio moving.
+        let cfg = TwoBranchConfig {
+            record_every: 100,
+            ..TwoBranchConfig::paper(120, 0, 0.5, 800)
+        };
+        let out = TwoBranchSim::new(cfg, Box::new(DualActive)).run();
+        assert_eq!(out.conflicting_finalization_epoch, None);
+        let last = out.history.last().unwrap();
+        for b in 0..2 {
+            assert_eq!(last.branch[b].finalized_epoch, 0);
+            // ratio starts at 0.5 and grows as the leak drains the others
+            assert!(last.branch[b].active_ratio > 0.5);
+            assert!(last.branch[b].active_ratio < 2.0 / 3.0);
+        }
+    }
+
+    /// A branch holding a ⅔ honest supermajority finalizes immediately and
+    /// never leaks.
+    #[test]
+    fn supermajority_branch_finalizes_quickly() {
+        let cfg = TwoBranchConfig {
+            stop_on_conflict: false,
+            ..TwoBranchConfig::paper(120, 0, 0.75, 12)
+        };
+        let out = TwoBranchSim::new(cfg, Box::new(DualActive)).run();
+        let last = out.history.last().unwrap();
+        assert!(last.branch[0].finalized_epoch > 5);
+        assert_eq!(last.branch[1].finalized_epoch, 0);
+    }
+
+    /// §5.2.1 at β₀ close to ⅓: dual-active Byzantine validators finalize
+    /// both branches within a few hundred epochs (paper: 502 for
+    /// β₀ = 0.33, p₀ = 0.5).
+    #[test]
+    fn dual_active_near_third_finalizes_conflicting_fast() {
+        // n = 1200 with 396 Byzantine ⇒ β₀ = 0.33 exactly (paper row).
+        let cfg = TwoBranchConfig {
+            record_every: 100,
+            ..TwoBranchConfig::paper(1200, 396, 0.5, 800)
+        };
+        let out = TwoBranchSim::new(cfg, Box::new(DualActive)).run();
+        let t = out
+            .conflicting_finalization_epoch
+            .expect("must finalize conflicting branches");
+        assert!(
+            (495..530).contains(&t),
+            "conflicting finalization at {t}, paper: 502 for β₀ = 0.33"
+        );
+    }
+
+    /// The recorded traces witness the paper's attack schematics:
+    /// Fig. 4 (dual-active on both branches every epoch) and Fig. 5
+    /// (alternating, never the same epoch on both).
+    #[test]
+    fn traces_match_paper_schematics() {
+        let mk = || TwoBranchConfig {
+            stop_on_conflict: false,
+            ..TwoBranchConfig::paper(60, 18, 0.5, 24)
+        };
+        let dual = TwoBranchSim::new(mk(), Box::new(DualActive)).run();
+        assert!(dual
+            .history
+            .iter()
+            .all(|r| r.byzantine_active == [true, true]));
+        let semi = TwoBranchSim::new(mk(), Box::new(SemiActive::new())).run();
+        for r in &semi.history {
+            // never simultaneously on both (non-slashable), always on one
+            assert_ne!(r.byzantine_active[0], r.byzantine_active[1], "epoch {}", r.epoch);
+        }
+        // alternation: consecutive epochs flip branches
+        for w in semi.history.windows(2) {
+            assert_ne!(
+                w[0].byzantine_active[0], w[1].byzantine_active[0],
+                "no flip between epochs {} and {}",
+                w[0].epoch, w[1].epoch
+            );
+        }
+    }
+
+    /// §5.2.2: semi-active (non-slashable) is slower than dual-active but
+    /// still succeeds.
+    #[test]
+    fn semi_active_finalizes_conflicting_later_than_dual() {
+        let mk = || TwoBranchConfig {
+            record_every: 100,
+            ..TwoBranchConfig::paper(1200, 396, 0.5, 1200)
+        };
+        let dual = TwoBranchSim::new(mk(), Box::new(DualActive))
+            .run()
+            .conflicting_finalization_epoch
+            .expect("dual finalizes");
+        let semi = TwoBranchSim::new(mk(), Box::new(SemiActive::new()))
+            .run()
+            .conflicting_finalization_epoch
+            .expect("semi finalizes");
+        // Paper (continuous model): 502 vs 556 for β₀ = 0.33. The 1-ETH
+        // effective-balance staircase compresses that gap in the discrete
+        // protocol: both strategies trip the ⅔ threshold at the first
+        // 1-ETH step of the inactive cohort (≈ epoch 513). The ordering
+        // still holds, and at smaller β₀ (larger t, more decay) the gap
+        // re-opens — covered by the β₀ = 0.2 integration test.
+        assert!(
+            semi >= dual,
+            "semi-active ({semi}) must not beat dual-active ({dual})"
+        );
+        assert!((495..540).contains(&dual), "dual at {dual}");
+        assert!((495..620).contains(&semi), "semi at {semi}");
+    }
+
+    /// §5.2.3: with β₀ ≥ 0.2421 and pure alternation, the Byzantine
+    /// proportion eventually exceeds ⅓ (needs the honest-inactive
+    /// ejection, so this is a long run — kept small here and covered at
+    /// full scale in the experiments).
+    #[test]
+    fn threshold_seeker_proportion_grows() {
+        let cfg = TwoBranchConfig {
+            stop_on_conflict: false,
+            record_every: 50,
+            ..TwoBranchConfig::paper(120, 36, 0.5, 600) // β0 = 0.30
+        };
+        let out = TwoBranchSim::new(cfg, Box::new(ThresholdSeeker::new())).run();
+        // β(t) grows monotonically from 0.30
+        let first = out.history.first().unwrap().branch[0].byzantine_proportion;
+        let last = out.history.last().unwrap().branch[0].byzantine_proportion;
+        assert!(first < 0.32);
+        assert!(last > first, "β must grow: {first} → {last}");
+        // and no finalization happened anywhere
+        assert_eq!(out.conflicting_finalization_epoch, None);
+    }
+}

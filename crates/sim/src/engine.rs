@@ -1,0 +1,424 @@
+//! Slot-level discrete-event simulation.
+//!
+//! Drives real blocks and attestations over the simulated network, one
+//! [`View`] per honest partition group. Byzantine validators are
+//! coordinated by the engine (the omniscient adversary): in
+//! *dual-active* mode they attest on every group's chain every epoch with
+//! group-specific data — the slashable §5.2.1 behaviour — and their
+//! equivocations are collected as evidence that honest proposers include
+//! once the partition heals.
+
+use ethpos_network::{Message, NetworkConfig, Recipient, SimNetwork};
+use ethpos_state::BeaconState;
+use ethpos_types::{
+    Attestation, AttesterSlashing, ChainConfig, Checkpoint, Root, Slot, ValidatorIndex,
+};
+use ethpos_validator::duties::{committee_at_slot, ProposerLottery};
+use ethpos_validator::honest::build_attestation;
+
+use crate::monitor::SafetyMonitor;
+use crate::view::View;
+
+/// Byzantine behaviour at slot level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotByzMode {
+    /// Byzantine validators stay silent.
+    Idle,
+    /// §5.2.1: attest on every group's chain with that group's view data
+    /// (equivocation).
+    DualActive,
+}
+
+/// Configuration of a slot-level run.
+#[derive(Debug, Clone)]
+pub struct SlotSimConfig {
+    /// Protocol constants.
+    pub chain: ChainConfig,
+    /// Registry size.
+    pub n: usize,
+    /// Validators `0..byzantine` are Byzantine.
+    pub byzantine: usize,
+    /// Network model (defines the partition groups).
+    pub network: NetworkConfig,
+    /// Partition group of each honest validator
+    /// (index `i` ↦ group of validator `byzantine + i`).
+    pub honest_group: Vec<usize>,
+    /// Byzantine behaviour.
+    pub byz_mode: SlotByzMode,
+    /// Proposer-lottery seed.
+    pub seed: u64,
+    /// Number of slots to simulate.
+    pub slots: u64,
+}
+
+impl SlotSimConfig {
+    /// A healthy synchronous network of `n` honest validators.
+    pub fn healthy(n: usize, slots: u64) -> Self {
+        SlotSimConfig {
+            chain: ChainConfig::minimal(),
+            n,
+            byzantine: 0,
+            network: NetworkConfig::synchronous(),
+            honest_group: vec![0; n],
+            byz_mode: SlotByzMode::Idle,
+            seed: 7,
+            slots,
+        }
+    }
+}
+
+/// Result of a slot-level run.
+#[derive(Debug, Clone)]
+pub struct SlotSimReport {
+    /// Per-group head at the end of the run.
+    pub heads: Vec<Root>,
+    /// Per-group justified checkpoint.
+    pub justified: Vec<Checkpoint>,
+    /// Per-group finalized checkpoint.
+    pub finalized: Vec<Checkpoint>,
+    /// Safety violation, if one was observed:
+    /// `(view_a, view_b, checkpoint_a, checkpoint_b)`.
+    pub safety_violation: Option<(usize, usize, Checkpoint, Checkpoint)>,
+    /// Total blocks produced.
+    pub blocks_produced: u64,
+    /// Validators slashed during the run (observed on group 0's chain).
+    pub slashed_validators: Vec<ValidatorIndex>,
+}
+
+/// The slot-level simulator.
+///
+/// # Example
+///
+/// A healthy chain finalizes steadily:
+///
+/// ```
+/// use ethpos_sim::{SlotSim, SlotSimConfig};
+///
+/// let report = SlotSim::new(SlotSimConfig::healthy(8, 10 * 8)).run();
+/// assert!(report.safety_violation.is_none());
+/// assert!(report.finalized[0].epoch.as_u64() >= 6);
+/// ```
+#[derive(Debug)]
+pub struct SlotSim {
+    config: SlotSimConfig,
+    views: Vec<View>,
+    net: SimNetwork,
+    lottery: ProposerLottery,
+    monitor: SafetyMonitor,
+    /// Per-epoch equivocating attestations of the Byzantine set, kept as
+    /// slashing evidence (released after GST).
+    evidence: Vec<AttesterSlashing>,
+    evidence_released: bool,
+    blocks_produced: u64,
+}
+
+impl SlotSim {
+    /// Builds the simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (group out of range,
+    /// more Byzantine than validators, wrong `honest_group` length).
+    pub fn new(config: SlotSimConfig) -> Self {
+        assert!(config.byzantine <= config.n);
+        assert_eq!(config.honest_group.len(), config.n - config.byzantine);
+        assert!(config
+            .honest_group
+            .iter()
+            .all(|&g| g < config.network.num_groups));
+        let genesis = BeaconState::genesis(config.chain.clone(), config.n);
+        let genesis_root = genesis.genesis_root();
+        let views: Vec<View> = (0..config.network.num_groups)
+            .map(|g| View::new(g, genesis.clone()))
+            .collect();
+        let net = SimNetwork::new(config.network.clone());
+        let lottery = ProposerLottery::new(config.seed, config.n as u64);
+        let monitor = SafetyMonitor::new(genesis_root, config.network.num_groups);
+        SlotSim {
+            config,
+            views,
+            net,
+            lottery,
+            monitor,
+            evidence: Vec::new(),
+            evidence_released: false,
+            blocks_produced: 0,
+        }
+    }
+
+    fn group_of(&self, v: ValidatorIndex) -> Option<usize> {
+        let i = v.as_usize();
+        if i < self.config.byzantine {
+            None
+        } else {
+            Some(self.config.honest_group[i - self.config.byzantine])
+        }
+    }
+
+    /// Runs the configured number of slots and reports.
+    pub fn run(mut self) -> SlotSimReport {
+        for s in 0..self.config.slots {
+            self.step(Slot::new(s));
+        }
+        let heads = self.views.iter_mut().map(|v| v.head()).collect();
+        let justified = self
+            .views
+            .iter()
+            .map(|v| v.justified_checkpoint())
+            .collect();
+        let finalized: Vec<Checkpoint> = self
+            .views
+            .iter()
+            .map(|v| v.finalized_checkpoint())
+            .collect();
+        // Slashed validators, as seen by group 0's head state.
+        let slashed_validators = {
+            let head = self.views[0].head();
+            self.views[0]
+                .state_of(&head)
+                .map(|st| {
+                    st.validators()
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, v)| v.slashed)
+                        .map(|(i, _)| ValidatorIndex::from(i))
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        SlotSimReport {
+            heads,
+            justified,
+            finalized,
+            safety_violation: self.monitor.violation(),
+            blocks_produced: self.blocks_produced,
+            slashed_validators,
+        }
+    }
+
+    fn step(&mut self, slot: Slot) {
+        let spe = self.config.chain.slots_per_epoch;
+
+        // 1. Deliver due messages to every group view.
+        for g in 0..self.views.len() {
+            let msgs = self.net.drain(Recipient::Group(g), slot);
+            for msg in msgs {
+                match msg {
+                    Message::Block(b) => {
+                        let _ = self.views[g].on_block(&b, slot);
+                    }
+                    Message::Attestation(a) => self.views[g].on_attestation(&a),
+                    Message::Slashing(ev) => self.views[g].on_slashing(ev),
+                }
+            }
+            self.views[g].on_tick(slot);
+        }
+        // The engine itself plays the adversary's omniscient view: drop
+        // its copy of the queue.
+        let _ = self.net.drain(Recipient::Adversary, slot);
+
+        // 2. Release withheld equivocation evidence after GST.
+        if !self.evidence_released
+            && slot >= self.net.config().gst
+            && !self.evidence.is_empty()
+        {
+            for ev in std::mem::take(&mut self.evidence) {
+                self.net.broadcast(None, Message::Slashing(ev), slot);
+            }
+            self.evidence_released = true;
+        }
+
+        // 3. Block proposal.
+        if slot > Slot::GENESIS {
+            let proposer = self.lottery.proposer(slot);
+            if let Some(g) = self.group_of(proposer) {
+                let block = self.views[g].produce_block(proposer, slot, vec![]);
+                self.monitor
+                    .observe_block(block.root, block.message.parent_root, slot);
+                self.blocks_produced += 1;
+                self.net.broadcast(Some(g), Message::Block(block), slot);
+            }
+            // Byzantine proposers stay silent: missed slots do not affect
+            // the paper's finalization arithmetic.
+        }
+
+        // 4. Attestations from this slot's committee.
+        let committee = committee_at_slot(slot, self.config.n, spe);
+        let mut per_group: Vec<Vec<ValidatorIndex>> =
+            vec![Vec::new(); self.views.len()];
+        let mut byz_members: Vec<ValidatorIndex> = Vec::new();
+        for v in committee {
+            match self.group_of(v) {
+                Some(g) => per_group[g].push(v),
+                None => byz_members.push(v),
+            }
+        }
+        for (g, members) in per_group.iter().enumerate() {
+            if members.is_empty() {
+                continue;
+            }
+            let att = self.views[g].produce_attestation(members, slot);
+            self.net
+                .broadcast(Some(g), Message::Attestation(att), slot);
+        }
+
+        // 5. Byzantine attestations (dual-active equivocation).
+        if self.config.byz_mode == SlotByzMode::DualActive && !byz_members.is_empty() {
+            let mut made: Vec<Attestation> = Vec::new();
+            for g in 0..self.views.len() {
+                let data = self.views[g].attestation_data(slot);
+                let att = build_attestation(&byz_members, data);
+                self.net
+                    .send_targeted(Recipient::Group(g), Message::Attestation(att.clone()), slot);
+                made.push(att);
+            }
+            // Record pairwise equivocations as slashing evidence.
+            for i in 0..made.len() {
+                for j in (i + 1)..made.len() {
+                    if made[i].data.is_slashable_with(&made[j].data) {
+                        self.evidence
+                            .push(AttesterSlashing::new(made[i].clone(), made[j].clone()));
+                    }
+                }
+            }
+        }
+
+        // 6. Safety monitoring + pruning at epoch boundaries.
+        for (g, view) in self.views.iter_mut().enumerate() {
+            self.monitor.observe_finalized(g, view.finalized_checkpoint());
+        }
+        if slot.is_epoch_start(spe) && slot.as_u64() >= 4 * spe {
+            let keep_from = slot.saturating_sub(4 * spe);
+            for view in &mut self.views {
+                view.prune(keep_from);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ethpos_types::Epoch;
+
+    #[test]
+    fn healthy_network_finalizes_steadily() {
+        // 8 validators, minimal config, 12 epochs.
+        let cfg = SlotSimConfig::healthy(8, 12 * 8);
+        let report = SlotSim::new(cfg).run();
+        assert!(report.safety_violation.is_none());
+        // steady state: finality lags the wall clock by ~2 epochs
+        assert!(
+            report.finalized[0].epoch >= Epoch::new(8),
+            "finalized only up to {}",
+            report.finalized[0].epoch
+        );
+        assert!(report.justified[0].epoch > report.finalized[0].epoch);
+        assert!(report.blocks_produced > 80);
+    }
+
+    #[test]
+    fn healthy_network_tolerates_jitter() {
+        // Bounded random delays within an epoch do not break liveness:
+        // attestations arrive a few slots late but still within their
+        // inclusion window.
+        let mut cfg = SlotSimConfig::healthy(8, 14 * 8);
+        cfg.network = NetworkConfig::jittery(2);
+        let report = SlotSim::new(cfg).run();
+        assert!(report.safety_violation.is_none());
+        assert!(
+            report.finalized[0].epoch >= Epoch::new(8),
+            "finalized only up to {}",
+            report.finalized[0].epoch
+        );
+    }
+
+    #[test]
+    fn supermajority_partition_finalizes_alone() {
+        // 10 honest validators, 7 in group 0 (70% ≥ 2/3), partition never
+        // heals within the run.
+        let mut cfg = SlotSimConfig::healthy(10, 10 * 8);
+        cfg.network = NetworkConfig::partitioned(Slot::new(1_000_000));
+        cfg.honest_group = vec![0, 0, 0, 0, 0, 0, 0, 1, 1, 1];
+        let report = SlotSim::new(cfg).run();
+        assert!(report.safety_violation.is_none());
+        assert!(report.finalized[0].epoch >= Epoch::new(5));
+        assert_eq!(report.finalized[1].epoch, Epoch::new(0));
+        assert_ne!(report.heads[0], report.heads[1]);
+    }
+
+    #[test]
+    fn even_split_cannot_finalize_without_byzantine() {
+        let mut cfg = SlotSimConfig::healthy(10, 10 * 8);
+        cfg.network = NetworkConfig::partitioned(Slot::new(1_000_000));
+        cfg.honest_group = vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1];
+        let report = SlotSim::new(cfg).run();
+        assert!(report.safety_violation.is_none());
+        assert_eq!(report.finalized[0].epoch, Epoch::new(0));
+        assert_eq!(report.finalized[1].epoch, Epoch::new(0));
+    }
+
+    #[test]
+    fn dual_active_byzantine_finalize_conflicting_branches() {
+        // β0 = 1/3 (the theoretical edge): 4 Byzantine + 8 honest split
+        // 4/4. Each branch sees (4+4)/12 = 2/3 ⇒ immediate conflicting
+        // finalization — the slot-level witness of §5.2.1's mechanism.
+        let mut cfg = SlotSimConfig::healthy(12, 12 * 8);
+        cfg.byzantine = 4;
+        cfg.network = NetworkConfig::partitioned(Slot::new(1_000_000));
+        cfg.honest_group = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        cfg.byz_mode = SlotByzMode::DualActive;
+        let report = SlotSim::new(cfg).run();
+        let (a, b, ca, cb) = report
+            .safety_violation
+            .expect("conflicting finalization must be observed");
+        assert_ne!(a, b);
+        assert!(ca.epoch > Epoch::new(0));
+        assert!(cb.epoch > Epoch::new(0));
+    }
+
+    #[test]
+    fn equivocation_evidence_slashes_after_gst() {
+        // Partition heals at epoch 3 — before any conflicting
+        // finalization — so the Byzantine equivocations collected during
+        // the partition become slashing evidence on the canonical chain.
+        let gst = Slot::new(3 * 8);
+        let mut cfg = SlotSimConfig::healthy(12, 14 * 8);
+        cfg.byzantine = 4;
+        cfg.network = NetworkConfig::partitioned(gst);
+        cfg.honest_group = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        cfg.byz_mode = SlotByzMode::DualActive;
+        let report = SlotSim::new(cfg).run();
+        assert!(report.safety_violation.is_none());
+        assert!(
+            !report.slashed_validators.is_empty(),
+            "equivocating Byzantine validators must end up slashed"
+        );
+        assert!(report
+            .slashed_validators
+            .iter()
+            .all(|v| v.as_usize() < 4));
+    }
+
+    #[test]
+    fn late_heal_leaves_branches_irreconcilable() {
+        // Partition heals only AFTER both branches finalized conflicting
+        // checkpoints (β0 = 1/3 dual-active). The paper §5.2.1: "once the
+        // finalization on two branches has occurred, the branches are
+        // irreconcilable". The views keep different heads after healing
+        // and no new epoch finalizes (on-chain slashing removed the
+        // Byzantine voting power while honest validators stay split).
+        let gst = Slot::new(6 * 8);
+        let mut cfg = SlotSimConfig::healthy(12, 14 * 8);
+        cfg.byzantine = 4;
+        cfg.network = NetworkConfig::partitioned(gst);
+        cfg.honest_group = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        cfg.byz_mode = SlotByzMode::DualActive;
+        let report = SlotSim::new(cfg).run();
+        assert!(report.safety_violation.is_some());
+        assert_ne!(report.heads[0], report.heads[1], "branches must stay split");
+        // finalization stalled well before the end of the run
+        let last_epoch = 14u64;
+        assert!(report.finalized[0].epoch.as_u64() < last_epoch - 4);
+    }
+}

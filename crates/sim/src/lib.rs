@@ -1,0 +1,41 @@
+//! Simulators for the Ethereum PoS inactivity-leak reproduction.
+//!
+//! Three engines at different fidelity/horizon trade-offs, cross-validated
+//! against each other (see the workspace integration tests):
+//!
+//! * [`engine`] — **slot-level** discrete-event simulation: real blocks
+//!   and attestations over the simulated network, one fork-choice view per
+//!   partition (plus the omniscient adversary). Used for healthy-chain
+//!   runs, short-horizon partition scenarios, and attack traces.
+//! * [`cohort`] — **epoch-level two-branch** simulation: drives one
+//!   [`ethpos_state::BeaconState`] per branch with cohort participation
+//!   patterns, using the exact integer spec arithmetic. Fast enough for
+//!   the paper's 10⁴-epoch horizons; regenerates Tables 2–3 and Figures
+//!   2, 3, 6, 7.
+//! * [`walk_mc`] — **Monte-Carlo random walks** for the probabilistic
+//!   bouncing attack (§5.3): per-validator inactivity-score walks and
+//!   stake trajectories, regenerating Figures 9–10 empirically.
+//!
+//! [`monitor::SafetyMonitor`] watches all views/branches for conflicting
+//! finalized checkpoints — a Safety violation is an *observed result*, not
+//! an assertion failure.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cohort;
+pub mod engine;
+pub mod monitor;
+pub mod single_branch;
+pub mod view;
+pub mod walk_mc;
+
+pub use cohort::{
+    BranchEpochStats, EpochRecord, MembershipModel, TwoBranchConfig, TwoBranchOutcome,
+    TwoBranchSim,
+};
+pub use engine::{SlotByzMode, SlotSim, SlotSimConfig, SlotSimReport};
+pub use monitor::SafetyMonitor;
+pub use single_branch::{run_single_branch, Behavior, StakeTrajectory};
+pub use view::View;
+pub use walk_mc::{BouncingWalkConfig, BouncingWalkResult, run_bouncing_walks};

@@ -1,0 +1,134 @@
+//! Safety monitoring: detect conflicting finalized checkpoints.
+//!
+//! The monitor is an omniscient observer keeping the union block tree. A
+//! **Safety violation** (paper Property 4) is two finalized checkpoints,
+//! on any two views, such that neither chain is a prefix of the other.
+
+use ethpos_forkchoice::ProtoArray;
+use ethpos_types::{Checkpoint, Root, Slot};
+
+/// Records every block and each view's finalized checkpoint; reports the
+/// first conflicting finalization.
+#[derive(Debug)]
+pub struct SafetyMonitor {
+    tree: ProtoArray,
+    finalized: Vec<Checkpoint>,
+    violation: Option<(usize, usize, Checkpoint, Checkpoint)>,
+}
+
+impl SafetyMonitor {
+    /// Creates a monitor over `views` views anchored at `genesis_root`.
+    pub fn new(genesis_root: Root, views: usize) -> Self {
+        let mut tree = ProtoArray::new();
+        tree.insert(genesis_root, None, Slot::GENESIS)
+            .expect("fresh tree accepts anchor");
+        SafetyMonitor {
+            tree,
+            finalized: vec![Checkpoint::genesis(genesis_root); views],
+            violation: None,
+        }
+    }
+
+    /// Registers a block observed anywhere in the system.
+    pub fn observe_block(&mut self, root: Root, parent: Root, slot: Slot) {
+        let _ = self.tree.insert(root, Some(parent), slot);
+    }
+
+    /// Updates view `v`'s finalized checkpoint and re-checks Safety.
+    pub fn observe_finalized(&mut self, view: usize, checkpoint: Checkpoint) {
+        if checkpoint.epoch > self.finalized[view].epoch {
+            self.finalized[view] = checkpoint;
+        }
+        if self.violation.is_some() {
+            return;
+        }
+        for a in 0..self.finalized.len() {
+            for b in (a + 1)..self.finalized.len() {
+                let ca = self.finalized[a];
+                let cb = self.finalized[b];
+                if ca.root == cb.root {
+                    continue;
+                }
+                let compatible = self.tree.is_descendant(&ca.root, &cb.root)
+                    || self.tree.is_descendant(&cb.root, &ca.root);
+                if !compatible {
+                    self.violation = Some((a, b, ca, cb));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// The first Safety violation observed: `(view_a, view_b, checkpoint_a,
+    /// checkpoint_b)`.
+    pub fn violation(&self) -> Option<(usize, usize, Checkpoint, Checkpoint)> {
+        self.violation
+    }
+
+    /// True if Safety has been violated.
+    pub fn is_violated(&self) -> bool {
+        self.violation.is_some()
+    }
+
+    /// Each view's best-known finalized checkpoint.
+    pub fn finalized(&self) -> &[Checkpoint] {
+        &self.finalized
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ethpos_types::Epoch;
+
+    fn r(v: u64) -> Root {
+        Root::from_u64(v)
+    }
+
+    #[test]
+    fn same_chain_finalizations_are_compatible() {
+        let mut m = SafetyMonitor::new(r(0), 2);
+        m.observe_block(r(1), r(0), Slot::new(1));
+        m.observe_block(r(2), r(1), Slot::new(2));
+        m.observe_finalized(0, Checkpoint::new(Epoch::new(1), r(1)));
+        m.observe_finalized(1, Checkpoint::new(Epoch::new(2), r(2)));
+        assert!(!m.is_violated());
+    }
+
+    #[test]
+    fn forked_finalizations_violate_safety() {
+        let mut m = SafetyMonitor::new(r(0), 2);
+        m.observe_block(r(1), r(0), Slot::new(1));
+        m.observe_block(r(2), r(0), Slot::new(1)); // fork
+        m.observe_finalized(0, Checkpoint::new(Epoch::new(1), r(1)));
+        assert!(!m.is_violated());
+        m.observe_finalized(1, Checkpoint::new(Epoch::new(1), r(2)));
+        assert!(m.is_violated());
+        let (a, b, ca, cb) = m.violation().unwrap();
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(ca.root, r(1));
+        assert_eq!(cb.root, r(2));
+    }
+
+    #[test]
+    fn violation_is_sticky() {
+        let mut m = SafetyMonitor::new(r(0), 2);
+        m.observe_block(r(1), r(0), Slot::new(1));
+        m.observe_block(r(2), r(0), Slot::new(1));
+        m.observe_finalized(0, Checkpoint::new(Epoch::new(1), r(1)));
+        m.observe_finalized(1, Checkpoint::new(Epoch::new(1), r(2)));
+        let first = m.violation();
+        // further (compatible) updates do not clear it
+        m.observe_block(r(3), r(1), Slot::new(2));
+        m.observe_finalized(0, Checkpoint::new(Epoch::new(2), r(3)));
+        assert_eq!(m.violation(), first);
+    }
+
+    #[test]
+    fn genesis_checkpoints_never_conflict() {
+        let mut m = SafetyMonitor::new(r(0), 3);
+        m.observe_finalized(0, Checkpoint::genesis(r(0)));
+        m.observe_finalized(2, Checkpoint::genesis(r(0)));
+        assert!(!m.is_violated());
+    }
+}

@@ -1,0 +1,322 @@
+//! A partition's view of the chain: fork choice + per-block states +
+//! attestation pool.
+//!
+//! All honest validators inside one partition receive the same message
+//! stream with bounded delay, so they share one view — exactly the
+//! granularity of the paper's analysis.
+
+use std::collections::{HashMap, HashSet};
+
+use ethpos_forkchoice::ForkChoiceStore;
+use ethpos_state::{BeaconState, StateError};
+use ethpos_types::{
+    Attestation, AttestationData, Checkpoint, Gwei, Root, SignedBeaconBlock, Slot, ValidatorIndex,
+};
+use ethpos_validator::honest::{build_attestation, build_block, honest_attestation_data};
+
+/// One partition's (or the adversary's) view of the chain.
+#[derive(Debug)]
+pub struct View {
+    /// Partition group this view belongs to (adversary = `usize::MAX`).
+    pub group: usize,
+    store: ForkChoiceStore,
+    states: HashMap<Root, BeaconState>,
+    pool: Vec<Attestation>,
+    included: HashSet<Attestation>,
+    slashing_pool: Vec<ethpos_types::AttesterSlashing>,
+    genesis_root: Root,
+}
+
+impl View {
+    /// Creates a view rooted at the genesis state.
+    pub fn new(group: usize, genesis_state: BeaconState) -> Self {
+        let genesis_root = genesis_state.genesis_root();
+        let config = genesis_state.config();
+        let store = ForkChoiceStore::new(
+            genesis_root,
+            genesis_state.num_validators(),
+            config.slots_per_epoch,
+            config.safe_slots_to_update_justified,
+        );
+        let mut states = HashMap::new();
+        states.insert(genesis_root, genesis_state);
+        View {
+            group,
+            store,
+            states,
+            pool: Vec::new(),
+            included: HashSet::new(),
+            slashing_pool: Vec::new(),
+            genesis_root,
+        }
+    }
+
+    /// The underlying fork-choice store.
+    pub fn store(&self) -> &ForkChoiceStore {
+        &self.store
+    }
+
+    /// The post-state of `root`, if known.
+    pub fn state_of(&self, root: &Root) -> Option<&BeaconState> {
+        self.states.get(root)
+    }
+
+    /// Genesis root.
+    pub fn genesis_root(&self) -> Root {
+        self.genesis_root
+    }
+
+    /// Handles a block arriving from the network: runs the state
+    /// transition on top of the parent's post-state and registers the
+    /// block with fork choice, adopting any newer justified/finalized
+    /// checkpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns the state-transition error for invalid blocks; unknown
+    /// parents are reported as [`StateError::ParentRootMismatch`].
+    pub fn on_block(&mut self, signed: &SignedBeaconBlock, now: Slot) -> Result<(), StateError> {
+        if self.states.contains_key(&signed.root) {
+            return Ok(()); // duplicate
+        }
+        let parent = self
+            .states
+            .get(&signed.message.parent_root)
+            .ok_or(StateError::ParentRootMismatch)?;
+        let mut state = parent.clone();
+        state.process_slots(signed.message.slot)?;
+        state.process_block(signed)?;
+
+        let justified = state.current_justified_checkpoint();
+        let finalized = state.finalized_checkpoint();
+        self.states.insert(signed.root, state);
+        self.store
+            .on_block(signed.root, signed.message.parent_root, signed.message.slot)
+            .ok();
+        self.store.update_justified(justified, now);
+        self.store.update_finalized(finalized);
+        Ok(())
+    }
+
+    /// Handles an attestation arriving from the network: records the LMD
+    /// vote and pools the attestation for inclusion in future proposals.
+    pub fn on_attestation(&mut self, att: &Attestation) {
+        for idx in &att.attesting_indices {
+            self.store
+                .on_attestation(idx.as_usize(), att.data.beacon_block_root, att.data.target.epoch);
+        }
+        if !self.included.contains(att) {
+            self.pool.push(att.clone());
+        }
+    }
+
+    /// Slot tick: epoch-boundary adoption of the best justified
+    /// checkpoint.
+    pub fn on_tick(&mut self, slot: Slot) {
+        self.store.on_tick(slot);
+    }
+
+    /// Computes the current head via LMD-GHOST, weighted by the effective
+    /// balances of the justified state (approximated by the best known
+    /// state's registry).
+    pub fn head(&mut self) -> Root {
+        let anchor = self.store.justified_checkpoint().root;
+        let balances: Vec<Gwei> = self
+            .states
+            .get(&anchor)
+            .or_else(|| self.states.get(&self.genesis_root))
+            .map(|s| s.validators().iter().map(|v| v.effective_balance).collect())
+            .unwrap_or_default();
+        self.store
+            .get_head(&balances)
+            .unwrap_or(self.genesis_root)
+    }
+
+    /// The attestation data an honest attester in this view produces at
+    /// `slot`.
+    pub fn attestation_data(&mut self, slot: Slot) -> AttestationData {
+        let head = self.head();
+        let state = self.states.get(&head).expect("head state exists");
+        if state.slot() < slot {
+            let mut advanced = state.clone();
+            advanced
+                .process_slots(slot)
+                .expect("advancing head state");
+            honest_attestation_data(&advanced, head, slot)
+        } else {
+            honest_attestation_data(state, head, slot)
+        }
+    }
+
+    /// Builds an honest attestation for `attesters` at `slot`.
+    pub fn produce_attestation(
+        &mut self,
+        attesters: &[ValidatorIndex],
+        slot: Slot,
+    ) -> Attestation {
+        let data = self.attestation_data(slot);
+        build_attestation(attesters, data)
+    }
+
+    /// Builds an honest block proposal at `slot`, including pooled
+    /// attestations that are still includable.
+    pub fn produce_block(
+        &mut self,
+        proposer: ValidatorIndex,
+        slot: Slot,
+        mut slashings: Vec<ethpos_types::AttesterSlashing>,
+    ) -> SignedBeaconBlock {
+        slashings.append(&mut self.slashing_pool);
+        let head = self.head();
+        let epoch = slot.epoch(self.config_slots_per_epoch());
+        let mut attestations = Vec::new();
+        self.pool.retain(|att| {
+            let age_ok = att.data.target.epoch + 1 >= epoch;
+            if !age_ok {
+                return false; // too old to ever include
+            }
+            if attestations.len() < 128 {
+                attestations.push(att.clone());
+                false
+            } else {
+                true
+            }
+        });
+        for att in &attestations {
+            self.included.insert(att.clone());
+        }
+        let block = build_block(proposer, slot, head, attestations, slashings);
+        // Proposers apply their own block immediately.
+        let _ = self.on_block(&block, slot);
+        block
+    }
+
+    /// Pools attester-slashing evidence for inclusion in the next
+    /// proposal from this view.
+    pub fn on_slashing(&mut self, evidence: ethpos_types::AttesterSlashing) {
+        if evidence.is_valid_evidence() && !self.slashing_pool.contains(&evidence) {
+            self.slashing_pool.push(evidence);
+        }
+    }
+
+    /// Drops per-block states older than `keep_from` (the justified,
+    /// finalized and genesis states are always kept) to bound memory on
+    /// long runs.
+    pub fn prune(&mut self, keep_from: Slot) {
+        let keep_roots = [
+            self.genesis_root,
+            self.store.justified_checkpoint().root,
+            self.store.finalized_checkpoint().root,
+        ];
+        self.states
+            .retain(|root, state| state.slot() >= keep_from || keep_roots.contains(root));
+    }
+
+    /// This view's finalized checkpoint (from fork choice).
+    pub fn finalized_checkpoint(&self) -> Checkpoint {
+        self.store.finalized_checkpoint()
+    }
+
+    /// This view's justified checkpoint (from fork choice).
+    pub fn justified_checkpoint(&self) -> Checkpoint {
+        self.store.justified_checkpoint()
+    }
+
+    fn config_slots_per_epoch(&self) -> u64 {
+        self.states
+            .get(&self.genesis_root)
+            .expect("genesis state kept")
+            .config()
+            .slots_per_epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ethpos_types::ChainConfig;
+
+    fn genesis_view() -> View {
+        View::new(0, BeaconState::genesis(ChainConfig::minimal(), 8))
+    }
+
+    #[test]
+    fn head_starts_at_genesis() {
+        let mut v = genesis_view();
+        assert_eq!(v.head(), v.genesis_root());
+    }
+
+    #[test]
+    fn proposing_extends_the_head() {
+        let mut v = genesis_view();
+        let b1 = v.produce_block(ValidatorIndex::new(0), Slot::new(1), vec![]);
+        assert_eq!(v.head(), b1.root);
+        let b2 = v.produce_block(ValidatorIndex::new(1), Slot::new(2), vec![]);
+        assert_eq!(b2.message.parent_root, b1.root);
+        assert_eq!(v.head(), b2.root);
+    }
+
+    #[test]
+    fn duplicate_blocks_are_ignored() {
+        let mut v = genesis_view();
+        let b1 = v.produce_block(ValidatorIndex::new(0), Slot::new(1), vec![]);
+        assert!(v.on_block(&b1, Slot::new(1)).is_ok());
+        assert_eq!(v.head(), b1.root);
+    }
+
+    #[test]
+    fn unknown_parent_is_an_error() {
+        let mut v = genesis_view();
+        let orphan = ethpos_validator::honest::build_block(
+            ValidatorIndex::new(0),
+            Slot::new(5),
+            Root::from_u64(404),
+            vec![],
+            vec![],
+        );
+        assert_eq!(
+            v.on_block(&orphan, Slot::new(5)),
+            Err(StateError::ParentRootMismatch)
+        );
+    }
+
+    #[test]
+    fn attestations_steer_the_head() {
+        let mut v = genesis_view();
+        let b1 = v.produce_block(ValidatorIndex::new(0), Slot::new(1), vec![]);
+        // competing block at the same height from another view
+        let fork = ethpos_validator::honest::build_block(
+            ValidatorIndex::new(1),
+            Slot::new(1),
+            v.genesis_root(),
+            vec![],
+            vec![],
+        );
+        v.on_block(&fork, Slot::new(1)).unwrap();
+        // 5 of 8 validators attest the fork block
+        let att = build_attestation(
+            &(3..8).map(ValidatorIndex::new).collect::<Vec<_>>(),
+            AttestationData {
+                slot: Slot::new(1),
+                beacon_block_root: fork.root,
+                source: Checkpoint::genesis(v.genesis_root()),
+                target: Checkpoint::genesis(v.genesis_root()),
+            },
+        );
+        v.on_attestation(&att);
+        let _ = b1;
+        assert_eq!(v.head(), fork.root);
+    }
+
+    #[test]
+    fn pooled_attestations_are_included_once() {
+        let mut v = genesis_view();
+        let _b1 = v.produce_block(ValidatorIndex::new(0), Slot::new(1), vec![]);
+        let att = v.produce_attestation(&[ValidatorIndex::new(2)], Slot::new(1));
+        v.on_attestation(&att);
+        let b2 = v.produce_block(ValidatorIndex::new(1), Slot::new(2), vec![]);
+        assert_eq!(b2.message.body.attestations.len(), 1);
+        let b3 = v.produce_block(ValidatorIndex::new(2), Slot::new(3), vec![]);
+        assert!(b3.message.body.attestations.is_empty());
+    }
+}

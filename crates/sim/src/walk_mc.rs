@@ -1,0 +1,344 @@
+//! Monte-Carlo random walks for the probabilistic bouncing attack (§5.3).
+//!
+//! Each honest validator is an independent walker: following the Markov
+//! chain of paper Fig. 8, the bounce alternates the branch proportions,
+//! so a walker is on branch A with probability `p0` at even epochs and
+//! `1 − p0` at odd epochs (at the paper's `p0 = 0.5` the distinction
+//! vanishes).
+//! From branch A's perspective its inactivity score follows the paper's
+//! random walk (+4 when absent, −1 when present, floored at 0) and its
+//! stake decays by `I·s/2²⁶` per epoch, with ejection below 16.75 ETH and
+//! the 32 ETH cap — the censoring of paper Eq. 20.
+//!
+//! The Byzantine stake follows the deterministic semi-active trajectory.
+//! The estimator of paper Eq. 24 is the fraction of walkers whose stake
+//! satisfies `s_H < 2β₀/(1−β₀) · s_B(t)`, which is exactly
+//! `F(2β₀/(1−β₀)·s_B(t), t)` as the walker count grows.
+
+use rand::RngExt;
+use serde::Serialize;
+
+use ethpos_stats::seeded_rng;
+
+/// Configuration for the bouncing-walk Monte Carlo.
+#[derive(Debug, Clone)]
+pub struct BouncingWalkConfig {
+    /// Probability of an honest validator being on branch A each epoch.
+    pub p0: f64,
+    /// Initial Byzantine stake proportion.
+    pub beta0: f64,
+    /// Number of honest walkers.
+    pub walkers: usize,
+    /// Epoch horizon.
+    pub epochs: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Record every `record_every` epochs.
+    pub record_every: u64,
+    /// Penalty semantics: `true` = paper Eq. 2 (penalty every epoch while
+    /// the score is positive), `false` = Bellatrix spec (penalty only in
+    /// missed epochs). See `ChainConfig::paper_inactivity_penalties`.
+    pub paper_semantics: bool,
+}
+
+impl Default for BouncingWalkConfig {
+    fn default() -> Self {
+        BouncingWalkConfig {
+            p0: 0.5,
+            beta0: 0.33,
+            walkers: 20_000,
+            epochs: 8000,
+            seed: 42,
+            record_every: 10,
+            paper_semantics: true,
+        }
+    }
+}
+
+/// One recorded epoch of the Monte Carlo.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct WalkEpochStats {
+    /// Epoch.
+    pub epoch: u64,
+    /// Estimate of paper Eq. 24: P[β(t) > 1/3] from branch A's view.
+    pub prob_exceed_third: f64,
+    /// Mean honest stake (ETH) from branch A's view (ejected = 0).
+    pub mean_honest_stake: f64,
+    /// Byzantine (semi-active) stake (ETH).
+    pub byzantine_stake: f64,
+    /// Fraction of honest walkers ejected on branch A.
+    pub ejected_fraction: f64,
+}
+
+/// Result of the Monte Carlo run.
+#[derive(Debug, Clone, Serialize)]
+pub struct BouncingWalkResult {
+    /// Per-epoch statistics (thinned by `record_every`).
+    pub series: Vec<WalkEpochStats>,
+    /// Epoch at which the Byzantine validators were ejected, if reached.
+    pub byzantine_ejected_at: Option<u64>,
+    /// Final honest stakes (ETH) — the empirical distribution behind
+    /// paper Fig. 9.
+    pub final_stakes: Vec<f64>,
+}
+
+const LEAK_DENOM: f64 = 67_108_864.0; // 2^26
+const EJECT_BELOW: f64 = 16.75;
+const STAKE0: f64 = 32.0;
+
+/// Advances one (score, stake, ejected) walker by one epoch.
+///
+/// Spec order: the score updates first (+4 inactive / −1 active, floored),
+/// then the inactivity penalty `I·s/2²⁶` applies with the updated score —
+/// matching `process_epoch` in `ethpos-state`. Under `paper_semantics`
+/// the penalty lands every epoch (paper Eq. 2); otherwise only when the
+/// epoch was missed (Bellatrix `get_inactivity_penalty_deltas`).
+fn step_walker(
+    score: &mut f64,
+    stake: &mut f64,
+    ejected: &mut bool,
+    active: bool,
+    paper_semantics: bool,
+) {
+    if *ejected {
+        return;
+    }
+    if active {
+        *score = (*score - 1.0).max(0.0);
+    } else {
+        *score += 4.0;
+    }
+    if paper_semantics || !active {
+        *stake -= *score * *stake / LEAK_DENOM;
+    }
+    if *stake < EJECT_BELOW {
+        *stake = 0.0;
+        *ejected = true;
+    }
+}
+
+/// Runs the Monte Carlo and returns the per-epoch estimates.
+///
+/// # Example
+///
+/// ```
+/// use ethpos_sim::{run_bouncing_walks, BouncingWalkConfig};
+///
+/// let out = run_bouncing_walks(&BouncingWalkConfig {
+///     walkers: 200,
+///     epochs: 100,
+///     record_every: 50,
+///     ..BouncingWalkConfig::default()
+/// });
+/// assert_eq!(out.series.len(), 2); // epochs 0 and 50
+/// assert!(out.byzantine_ejected_at.is_none()); // far before epoch 7653
+/// ```
+///
+/// # Panics
+///
+/// Panics if `p0` or `beta0` are outside `(0, 1)` or `walkers == 0`.
+pub fn run_bouncing_walks(config: &BouncingWalkConfig) -> BouncingWalkResult {
+    assert!(config.p0 > 0.0 && config.p0 < 1.0, "p0 in (0,1)");
+    assert!(config.beta0 > 0.0 && config.beta0 < 1.0, "beta0 in (0,1)");
+    assert!(config.walkers > 0, "need walkers");
+
+    let mut rng = seeded_rng(config.seed);
+    let m = config.walkers;
+    let mut scores = vec![0.0f64; m];
+    let mut stakes = vec![STAKE0; m];
+    let mut ejected = vec![false; m];
+
+    // Byzantine semi-active deterministic walker (active on A at even
+    // epochs).
+    let mut byz_score = 0.0f64;
+    let mut byz_stake = STAKE0;
+    let mut byz_ejected = false;
+    let mut byz_ejected_at = None;
+
+    let threshold_factor = 2.0 * config.beta0 / (1.0 - config.beta0);
+
+    let mut series = Vec::new();
+    for epoch in 0..config.epochs {
+        if epoch % config.record_every == 0 {
+            let threshold = threshold_factor * byz_stake;
+            let below = stakes.iter().filter(|&&s| s < threshold).count();
+            let eject_count = ejected.iter().filter(|&&e| e).count();
+            series.push(WalkEpochStats {
+                epoch,
+                prob_exceed_third: below as f64 / m as f64,
+                mean_honest_stake: stakes.iter().sum::<f64>() / m as f64,
+                byzantine_stake: byz_stake,
+                ejected_fraction: eject_count as f64 / m as f64,
+            });
+        }
+
+        // Fig. 8 alternation: the proportion on branch A flips between
+        // p0 and 1−p0 each epoch.
+        let p_on_a = if epoch % 2 == 0 {
+            config.p0
+        } else {
+            1.0 - config.p0
+        };
+        for i in 0..m {
+            let active = rng.random_bool(p_on_a);
+            step_walker(
+                &mut scores[i],
+                &mut stakes[i],
+                &mut ejected[i],
+                active,
+                config.paper_semantics,
+            );
+        }
+        let was_ejected = byz_ejected;
+        step_walker(
+            &mut byz_score,
+            &mut byz_stake,
+            &mut byz_ejected,
+            epoch % 2 == 0,
+            config.paper_semantics,
+        );
+        if byz_ejected && !was_ejected {
+            byz_ejected_at = Some(epoch);
+        }
+    }
+
+    BouncingWalkResult {
+        series,
+        byzantine_ejected_at: byz_ejected_at,
+        final_stakes: stakes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beta_one_third_gives_probability_near_half() {
+        // Paper: for β₀ = 1/3 the threshold is exactly the semi-active
+        // stake, and since the log-normal's median tracks s_B, the
+        // probability hovers around 0.5 (Fig. 10 top curve).
+        let cfg = BouncingWalkConfig {
+            beta0: 1.0 / 3.0,
+            walkers: 4000,
+            epochs: 3000,
+            record_every: 100,
+            ..BouncingWalkConfig::default()
+        };
+        let out = run_bouncing_walks(&cfg);
+        let at_2000 = out
+            .series
+            .iter()
+            .find(|s| s.epoch == 2000)
+            .expect("recorded");
+        assert!(
+            (0.35..0.65).contains(&at_2000.prob_exceed_third),
+            "P = {} at epoch 2000, expected ≈ 0.5",
+            at_2000.prob_exceed_third
+        );
+    }
+
+    #[test]
+    fn smaller_beta_gives_smaller_probability() {
+        let mk = |beta0: f64| BouncingWalkConfig {
+            beta0,
+            walkers: 4000,
+            epochs: 2500,
+            record_every: 500,
+            ..BouncingWalkConfig::default()
+        };
+        let hi = run_bouncing_walks(&mk(0.333));
+        let lo = run_bouncing_walks(&mk(0.30));
+        let p_hi = hi.series.last().unwrap().prob_exceed_third;
+        let p_lo = lo.series.last().unwrap().prob_exceed_third;
+        assert!(
+            p_hi > p_lo,
+            "P(β₀=0.333) = {p_hi} must exceed P(β₀=0.30) = {p_lo}"
+        );
+        // Paper Fig. 10: β₀ = 0.30 stays near zero for thousands of epochs.
+        assert!(p_lo < 0.05, "p_lo = {p_lo}");
+    }
+
+    #[test]
+    fn byzantine_ejection_epoch_matches_semi_active_curve() {
+        // Paper §5.3: semi-active Byzantine validators are ejected after
+        // ≈ 7653 epochs (continuous model: 7611).
+        let cfg = BouncingWalkConfig {
+            walkers: 10,
+            epochs: 8000,
+            record_every: 1000,
+            ..BouncingWalkConfig::default()
+        };
+        let out = run_bouncing_walks(&cfg);
+        let ej = out.byzantine_ejected_at.expect("byzantine must be ejected");
+        assert!(
+            (7500..7800).contains(&ej),
+            "byzantine ejected at {ej}, paper ≈ 7653"
+        );
+    }
+
+    #[test]
+    fn honest_mean_stake_matches_drift_formula() {
+        // At p0 = 0.5 the score drift is 3/2 per epoch, so the mean stake
+        // follows the semi-active curve 32·e^(−3t²/2²⁸) (paper §5.3).
+        let cfg = BouncingWalkConfig {
+            walkers: 2000,
+            epochs: 5001,
+            record_every: 1000,
+            ..BouncingWalkConfig::default()
+        };
+        let out = run_bouncing_walks(&cfg);
+        let at5000 = out.series.iter().find(|s| s.epoch == 5000).unwrap();
+        let theory = 32.0 * (-3.0 * 5000.0f64 * 5000.0 / 2f64.powi(28)).exp();
+        let rel = (at5000.mean_honest_stake - theory).abs() / theory;
+        assert!(
+            rel < 0.05,
+            "mean {} vs theory {theory} (rel {rel})",
+            at5000.mean_honest_stake
+        );
+    }
+
+    #[test]
+    fn spec_semantics_slows_everything_down() {
+        // Under spec semantics both honest bouncers and the semi-active
+        // Byzantine decay at half the exponent; at β0 = 1/3 the symmetric
+        // P ≈ 1/2 survives, but stakes are higher and ejection is later.
+        let mk = |paper: bool| BouncingWalkConfig {
+            beta0: 1.0 / 3.0,
+            walkers: 2000,
+            epochs: 5001,
+            record_every: 2500,
+            paper_semantics: paper,
+            ..BouncingWalkConfig::default()
+        };
+        let paper = run_bouncing_walks(&mk(true));
+        let spec = run_bouncing_walks(&mk(false));
+        let p_last = paper.series.last().unwrap();
+        let s_last = spec.series.last().unwrap();
+        assert!(
+            s_last.mean_honest_stake > p_last.mean_honest_stake + 1.0,
+            "spec {} vs paper {}",
+            s_last.mean_honest_stake,
+            p_last.mean_honest_stake
+        );
+        assert!(s_last.byzantine_stake > p_last.byzantine_stake);
+        // the symmetric probability stays near 1/2 in both worlds
+        assert!((s_last.prob_exceed_third - 0.5).abs() < 0.15);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let cfg = BouncingWalkConfig {
+            walkers: 500,
+            epochs: 500,
+            record_every: 100,
+            ..BouncingWalkConfig::default()
+        };
+        let a = run_bouncing_walks(&cfg);
+        let b = run_bouncing_walks(&cfg);
+        assert_eq!(a.series.len(), b.series.len());
+        for (x, y) in a.series.iter().zip(b.series.iter()) {
+            assert_eq!(x.prob_exceed_third, y.prob_exceed_third);
+        }
+    }
+}

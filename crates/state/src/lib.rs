@@ -1,0 +1,51 @@
+//! Beacon-state transition for the Ethereum PoS reproduction.
+//!
+//! This crate implements the part of the Ethereum consensus specification
+//! that the paper's analysis rests on, shaped like a consensus client's
+//! state-transition module (Lighthouse is the reference layout):
+//!
+//! * the [`BeaconState`] container: validator registry, balances,
+//!   inactivity scores, participation flags, justification bits,
+//!   checkpoints;
+//! * per-slot advancement and block/attestation processing;
+//! * per-epoch processing, in spec order: justification & finalization
+//!   (Casper FFG's four finalization rules), inactivity-score updates
+//!   (paper Eq. 1), attestation rewards and penalties (suppressed during a
+//!   leak), **inactivity penalties** (paper Eq. 2, `I·s / 2²⁶`), registry
+//!   updates (ejection at 16 ETH effective balance), correlation slashing
+//!   penalties, and effective-balance hysteresis;
+//! * attester-slashing processing (Casper double/surround vote evidence).
+//!
+//! Deliberate simplifications (documented in `DESIGN.md` §4): deposits,
+//! voluntary exits, exit-queue churn, sync committees and execution
+//! payloads are omitted — none of them participates in the paper's
+//! analysis. Everything the inactivity leak touches is implemented with
+//! the spec's exact integer arithmetic.
+//!
+//! # Example
+//!
+//! ```
+//! use ethpos_state::BeaconState;
+//! use ethpos_types::{ChainConfig, Gwei};
+//!
+//! // 64 validators with the full 32 ETH stake.
+//! let state = BeaconState::genesis(ChainConfig::minimal(), 64);
+//! assert_eq!(state.total_active_balance(), Gwei::from_eth_u64(64 * 32));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod attestations;
+pub mod beacon_state;
+pub mod epoch;
+pub mod error;
+pub mod participation;
+pub mod rewards;
+pub mod slashings;
+pub mod validator;
+
+pub use beacon_state::BeaconState;
+pub use error::StateError;
+pub use participation::ParticipationFlags;
+pub use validator::{Validator, FAR_FUTURE_EPOCH};

@@ -1,0 +1,98 @@
+//! Per-epoch participation flags (Altair).
+//!
+//! Each validator accumulates up to three flags per epoch: *timely
+//! source*, *timely target* and *timely head*. The **timely target** flag
+//! is what the inactivity leak looks at: a validator without it for an
+//! epoch is *inactive* in the paper's sense (§4.1 — "sent an attestation
+//! … with a correct checkpoint vote").
+
+use serde::{Deserialize, Serialize};
+
+/// Bitset of Altair participation flags for one validator and one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ParticipationFlags(u8);
+
+/// Index of the timely-source flag.
+pub const TIMELY_SOURCE_FLAG_INDEX: u8 = 0;
+/// Index of the timely-target flag.
+pub const TIMELY_TARGET_FLAG_INDEX: u8 = 1;
+/// Index of the timely-head flag.
+pub const TIMELY_HEAD_FLAG_INDEX: u8 = 2;
+
+impl ParticipationFlags {
+    /// No flags set.
+    pub const EMPTY: ParticipationFlags = ParticipationFlags(0);
+
+    /// All three flags set.
+    pub fn all() -> Self {
+        let mut f = ParticipationFlags::EMPTY;
+        f.set(TIMELY_SOURCE_FLAG_INDEX);
+        f.set(TIMELY_TARGET_FLAG_INDEX);
+        f.set(TIMELY_HEAD_FLAG_INDEX);
+        f
+    }
+
+    /// Sets flag `index`.
+    pub fn set(&mut self, index: u8) {
+        debug_assert!(index < 3);
+        self.0 |= 1 << index;
+    }
+
+    /// Tests flag `index`.
+    pub fn has(&self, index: u8) -> bool {
+        self.0 & (1 << index) != 0
+    }
+
+    /// True if the timely-target flag is set — the paper's notion of
+    /// *active* for inactivity-leak accounting.
+    pub fn has_timely_target(&self) -> bool {
+        self.has(TIMELY_TARGET_FLAG_INDEX)
+    }
+
+    /// True if no flag is set.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_has_no_flags() {
+        let f = ParticipationFlags::EMPTY;
+        assert!(f.is_empty());
+        assert!(!f.has_timely_target());
+        assert!(!f.has(TIMELY_SOURCE_FLAG_INDEX));
+    }
+
+    #[test]
+    fn set_and_test_flags() {
+        let mut f = ParticipationFlags::EMPTY;
+        f.set(TIMELY_TARGET_FLAG_INDEX);
+        assert!(f.has_timely_target());
+        assert!(!f.has(TIMELY_HEAD_FLAG_INDEX));
+        f.set(TIMELY_HEAD_FLAG_INDEX);
+        assert!(f.has(TIMELY_HEAD_FLAG_INDEX));
+    }
+
+    #[test]
+    fn all_flags() {
+        let f = ParticipationFlags::all();
+        assert!(f.has(TIMELY_SOURCE_FLAG_INDEX));
+        assert!(f.has(TIMELY_TARGET_FLAG_INDEX));
+        assert!(f.has(TIMELY_HEAD_FLAG_INDEX));
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn setting_twice_is_idempotent() {
+        let mut f = ParticipationFlags::EMPTY;
+        f.set(TIMELY_SOURCE_FLAG_INDEX);
+        let once = f;
+        f.set(TIMELY_SOURCE_FLAG_INDEX);
+        assert_eq!(f, once);
+    }
+}

@@ -1,0 +1,284 @@
+//! Rewards and penalties (Altair accounting).
+//!
+//! Two delta sources matter for the paper:
+//!
+//! * **attestation deltas** — rewards for timely source/target/head flags
+//!   and penalties for missing source/target. During an inactivity leak
+//!   attesters receive *no rewards* (paper §4: "there are no more rewards
+//!   given to attesters"), only penalties;
+//! * **inactivity penalties** (paper Eq. 2) — every eligible validator
+//!   without the timely-target flag loses
+//!   `inactivity_score × effective_balance / (BIAS × QUOTIENT)`
+//!   per epoch, i.e. `I·s / 2²⁶` with mainnet constants.
+
+use ethpos_types::{Gwei, ValidatorIndex};
+
+use crate::beacon_state::BeaconState;
+use crate::participation::{
+    TIMELY_HEAD_FLAG_INDEX, TIMELY_SOURCE_FLAG_INDEX, TIMELY_TARGET_FLAG_INDEX,
+};
+
+/// Integer square root (spec `integer_squareroot`).
+pub fn integer_sqrt(n: u64) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    let mut x = n;
+    let mut y = x.div_ceil(2);
+    while y < x {
+        x = y;
+        y = (x + n / x) / 2;
+    }
+    x
+}
+
+impl BeaconState {
+    /// Spec `get_base_reward_per_increment`.
+    pub fn base_reward_per_increment(&self) -> Gwei {
+        let increment = self.config().effective_balance_increment.as_u64();
+        let factor = self.config().base_reward_factor;
+        let sqrt_total = integer_sqrt(self.total_active_balance().as_u64());
+        Gwei::new(increment * factor / sqrt_total.max(1))
+    }
+
+    /// Spec `get_base_reward` for one validator.
+    pub fn base_reward(&self, index: ValidatorIndex) -> Gwei {
+        let increments = self.validators()[index.as_usize()]
+            .effective_balance
+            .as_u64()
+            / self.config().effective_balance_increment.as_u64();
+        Gwei::new(increments * self.base_reward_per_increment().as_u64())
+    }
+
+    /// Spec `process_rewards_and_penalties`: applies attestation-flag
+    /// deltas and inactivity penalties for the previous epoch.
+    pub fn process_rewards_and_penalties(&mut self) {
+        // Spec: genesis epoch has no previous epoch to settle.
+        if self.current_epoch().as_u64() == 0 {
+            return;
+        }
+        let deltas = self.attestation_deltas();
+        for (i, (reward, penalty)) in deltas.into_iter().enumerate() {
+            let idx = ValidatorIndex::from(i);
+            self.increase_balance(idx, reward);
+            self.decrease_balance(idx, penalty);
+        }
+    }
+
+    /// Computes per-validator `(reward, penalty)` for the previous epoch:
+    /// flag deltas (spec `get_flag_index_deltas`) plus inactivity
+    /// penalties (spec `get_inactivity_penalty_deltas`).
+    pub fn attestation_deltas(&self) -> Vec<(Gwei, Gwei)> {
+        let previous_epoch = self.previous_epoch();
+        let n = self.num_validators();
+        let mut deltas = vec![(Gwei::ZERO, Gwei::ZERO); n];
+
+        let total_active = self.total_active_balance().as_u64();
+        let increment = self.config().effective_balance_increment.as_u64();
+        let total_increments = (total_active / increment).max(1);
+        let base_per_increment = self.base_reward_per_increment().as_u64();
+        let denominator = self.config().weight_denominator;
+        let in_leak = self.is_in_inactivity_leak();
+
+        // Participating increments per flag (unslashed, previous epoch).
+        let mut participating_increments = [0u64; 3];
+        for (v, i) in self.validators().iter().zip(0..n) {
+            if v.slashed || !v.is_active_at(previous_epoch) {
+                continue;
+            }
+            let flags = self.previous_participation(ValidatorIndex::from(i));
+            for (k, flag) in [
+                TIMELY_SOURCE_FLAG_INDEX,
+                TIMELY_TARGET_FLAG_INDEX,
+                TIMELY_HEAD_FLAG_INDEX,
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                if flags.has(flag) {
+                    participating_increments[k] += v.effective_balance.as_u64() / increment;
+                }
+            }
+        }
+
+        let weights = [
+            self.config().timely_source_weight,
+            self.config().timely_target_weight,
+            self.config().timely_head_weight,
+        ];
+
+        let leak_denominator =
+            self.config().inactivity_score_bias * self.config().inactivity_penalty_quotient;
+
+        for (i, v) in self.validators().iter().enumerate() {
+            let idx = ValidatorIndex::from(i);
+            let eligible = v.is_active_at(previous_epoch)
+                || (v.slashed && previous_epoch + 1 < v.withdrawable_epoch);
+            if !eligible {
+                continue;
+            }
+            let flags = self.previous_participation(idx);
+            let increments_i = v.effective_balance.as_u64() / increment;
+            let base_reward = increments_i * base_per_increment;
+
+            for (k, flag) in [
+                TIMELY_SOURCE_FLAG_INDEX,
+                TIMELY_TARGET_FLAG_INDEX,
+                TIMELY_HEAD_FLAG_INDEX,
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                let participated = !v.slashed && flags.has(flag);
+                if participated {
+                    if !in_leak {
+                        let numerator = base_reward * weights[k] * participating_increments[k];
+                        deltas[i].0 += Gwei::new(numerator / (total_increments * denominator));
+                    }
+                    // In a leak: no reward (paper §4).
+                } else if flag != TIMELY_HEAD_FLAG_INDEX {
+                    // Missing source/target is penalized; head is not.
+                    deltas[i].1 += Gwei::new(base_reward * weights[k] / denominator);
+                }
+            }
+
+            // Inactivity penalty: under spec semantics it hits eligible
+            // validators without the timely-target flag this epoch; under
+            // the paper's Eq. 2 semantics it hits every epoch while the
+            // inactivity score is positive (see
+            // `ChainConfig::paper_inactivity_penalties`).
+            let pays_inactivity = if self.config().paper_inactivity_penalties {
+                v.slashed || self.inactivity_score(idx) > 0
+            } else {
+                v.slashed || !flags.has(TIMELY_TARGET_FLAG_INDEX)
+            };
+            if pays_inactivity {
+                let penalty_numerator =
+                    v.effective_balance.as_u64() as u128 * self.inactivity_score(idx) as u128;
+                deltas[i].1 += Gwei::new((penalty_numerator / leak_denominator as u128) as u64);
+            }
+        }
+        deltas
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::participation::ParticipationFlags;
+    use ethpos_types::{ChainConfig, Epoch};
+
+    fn state(n: usize) -> BeaconState {
+        BeaconState::genesis(ChainConfig::minimal(), n)
+    }
+
+    fn advance_one_epoch(s: &mut BeaconState) {
+        let next = (s.current_epoch() + 1).start_slot(s.config().slots_per_epoch);
+        s.process_slots(next).unwrap();
+    }
+
+    #[test]
+    fn integer_sqrt_matches_float() {
+        for n in [0u64, 1, 2, 3, 4, 15, 16, 17, 1 << 40, u64::MAX / 2] {
+            let r = integer_sqrt(n);
+            assert!(r * r <= n, "sqrt({n}) = {r}");
+            assert!((r + 1).checked_mul(r + 1).map(|sq| sq > n).unwrap_or(true));
+        }
+    }
+
+    #[test]
+    fn base_reward_scales_with_effective_balance() {
+        let mut s = state(16);
+        s.validators_mut()[0].effective_balance = Gwei::from_eth_u64(16);
+        let full = s.base_reward(ValidatorIndex::new(1));
+        let half = s.base_reward(ValidatorIndex::new(0));
+        assert_eq!(half.as_u64() * 2, full.as_u64());
+    }
+
+    #[test]
+    fn full_participation_earns_rewards_outside_leak() {
+        let mut s = state(8);
+        for i in 0..8u64 {
+            s.merge_current_participation(ValidatorIndex::from(i), ParticipationFlags::all());
+        }
+        advance_one_epoch(&mut s); // rotates flags, settles epoch 0
+        advance_one_epoch(&mut s); // settles epoch 1 deltas... rotated again
+        // After the first boundary, previous participation is full; the
+        // second boundary pays rewards for it (current_epoch = 1 then).
+        let b = s.balance(ValidatorIndex::new(0));
+        assert!(
+            b > Gwei::from_eth_u64(32),
+            "full participants must earn rewards, balance = {b}"
+        );
+    }
+
+    #[test]
+    fn idle_validators_are_penalized() {
+        let mut s = state(8);
+        advance_one_epoch(&mut s);
+        advance_one_epoch(&mut s);
+        let b = s.balance(ValidatorIndex::new(0));
+        assert!(
+            b < Gwei::from_eth_u64(32),
+            "idle validators must lose stake, balance = {b}"
+        );
+    }
+
+    #[test]
+    fn no_rewards_during_leak() {
+        let mut s = state(8);
+        // Drive into a leak with 8 idle epochs.
+        for _ in 0..8 {
+            advance_one_epoch(&mut s);
+        }
+        assert!(s.is_in_inactivity_leak());
+        // Now everyone participates fully for one epoch; during a leak the
+        // reward must be zero (balance must not increase).
+        let before = s.balance(ValidatorIndex::new(0));
+        for i in 0..8u64 {
+            s.merge_current_participation(ValidatorIndex::from(i), ParticipationFlags::all());
+        }
+        advance_one_epoch(&mut s);
+        let after = s.balance(ValidatorIndex::new(0));
+        assert!(
+            after <= before,
+            "no attestation rewards during a leak: {before} → {after}"
+        );
+    }
+
+    #[test]
+    fn inactivity_penalty_matches_paper_equation_2() {
+        // During a leak, an inactive validator with score I and effective
+        // balance s loses exactly I*s/2^26 per epoch (plus flat
+        // source+target penalties).
+        let mut s = state(8);
+        for _ in 0..10 {
+            advance_one_epoch(&mut s);
+        }
+        assert!(s.is_in_inactivity_leak());
+        let idx = ValidatorIndex::new(0);
+        let score = s.inactivity_score(idx);
+        assert!(score > 0);
+        let eff = s.validators()[0].effective_balance;
+        let before = s.balance(idx);
+        let base = s.base_reward(idx).as_u64();
+        let flat = base * 14 / 64 + base * 26 / 64; // source + target penalties
+        advance_one_epoch(&mut s);
+        // score has grown by 4 during the epoch we just processed
+        let expected_inactivity =
+            (eff.as_u64() as u128 * (score + 4) as u128 / (1u128 << 26)) as u64;
+        let after = s.balance(idx);
+        let lost = before.as_u64() - after.as_u64();
+        assert_eq!(lost, flat + expected_inactivity);
+    }
+
+    #[test]
+    fn deltas_are_zero_for_exited_validators() {
+        let mut s = state(8);
+        s.validators_mut()[3].exit_epoch = Epoch::new(0);
+        for _ in 0..6 {
+            advance_one_epoch(&mut s);
+        }
+        assert_eq!(s.balance(ValidatorIndex::new(3)), Gwei::from_eth_u64(32));
+    }
+}

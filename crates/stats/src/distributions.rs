@@ -1,0 +1,201 @@
+//! Normal and log-normal laws with PDF/CDF/quantile and sampling.
+
+use rand::{Rng, RngExt};
+
+use crate::erf::{normal_cdf, normal_pdf};
+
+/// A normal (Gaussian) distribution `N(mean, sd²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    /// Mean.
+    pub mean: f64,
+    /// Standard deviation (strictly positive).
+    pub sd: f64,
+}
+
+impl Normal {
+    /// Creates a normal law.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sd` is not strictly positive and finite.
+    pub fn new(mean: f64, sd: f64) -> Self {
+        assert!(sd > 0.0 && sd.is_finite(), "invalid sd: {sd}");
+        Normal { mean, sd }
+    }
+
+    /// Probability density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        normal_pdf((x - self.mean) / self.sd) / self.sd
+    }
+
+    /// Cumulative distribution at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        normal_cdf((x - self.mean) / self.sd)
+    }
+
+    /// Quantile (inverse CDF) by bisection on the CDF; accurate to ~1e-10.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p < 1`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile needs 0 < p < 1, got {p}");
+        // bracket in standard units then bisect
+        let (mut lo, mut hi) = (-40.0f64, 40.0f64);
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if normal_cdf(mid) < p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        self.mean + self.sd * 0.5 * (lo + hi)
+    }
+
+    /// Draws one sample (Box–Muller).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.random_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos();
+        self.mean + self.sd * z
+    }
+}
+
+/// A log-normal law: `ln X ~ N(mu, sigma²)`.
+///
+/// The paper's Eq. 18–19 show that a bouncing validator's stake follows a
+/// log-normal law (in the continuous approximation); this type is its
+/// reusable embodiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    /// Mean of `ln X`.
+    pub mu: f64,
+    /// Standard deviation of `ln X` (strictly positive).
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal law.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is not strictly positive and finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma > 0.0 && sigma.is_finite(), "invalid sigma: {sigma}");
+        LogNormal { mu, sigma }
+    }
+
+    /// Probability density at `x > 0` (0 elsewhere).
+    pub fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        normal_pdf((x.ln() - self.mu) / self.sigma) / (x * self.sigma)
+    }
+
+    /// Cumulative distribution at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        normal_cdf((x.ln() - self.mu) / self.sigma)
+    }
+
+    /// Mean `exp(mu + sigma²/2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu + 0.5 * self.sigma * self.sigma).exp()
+    }
+
+    /// Median `exp(mu)`.
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        Normal::new(self.mu, self.sigma).sample(rng).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+    use proptest::prelude::*;
+
+    #[test]
+    fn normal_pdf_integrates_to_one() {
+        let n = Normal::new(1.0, 2.0);
+        let integral = crate::quadrature::integrate_simpson(|x| n.pdf(x), -20.0, 22.0, 4000);
+        assert!((integral - 1.0).abs() < 1e-9, "integral = {integral}");
+    }
+
+    #[test]
+    fn normal_quantile_inverts_cdf() {
+        let n = Normal::new(-2.0, 0.7);
+        for p in [0.01, 0.25, 0.5, 0.75, 0.99] {
+            let x = n.quantile(p);
+            assert!((n.cdf(x) - p).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn normal_sampling_matches_moments() {
+        let n = Normal::new(3.0, 1.5);
+        let mut rng = seeded_rng(42);
+        let samples: Vec<f64> = (0..50_000).map(|_| n.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (samples.len() - 1) as f64;
+        assert!((mean - 3.0).abs() < 0.03, "mean = {mean}");
+        assert!((var - 2.25).abs() < 0.06, "var = {var}");
+    }
+
+    #[test]
+    fn lognormal_cdf_at_median_is_half() {
+        let ln = LogNormal::new(1.2, 0.4);
+        assert!((ln.cdf(ln.median()) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lognormal_mean_formula() {
+        let ln = LogNormal::new(0.0, 1.0);
+        assert!((ln.mean() - (0.5f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lognormal_pdf_zero_for_nonpositive() {
+        let ln = LogNormal::new(0.0, 1.0);
+        assert_eq!(ln.pdf(0.0), 0.0);
+        assert_eq!(ln.pdf(-1.0), 0.0);
+        assert_eq!(ln.cdf(-1.0), 0.0);
+    }
+
+    #[test]
+    fn lognormal_sampling_matches_median() {
+        let ln = LogNormal::new(2.0, 0.3);
+        let mut rng = seeded_rng(7);
+        let mut samples: Vec<f64> = (0..20_001).map(|_| ln.sample(&mut rng)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        assert!((median / ln.median() - 1.0).abs() < 0.02);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_normal_cdf_monotone(m in -5.0f64..5.0, s in 0.1f64..3.0,
+                                    a in -10.0f64..10.0, d in 0.01f64..1.0) {
+            let n = Normal::new(m, s);
+            prop_assert!(n.cdf(a + d) >= n.cdf(a));
+        }
+
+        #[test]
+        fn prop_lognormal_cdf_in_unit(mu in -3.0f64..3.0, sigma in 0.1f64..2.0, x in 0.0f64..100.0) {
+            let ln = LogNormal::new(mu, sigma);
+            let p = ln.cdf(x);
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

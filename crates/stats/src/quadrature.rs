@@ -1,0 +1,61 @@
+//! Numerical integration (composite Simpson).
+//!
+//! Used to integrate the censored stake distribution of paper Eq. 20–22
+//! and in tests that verify densities integrate to one.
+
+/// Integrates `f` over `[a, b]` with composite Simpson's rule on `n`
+/// sub-intervals (`n` is rounded up to the next even number).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or the bounds are not finite.
+pub fn integrate_simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> f64 {
+    assert!(n > 0, "need at least one sub-interval");
+    assert!(a.is_finite() && b.is_finite(), "bounds must be finite");
+    let n = if n.is_multiple_of(2) { n } else { n + 1 };
+    let h = (b - a) / n as f64;
+    let mut acc = f(a) + f(b);
+    for i in 1..n {
+        let x = a + i as f64 * h;
+        acc += if i % 2 == 0 { 2.0 } else { 4.0 } * f(x);
+    }
+    acc * h / 3.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integrates_polynomial_exactly() {
+        // Simpson is exact for cubics.
+        let i = integrate_simpson(|x| x * x * x - 2.0 * x + 1.0, 0.0, 2.0, 2);
+        assert!((i - 2.0).abs() < 1e-12); // ∫₀² (x³−2x+1) dx = 4−4+2 = 2
+    }
+
+    #[test]
+    fn integrates_sine() {
+        let i = integrate_simpson(f64::sin, 0.0, core::f64::consts::PI, 1000);
+        assert!((i - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn odd_n_is_rounded_up() {
+        let even = integrate_simpson(f64::exp, 0.0, 1.0, 100);
+        let odd = integrate_simpson(f64::exp, 0.0, 1.0, 99);
+        assert!((even - odd).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversed_bounds_negate() {
+        let fwd = integrate_simpson(|x| x, 0.0, 1.0, 10);
+        let rev = integrate_simpson(|x| x, 1.0, 0.0, 10);
+        assert!((fwd + rev).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_subintervals_panics() {
+        let _ = integrate_simpson(|x| x, 0.0, 1.0, 0);
+    }
+}

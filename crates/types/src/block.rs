@@ -1,0 +1,115 @@
+//! Beacon blocks.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::attestation::{Attestation, Signature};
+use crate::root::Root;
+use crate::slashing::AttesterSlashing;
+use crate::time::Slot;
+use crate::validator::ValidatorIndex;
+
+/// The body of a beacon block: the consensus payload relevant to this
+/// reproduction (attestations and slashing evidence).
+///
+/// Execution payloads, deposits and exits are out of scope for the paper's
+/// analysis and are omitted.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BeaconBlockBody {
+    /// Attestations included by the proposer.
+    pub attestations: Vec<Attestation>,
+    /// Attester-slashing evidence (pairs of conflicting attestations).
+    pub attester_slashings: Vec<AttesterSlashing>,
+}
+
+/// A beacon block.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BeaconBlock {
+    /// Slot the block was proposed for.
+    pub slot: Slot,
+    /// Index of the proposer.
+    pub proposer_index: ValidatorIndex,
+    /// Root of the parent block.
+    pub parent_root: Root,
+    /// Consensus payload.
+    pub body: BeaconBlockBody,
+}
+
+impl BeaconBlock {
+    /// Creates an empty-bodied block.
+    pub fn empty(slot: Slot, proposer_index: ValidatorIndex, parent_root: Root) -> Self {
+        BeaconBlock {
+            slot,
+            proposer_index,
+            parent_root,
+            body: BeaconBlockBody::default(),
+        }
+    }
+
+    /// The canonical genesis block.
+    pub fn genesis() -> Self {
+        BeaconBlock::empty(Slot::GENESIS, ValidatorIndex::new(0), Root::ZERO)
+    }
+}
+
+/// A block together with its root and the proposer's signature tag.
+///
+/// The root is computed once at signing time (`ethpos-crypto`) and carried
+/// alongside the block, mirroring how consensus clients cache block roots.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignedBeaconBlock {
+    /// The block.
+    pub message: BeaconBlock,
+    /// Proposer signature tag.
+    pub signature: Signature,
+    /// Cached root of `message`.
+    pub root: Root,
+}
+
+impl SignedBeaconBlock {
+    /// Wraps a block with its (pre-computed) root and signature.
+    pub fn new(message: BeaconBlock, signature: Signature, root: Root) -> Self {
+        SignedBeaconBlock {
+            message,
+            signature,
+            root,
+        }
+    }
+}
+
+impl fmt::Display for BeaconBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "block@{} by {} parent=0x{} ({} atts, {} slashings)",
+            self.slot,
+            self.proposer_index,
+            self.parent_root.short_hex(),
+            self.body.attestations.len(),
+            self.body.attester_slashings.len(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genesis_block_shape() {
+        let g = BeaconBlock::genesis();
+        assert_eq!(g.slot, Slot::GENESIS);
+        assert_eq!(g.parent_root, Root::ZERO);
+        assert!(g.body.attestations.is_empty());
+    }
+
+    #[test]
+    fn display_mentions_contents() {
+        let b = BeaconBlock::empty(Slot::new(9), ValidatorIndex::new(3), Root::from_u64(1));
+        let s = b.to_string();
+        assert!(s.contains("slot 9"));
+        assert!(s.contains("validator 3"));
+        assert!(s.contains("0 atts"));
+    }
+}

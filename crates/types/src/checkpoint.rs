@@ -1,0 +1,71 @@
+//! Checkpoints: the objects the finality gadget votes over.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::root::Root;
+use crate::time::Epoch;
+
+/// A checkpoint is a pair (block root, epoch): the block of the first slot
+/// of the epoch (or the latest block preceding it if that slot is empty).
+///
+/// Casper FFG votes are *source → target* checkpoint pairs; a checkpoint is
+/// **justified** when ≥ ⅔ of the stake casts the same vote targeting it,
+/// and **finalized** when it is justified and directly followed by another
+/// justified checkpoint.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Checkpoint {
+    /// Epoch of the checkpoint.
+    pub epoch: Epoch,
+    /// Root of the checkpoint block.
+    pub root: Root,
+}
+
+impl Checkpoint {
+    /// Creates a checkpoint.
+    pub const fn new(epoch: Epoch, root: Root) -> Self {
+        Checkpoint { epoch, root }
+    }
+
+    /// The genesis checkpoint for a given genesis block root.
+    pub const fn genesis(root: Root) -> Self {
+        Checkpoint {
+            epoch: Epoch::GENESIS,
+            root,
+        }
+    }
+}
+
+impl fmt::Display for Checkpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, 0x{})", self.epoch, self.root.short_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_by_epoch_first() {
+        let a = Checkpoint::new(Epoch::new(1), Root::from_u64(99));
+        let b = Checkpoint::new(Epoch::new(2), Root::from_u64(1));
+        assert!(a < b);
+    }
+
+    #[test]
+    fn genesis_checkpoint() {
+        let g = Checkpoint::genesis(Root::from_u64(7));
+        assert_eq!(g.epoch, Epoch::GENESIS);
+        assert_eq!(g.root, Root::from_u64(7));
+    }
+
+    #[test]
+    fn display() {
+        let c = Checkpoint::new(Epoch::new(3), Root::from_u64(0));
+        assert_eq!(c.to_string(), "(epoch 3, 0x00000000)");
+    }
+}

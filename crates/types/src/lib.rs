@@ -1,0 +1,59 @@
+//! Base types for the Ethereum proof-of-stake inactivity-leak reproduction.
+//!
+//! This crate provides the vocabulary shared by every other crate in the
+//! workspace: protocol time ([`Slot`], [`Epoch`]), stake denominations
+//! ([`Gwei`]), identifiers ([`ValidatorIndex`], [`Root`]), consensus
+//! messages ([`Attestation`], [`BeaconBlock`], [`Checkpoint`]) and the
+//! protocol constants bundle ([`ChainConfig`]).
+//!
+//! The types mirror the Ethereum consensus specification (Bellatrix era,
+//! the era analysed by the paper) closely enough that the state-transition
+//! crate reads like a consensus client, while staying free of any
+//! networking or cryptographic dependencies.
+//!
+//! # Example
+//!
+//! ```
+//! use ethpos_types::{ChainConfig, Epoch, Slot, Gwei};
+//!
+//! let config = ChainConfig::mainnet();
+//! let slot = Slot::new(70);
+//! assert_eq!(slot.epoch(config.slots_per_epoch), Epoch::new(2));
+//! assert_eq!(config.max_effective_balance, Gwei::from_eth_u64(32));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod attestation;
+pub mod block;
+pub mod checkpoint;
+pub mod config;
+pub mod root;
+pub mod slashing;
+pub mod time;
+pub mod units;
+pub mod validator;
+
+pub use attestation::{Attestation, AttestationData};
+pub use block::{BeaconBlock, BeaconBlockBody, SignedBeaconBlock};
+pub use checkpoint::Checkpoint;
+pub use config::ChainConfig;
+pub use root::Root;
+pub use slashing::AttesterSlashing;
+pub use time::{Epoch, Slot};
+pub use units::Gwei;
+pub use validator::ValidatorIndex;
+
+/// Convenient glob-import of the most frequently used types.
+pub mod prelude {
+    pub use crate::attestation::{Attestation, AttestationData};
+    pub use crate::block::{BeaconBlock, BeaconBlockBody, SignedBeaconBlock};
+    pub use crate::checkpoint::Checkpoint;
+    pub use crate::config::ChainConfig;
+    pub use crate::root::Root;
+    pub use crate::slashing::AttesterSlashing;
+    pub use crate::time::{Epoch, Slot};
+    pub use crate::units::Gwei;
+    pub use crate::validator::ValidatorIndex;
+}

@@ -1,0 +1,91 @@
+//! Slashing evidence.
+
+use serde::{Deserialize, Serialize};
+
+use crate::attestation::Attestation;
+use crate::validator::ValidatorIndex;
+
+/// Evidence that a set of validators signed two conflicting attestations
+/// (a *double vote* or a *surround vote*, Casper slashing rules I/II).
+///
+/// Processing this object slashes every validator that appears in both
+/// attestations.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AttesterSlashing {
+    /// First conflicting attestation.
+    pub attestation_1: Attestation,
+    /// Second conflicting attestation.
+    pub attestation_2: Attestation,
+}
+
+impl AttesterSlashing {
+    /// Creates evidence from two attestations.
+    pub fn new(attestation_1: Attestation, attestation_2: Attestation) -> Self {
+        AttesterSlashing {
+            attestation_1,
+            attestation_2,
+        }
+    }
+
+    /// True if the two attestations actually conflict under the Casper
+    /// slashing conditions.
+    pub fn is_valid_evidence(&self) -> bool {
+        self.attestation_1
+            .data
+            .is_slashable_with(&self.attestation_2.data)
+    }
+
+    /// The validators indicted by this evidence: those present in **both**
+    /// attestations (sorted ascending).
+    pub fn indicted_indices(&self) -> Vec<ValidatorIndex> {
+        self.attestation_1
+            .attesting_indices
+            .iter()
+            .copied()
+            .filter(|i| self.attestation_2.contains(*i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attestation::{AttestationData, Signature};
+    use crate::checkpoint::Checkpoint;
+    use crate::root::Root;
+    use crate::time::{Epoch, Slot};
+
+    fn att(indices: &[u64], head: u64, target_epoch: u64) -> Attestation {
+        Attestation::new(
+            indices.iter().map(|&i| i.into()).collect(),
+            AttestationData {
+                slot: Slot::new(target_epoch * 32),
+                beacon_block_root: Root::from_u64(head),
+                source: Checkpoint::new(Epoch::new(0), Root::from_u64(0)),
+                target: Checkpoint::new(Epoch::new(target_epoch), Root::from_u64(head)),
+            },
+            Signature(0),
+        )
+    }
+
+    #[test]
+    fn double_vote_evidence_is_valid() {
+        let ev = AttesterSlashing::new(att(&[1, 2, 3], 10, 5), att(&[2, 3, 4], 11, 5));
+        assert!(ev.is_valid_evidence());
+        assert_eq!(ev.indicted_indices(), vec![2u64.into(), 3u64.into()]);
+    }
+
+    #[test]
+    fn same_attestation_is_not_evidence() {
+        let a = att(&[1, 2], 10, 5);
+        let ev = AttesterSlashing::new(a.clone(), a);
+        assert!(!ev.is_valid_evidence());
+    }
+
+    #[test]
+    fn disjoint_attesters_indict_nobody() {
+        let ev = AttesterSlashing::new(att(&[1, 2], 10, 5), att(&[3, 4], 11, 5));
+        assert!(ev.is_valid_evidence());
+        assert!(ev.indicted_indices().is_empty());
+    }
+}

@@ -1,0 +1,251 @@
+//! Protocol time: slots and epochs.
+//!
+//! Ethereum PoS measures time in 12-second *slots*; 32 consecutive slots
+//! form an *epoch*, the unit at which justification, finalization, and all
+//! penalty accounting (including the inactivity leak) happen.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A slot number (12 seconds of protocol time).
+///
+/// Slots are consecutively numbered from genesis (slot 0).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Slot(u64);
+
+/// An epoch number (32 slots, 6 minutes 24 seconds of protocol time).
+///
+/// Epochs are the granularity of the finality gadget: checkpoints are
+/// epoch-boundary blocks, and the inactivity leak advances once per epoch.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Epoch(u64);
+
+impl Slot {
+    /// The genesis slot.
+    pub const GENESIS: Slot = Slot(0);
+
+    /// Creates a slot from its number.
+    pub const fn new(slot: u64) -> Self {
+        Slot(slot)
+    }
+
+    /// Returns the raw slot number.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the epoch that contains this slot.
+    pub const fn epoch(self, slots_per_epoch: u64) -> Epoch {
+        Epoch(self.0 / slots_per_epoch)
+    }
+
+    /// Returns this slot's offset within its epoch (`0..slots_per_epoch`).
+    pub const fn offset_in_epoch(self, slots_per_epoch: u64) -> u64 {
+        self.0 % slots_per_epoch
+    }
+
+    /// Returns `true` if this slot is the first slot of its epoch, i.e. a
+    /// checkpoint slot.
+    pub const fn is_epoch_start(self, slots_per_epoch: u64) -> bool {
+        self.0.is_multiple_of(slots_per_epoch)
+    }
+
+    /// The next slot.
+    pub const fn next(self) -> Slot {
+        Slot(self.0 + 1)
+    }
+
+    /// The previous slot, saturating at genesis.
+    pub const fn prev(self) -> Slot {
+        Slot(self.0.saturating_sub(1))
+    }
+
+    /// Saturating subtraction of a number of slots.
+    pub const fn saturating_sub(self, rhs: u64) -> Slot {
+        Slot(self.0.saturating_sub(rhs))
+    }
+}
+
+impl Epoch {
+    /// The genesis epoch.
+    pub const GENESIS: Epoch = Epoch(0);
+
+    /// Creates an epoch from its number.
+    pub const fn new(epoch: u64) -> Self {
+        Epoch(epoch)
+    }
+
+    /// Returns the raw epoch number.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the first slot of this epoch (its checkpoint slot).
+    pub const fn start_slot(self, slots_per_epoch: u64) -> Slot {
+        Slot(self.0 * slots_per_epoch)
+    }
+
+    /// Returns the last slot of this epoch.
+    pub const fn end_slot(self, slots_per_epoch: u64) -> Slot {
+        Slot(self.0 * slots_per_epoch + slots_per_epoch - 1)
+    }
+
+    /// The next epoch.
+    pub const fn next(self) -> Epoch {
+        Epoch(self.0 + 1)
+    }
+
+    /// The previous epoch, saturating at genesis.
+    pub const fn prev(self) -> Epoch {
+        Epoch(self.0.saturating_sub(1))
+    }
+
+    /// Saturating subtraction of a number of epochs.
+    pub const fn saturating_sub(self, rhs: u64) -> Epoch {
+        Epoch(self.0.saturating_sub(rhs))
+    }
+
+    /// Iterates over the slots of this epoch, in order.
+    pub fn slots(self, slots_per_epoch: u64) -> impl Iterator<Item = Slot> {
+        let start = self.start_slot(slots_per_epoch).as_u64();
+        (start..start + slots_per_epoch).map(Slot)
+    }
+}
+
+impl fmt::Display for Slot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slot {}", self.0)
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "epoch {}", self.0)
+    }
+}
+
+impl Add<u64> for Slot {
+    type Output = Slot;
+    fn add(self, rhs: u64) -> Slot {
+        Slot(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Slot {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Slot> for Slot {
+    type Output = u64;
+    fn sub(self, rhs: Slot) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl Add<u64> for Epoch {
+    type Output = Epoch;
+    fn add(self, rhs: u64) -> Epoch {
+        Epoch(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Epoch {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Epoch> for Epoch {
+    type Output = u64;
+    fn sub(self, rhs: Epoch) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl From<u64> for Slot {
+    fn from(v: u64) -> Self {
+        Slot(v)
+    }
+}
+
+impl From<u64> for Epoch {
+    fn from(v: u64) -> Self {
+        Epoch(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPE: u64 = 32;
+
+    #[test]
+    fn slot_to_epoch_boundaries() {
+        assert_eq!(Slot::new(0).epoch(SPE), Epoch::new(0));
+        assert_eq!(Slot::new(31).epoch(SPE), Epoch::new(0));
+        assert_eq!(Slot::new(32).epoch(SPE), Epoch::new(1));
+        assert_eq!(Slot::new(63).epoch(SPE), Epoch::new(1));
+        assert_eq!(Slot::new(64).epoch(SPE), Epoch::new(2));
+    }
+
+    #[test]
+    fn epoch_start_and_end_slots() {
+        assert_eq!(Epoch::new(0).start_slot(SPE), Slot::new(0));
+        assert_eq!(Epoch::new(0).end_slot(SPE), Slot::new(31));
+        assert_eq!(Epoch::new(3).start_slot(SPE), Slot::new(96));
+        assert_eq!(Epoch::new(3).end_slot(SPE), Slot::new(127));
+    }
+
+    #[test]
+    fn epoch_start_slot_roundtrip() {
+        for e in 0..100 {
+            let epoch = Epoch::new(e);
+            assert_eq!(epoch.start_slot(SPE).epoch(SPE), epoch);
+            assert!(epoch.start_slot(SPE).is_epoch_start(SPE));
+        }
+    }
+
+    #[test]
+    fn offset_in_epoch() {
+        assert_eq!(Slot::new(0).offset_in_epoch(SPE), 0);
+        assert_eq!(Slot::new(33).offset_in_epoch(SPE), 1);
+        assert_eq!(Slot::new(63).offset_in_epoch(SPE), 31);
+    }
+
+    #[test]
+    fn epoch_slots_iterator_covers_epoch() {
+        let slots: Vec<Slot> = Epoch::new(2).slots(SPE).collect();
+        assert_eq!(slots.len(), 32);
+        assert_eq!(slots[0], Slot::new(64));
+        assert_eq!(slots[31], Slot::new(95));
+        assert!(slots.iter().all(|s| s.epoch(SPE) == Epoch::new(2)));
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Slot::new(5) + 3, Slot::new(8));
+        assert_eq!(Slot::new(8) - Slot::new(5), 3);
+        assert_eq!(Epoch::new(5).next(), Epoch::new(6));
+        assert_eq!(Epoch::new(0).prev(), Epoch::new(0));
+        assert_eq!(Slot::new(2).saturating_sub(10), Slot::new(0));
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(Slot::new(1) < Slot::new(2));
+        assert!(Epoch::new(1) < Epoch::new(2));
+        assert_eq!(Slot::new(7).to_string(), "slot 7");
+        assert_eq!(Epoch::new(7).to_string(), "epoch 7");
+    }
+}

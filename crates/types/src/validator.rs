@@ -1,0 +1,61 @@
+//! Validator identifiers.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a validator in the beacon state's registry.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct ValidatorIndex(u64);
+
+impl ValidatorIndex {
+    /// Creates an index.
+    pub const fn new(i: u64) -> Self {
+        ValidatorIndex(i)
+    }
+
+    /// Raw index value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Index as `usize`, for registry vector access.
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ValidatorIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "validator {}", self.0)
+    }
+}
+
+impl From<u64> for ValidatorIndex {
+    fn from(v: u64) -> Self {
+        ValidatorIndex(v)
+    }
+}
+
+impl From<usize> for ValidatorIndex {
+    fn from(v: usize) -> Self {
+        ValidatorIndex(v as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let v = ValidatorIndex::new(42);
+        assert_eq!(v.as_u64(), 42);
+        assert_eq!(v.as_usize(), 42);
+        assert_eq!(ValidatorIndex::from(42usize), v);
+        assert_eq!(v.to_string(), "validator 42");
+    }
+}

@@ -1,0 +1,422 @@
+//! The paper's Byzantine strategies, expressed as *participation
+//! schedules* over the two branches of a fork.
+//!
+//! The coordinated adversary observes both branches (it is unaffected by
+//! the partition) and decides, epoch by epoch, on which branch(es) its
+//! validators attest:
+//!
+//! | Strategy | Paper | Behaviour | Outcome |
+//! |---|---|---|---|
+//! | [`DualActive`] | §5.2.1 | active on **both** branches every epoch (slashable double votes) | fastest conflicting finalization |
+//! | [`SemiActive`] | §5.2.2 | alternate branches; dwell two epochs per branch once ⅔ is reachable | conflicting finalization without slashing |
+//! | [`ThresholdSeeker`] | §5.2.3 | alternate forever, refuse to finalize | Byzantine proportion exceeds ⅓ |
+//! | [`Bouncing`] | §5.3 | alternate after GST, withholding votes to keep honest validators bouncing | probabilistic breach of the ⅓ threshold |
+
+use ethpos_types::{Epoch, ValidatorIndex};
+
+use crate::duties::ProposerLottery;
+
+/// Per-branch observation handed to a strategy at each epoch: everything
+/// the coordinated adversary can compute from that branch's state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchStatus {
+    /// Branch id (0 or 1).
+    pub branch: usize,
+    /// Epoch about to be attested.
+    pub epoch: u64,
+    /// Total active effective balance on this branch (Gwei).
+    pub total_active_stake: u64,
+    /// Effective balance of the honest validators that will attest this
+    /// branch this epoch (Gwei).
+    pub honest_active_stake: u64,
+    /// Effective balance of the (non-exited) Byzantine validators on this
+    /// branch (Gwei).
+    pub byzantine_stake: u64,
+    /// This branch's current justified epoch.
+    pub justified_epoch: u64,
+    /// This branch's current finalized epoch.
+    pub finalized_epoch: u64,
+}
+
+impl BranchStatus {
+    /// The active-stake ratio this branch would see **if** the Byzantine
+    /// validators attest on it this epoch.
+    pub fn ratio_with_byzantine(&self) -> f64 {
+        if self.total_active_stake == 0 {
+            return 0.0;
+        }
+        (self.honest_active_stake + self.byzantine_stake) as f64 / self.total_active_stake as f64
+    }
+
+    /// The active-stake ratio without Byzantine help.
+    pub fn ratio_honest_only(&self) -> f64 {
+        if self.total_active_stake == 0 {
+            return 0.0;
+        }
+        self.honest_active_stake as f64 / self.total_active_stake as f64
+    }
+
+    /// True if Byzantine participation would push this branch to the ⅔
+    /// justification threshold.
+    pub fn two_thirds_reachable(&self) -> bool {
+        3 * (self.honest_active_stake as u128 + self.byzantine_stake as u128)
+            >= 2 * self.total_active_stake as u128
+    }
+}
+
+/// A Byzantine participation schedule over a two-branch fork.
+pub trait ByzantineSchedule: core::fmt::Debug {
+    /// Decides whether the Byzantine validators attest on branch 0 / 1 at
+    /// this epoch, given both branch observations.
+    fn participate(&mut self, status: &[BranchStatus; 2]) -> [bool; 2];
+
+    /// Strategy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+// ─── §5.2.1: slashable dual voting ──────────────────────────────────────
+
+/// Active on both branches every epoch — equivocating attestations, a
+/// slashable offence that stays unpunished while the partition hides the
+/// evidence (paper §5.2.1, Fig. 4).
+#[derive(Debug, Clone, Default)]
+pub struct DualActive;
+
+impl ByzantineSchedule for DualActive {
+    fn participate(&mut self, _status: &[BranchStatus; 2]) -> [bool; 2] {
+        [true, true]
+    }
+
+    fn name(&self) -> &'static str {
+        "dual-active (slashable)"
+    }
+}
+
+// ─── §5.2.2: non-slashable semi-active alternation ──────────────────────
+
+/// Phase of the [`SemiActive`] state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SemiActivePhase {
+    /// Alternating between branches (active every other epoch on each).
+    Alternate,
+    /// Dwelling two consecutive epochs on branch 0 to finalize it.
+    DwellFirst { since: u64 },
+    /// Dwelling two consecutive epochs on branch 1 to finalize it.
+    DwellSecond { since: u64 },
+    /// Both branches finalized; keep alternating (harmless).
+    Done,
+}
+
+/// Alternate between the branches each epoch (never two identical-epoch
+/// votes ⇒ not slashable); once both branches can reach ⅔ with Byzantine
+/// help, dwell two consecutive epochs on each to finalize them both
+/// (paper §5.2.2, Fig. 5).
+#[derive(Debug, Clone)]
+pub struct SemiActive {
+    phase: SemiActivePhase,
+}
+
+impl SemiActive {
+    /// Creates the strategy in its alternating phase.
+    pub fn new() -> Self {
+        SemiActive {
+            phase: SemiActivePhase::Alternate,
+        }
+    }
+
+    /// True once both branches have been finalized by the dwell phases.
+    pub fn is_done(&self) -> bool {
+        self.phase == SemiActivePhase::Done
+    }
+}
+
+impl Default for SemiActive {
+    fn default() -> Self {
+        SemiActive::new()
+    }
+}
+
+impl ByzantineSchedule for SemiActive {
+    fn participate(&mut self, status: &[BranchStatus; 2]) -> [bool; 2] {
+        let e = status[0].epoch;
+        match self.phase {
+            SemiActivePhase::Alternate => {
+                if status[0].two_thirds_reachable() && status[1].two_thirds_reachable() {
+                    self.phase = SemiActivePhase::DwellFirst { since: e };
+                    [true, false]
+                } else if e.is_multiple_of(2) {
+                    [true, false]
+                } else {
+                    [false, true]
+                }
+            }
+            SemiActivePhase::DwellFirst { since } => {
+                if e < since + 2 {
+                    [true, false]
+                } else if status[0].finalized_epoch + 2 >= since {
+                    // branch 0 finalized (or will momentarily): move on
+                    self.phase = SemiActivePhase::DwellSecond { since: e };
+                    [false, true]
+                } else {
+                    // keep dwelling until finalization shows up
+                    [true, false]
+                }
+            }
+            SemiActivePhase::DwellSecond { since } => {
+                if e < since + 2 {
+                    [false, true]
+                } else if status[1].finalized_epoch + 2 >= since {
+                    self.phase = SemiActivePhase::Done;
+                    [true, false]
+                } else {
+                    [false, true]
+                }
+            }
+            SemiActivePhase::Done => {
+                if e.is_multiple_of(2) {
+                    [true, false]
+                } else {
+                    [false, true]
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "semi-active (non-slashable)"
+    }
+}
+
+// ─── §5.2.3: exceed the one-third threshold ─────────────────────────────
+
+/// Alternate forever and *refuse to finalize*, letting the inactivity
+/// leak drain honest validators on both branches until the Byzantine
+/// stake proportion exceeds ⅓ (paper §5.2.3).
+///
+/// The strategy records the running maximum of its stake proportion per
+/// branch so scenario drivers can report β(t).
+#[derive(Debug, Clone, Default)]
+pub struct ThresholdSeeker {
+    /// Highest Byzantine stake proportion observed on each branch.
+    pub max_proportion: [f64; 2],
+}
+
+impl ThresholdSeeker {
+    /// Creates the strategy.
+    pub fn new() -> Self {
+        ThresholdSeeker::default()
+    }
+
+    /// The Byzantine stake proportion currently observable on `branch`.
+    pub fn proportion(status: &BranchStatus) -> f64 {
+        if status.total_active_stake == 0 {
+            return 0.0;
+        }
+        status.byzantine_stake as f64 / status.total_active_stake as f64
+    }
+}
+
+impl ByzantineSchedule for ThresholdSeeker {
+    fn participate(&mut self, status: &[BranchStatus; 2]) -> [bool; 2] {
+        for (i, st) in status.iter().enumerate() {
+            self.max_proportion[i] = self.max_proportion[i].max(Self::proportion(st));
+        }
+        let e = status[0].epoch;
+        if e.is_multiple_of(2) {
+            [true, false]
+        } else {
+            [false, true]
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "threshold-seeker (β > 1/3)"
+    }
+}
+
+// ─── §5.3: probabilistic bouncing ───────────────────────────────────────
+
+/// The probabilistic bouncing attack under the inactivity leak: Byzantine
+/// validators alternate branches, releasing withheld votes so honest
+/// validators keep bouncing between chains. The attack continues at each
+/// epoch only if some Byzantine proposer lands in the first `j` slots
+/// (paper §5.3).
+#[derive(Debug, Clone)]
+pub struct Bouncing {
+    lottery: ProposerLottery,
+    byzantine_threshold: u64,
+    j: u64,
+    slots_per_epoch: u64,
+    /// Epoch at which the attack died (no Byzantine proposer in the first
+    /// `j` slots), if it has.
+    pub failed_at: Option<u64>,
+}
+
+impl Bouncing {
+    /// Creates the strategy. Validators `0..byzantine_threshold` are the
+    /// Byzantine set (the simulators use this convention).
+    pub fn new(seed: u64, n: u64, byzantine_threshold: u64, j: u64, slots_per_epoch: u64) -> Self {
+        Bouncing {
+            lottery: ProposerLottery::new(seed, n),
+            byzantine_threshold,
+            j,
+            slots_per_epoch,
+            failed_at: None,
+        }
+    }
+
+    /// True if the attack can continue at `epoch`: a Byzantine proposer
+    /// occupies one of the first `j` slots.
+    pub fn continues_at(&self, epoch: Epoch) -> bool {
+        self.lottery
+            .any_proposer_in_first_slots(epoch, self.j, self.slots_per_epoch, |v| {
+                self.is_byzantine(v)
+            })
+    }
+
+    /// Whether `v` belongs to the Byzantine set.
+    pub fn is_byzantine(&self, v: ValidatorIndex) -> bool {
+        v.as_u64() < self.byzantine_threshold
+    }
+
+    /// The proposer lottery in use.
+    pub fn lottery(&self) -> &ProposerLottery {
+        &self.lottery
+    }
+}
+
+impl ByzantineSchedule for Bouncing {
+    fn participate(&mut self, status: &[BranchStatus; 2]) -> [bool; 2] {
+        let e = status[0].epoch;
+        if self.failed_at.is_none() && !self.continues_at(Epoch::new(e)) {
+            self.failed_at = Some(e);
+        }
+        if self.failed_at.is_some() {
+            // Attack over: converge on branch 0 (honest validators follow).
+            return [true, false];
+        }
+        if e.is_multiple_of(2) {
+            [true, false]
+        } else {
+            [false, true]
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "probabilistic bouncing"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn status(epoch: u64, honest: u64, byz: u64, total: u64) -> BranchStatus {
+        BranchStatus {
+            branch: 0,
+            epoch,
+            total_active_stake: total,
+            honest_active_stake: honest,
+            byzantine_stake: byz,
+            justified_epoch: 0,
+            finalized_epoch: 0,
+        }
+    }
+
+    #[test]
+    fn dual_active_is_always_on_both() {
+        let mut s = DualActive;
+        let st = [status(0, 10, 5, 30), status(0, 15, 5, 30)];
+        assert_eq!(s.participate(&st), [true, true]);
+    }
+
+    #[test]
+    fn two_thirds_reachable_is_exact() {
+        assert!(status(0, 10, 10, 30).two_thirds_reachable()); // 20/30 = 2/3
+        assert!(!status(0, 10, 9, 30).two_thirds_reachable()); // 19/30 < 2/3
+    }
+
+    #[test]
+    fn semi_active_alternates_before_threshold() {
+        let mut s = SemiActive::new();
+        let far = [status(0, 10, 2, 100), {
+            let mut b = status(0, 10, 2, 100);
+            b.branch = 1;
+            b
+        }];
+        assert_eq!(s.participate(&far), [true, false]); // epoch 0
+        let mut next = far;
+        next[0].epoch = 1;
+        next[1].epoch = 1;
+        assert_eq!(s.participate(&next), [false, true]); // epoch 1
+    }
+
+    #[test]
+    fn semi_active_dwells_when_two_thirds_reachable() {
+        let mut s = SemiActive::new();
+        let near = |e: u64| {
+            let mut a = status(e, 50, 20, 100);
+            let mut b = status(e, 48, 20, 100);
+            a.branch = 0;
+            b.branch = 1;
+            [a, b]
+        };
+        // epoch 10: both reachable ⇒ dwell on branch 0 for 2 epochs
+        assert_eq!(s.participate(&near(10)), [true, false]);
+        assert_eq!(s.participate(&near(11)), [true, false]);
+        // epoch 12: branch 0 finalized recently ⇒ dwell on branch 1
+        let mut st = near(12);
+        st[0].finalized_epoch = 10;
+        assert_eq!(s.participate(&st), [false, true]);
+        let mut st = near(13);
+        st[0].finalized_epoch = 10;
+        assert_eq!(s.participate(&st), [false, true]);
+        let mut st = near(14);
+        st[0].finalized_epoch = 10;
+        st[1].finalized_epoch = 12;
+        let _ = s.participate(&st);
+        assert!(s.is_done());
+    }
+
+    #[test]
+    fn threshold_seeker_never_dwells() {
+        let mut s = ThresholdSeeker::new();
+        for e in 0..10u64 {
+            let st = [status(e, 50, 40, 100), status(e, 50, 40, 100)];
+            let p = s.participate(&st);
+            assert_eq!(p, [e % 2 == 0, e % 2 == 1]);
+        }
+        assert!(s.max_proportion[0] > 0.0);
+    }
+
+    #[test]
+    fn bouncing_fails_without_byzantine_proposer() {
+        // Zero Byzantine validators: the attack dies at epoch 0.
+        let mut s = Bouncing::new(1, 100, 0, 8, 32);
+        let st = [status(0, 50, 0, 100), status(0, 50, 0, 100)];
+        s.participate(&st);
+        assert_eq!(s.failed_at, Some(0));
+    }
+
+    #[test]
+    fn bouncing_with_all_byzantine_never_fails() {
+        let mut s = Bouncing::new(1, 100, 100, 8, 32);
+        for e in 0..50u64 {
+            let st = [status(e, 0, 100, 100), status(e, 0, 100, 100)];
+            s.participate(&st);
+        }
+        assert_eq!(s.failed_at, None);
+    }
+
+    #[test]
+    fn bouncing_continuation_rate_tracks_beta() {
+        let s = Bouncing::new(9, 300, 100, 8, 32);
+        let epochs = 3000u64;
+        let hits = (0..epochs)
+            .filter(|&e| s.continues_at(Epoch::new(e)))
+            .count();
+        let rate = hits as f64 / epochs as f64;
+        let expected = 1.0 - (2.0f64 / 3.0).powi(8);
+        assert!((rate - expected).abs() < 0.03, "rate {rate} vs {expected}");
+    }
+}

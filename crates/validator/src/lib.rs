@@ -1,0 +1,24 @@
+//! Validator behaviours.
+//!
+//! * [`duties`] — who proposes which slot and who attests when (a seeded
+//!   lottery standing in for RANDAO);
+//! * [`honest`] — protocol-following proposer/attester message builders;
+//! * [`byzantine`] — the paper's adversarial strategies as *participation
+//!   schedules* over the two branches of a fork:
+//!   [`byzantine::DualActive`] (§5.2.1, slashable),
+//!   [`byzantine::SemiActive`] (§5.2.2, non-slashable, fastest
+//!   finalization), [`byzantine::ThresholdSeeker`] (§5.2.3, maximize the
+//!   Byzantine stake proportion) and [`byzantine::Bouncing`] (§5.3, the
+//!   probabilistic bouncing attack under the inactivity leak).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod byzantine;
+pub mod duties;
+pub mod honest;
+
+pub use byzantine::{
+    BranchStatus, Bouncing, ByzantineSchedule, DualActive, SemiActive, ThresholdSeeker,
+};
+pub use duties::ProposerLottery;

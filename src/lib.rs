@@ -1,0 +1,40 @@
+//! # ethpos — Byzantine Attacks Exploiting Penalties in Ethereum PoS
+//!
+//! Facade crate re-exporting the whole workspace: a from-scratch Rust
+//! reproduction of *Byzantine Attacks Exploiting Penalties in Ethereum
+//! PoS* (Pavloff, Amoussou-Guenou, Tucci-Piergiovanni — DSN 2024).
+//!
+//! The workspace contains:
+//!
+//! * [`types`] — slots, epochs, Gwei, checkpoints, attestations, blocks;
+//! * [`crypto`] — simulated (model-faithful) signatures and hashing;
+//! * [`stats`] — erf, normal/log-normal laws, root finding, quadrature;
+//! * [`state`] — the beacon state transition with the inactivity leak;
+//! * [`forkchoice`] — proto-array LMD-GHOST;
+//! * [`network`] — partially synchronous simulated network with partitions;
+//! * [`validator`] — honest and Byzantine validator behaviours;
+//! * [`sim`] — slot-level and cohort epoch-level simulators;
+//! * [`core`] — the paper's analytical model and the five attack
+//!   scenarios, plus the experiment registry regenerating every table and
+//!   figure.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ethpos::core::experiments::{Experiment, run_experiment};
+//!
+//! // Regenerate Table 2 of the paper (conflicting finalization epochs
+//! // under the slashable dual-voting attack).
+//! let table = run_experiment(Experiment::Table2Slashable);
+//! println!("{}", table.render_text());
+//! ```
+
+pub use ethpos_core as core;
+pub use ethpos_crypto as crypto;
+pub use ethpos_forkchoice as forkchoice;
+pub use ethpos_network as network;
+pub use ethpos_sim as sim;
+pub use ethpos_state as state;
+pub use ethpos_stats as stats;
+pub use ethpos_types as types;
+pub use ethpos_validator as validator;

@@ -1,0 +1,94 @@
+//! Cross-validation of the three engines (slot-level, cohort, analytic)
+//! on overlapping scenarios.
+
+use ethpos::core::stake_model::StakeBehavior;
+use ethpos::network::NetworkConfig;
+use ethpos::sim::{
+    run_single_branch, Behavior, SlotSim, SlotSimConfig, TwoBranchConfig, TwoBranchSim,
+};
+use ethpos::types::{ChainConfig, Slot};
+use ethpos::validator::DualActive;
+
+/// Slot-level and cohort engines agree on the supermajority-partition
+/// outcome: the 70% branch finalizes, the 30% branch does not (within a
+/// short horizon).
+#[test]
+fn slot_and_cohort_agree_on_supermajority_partition() {
+    // slot level
+    let mut cfg = SlotSimConfig::healthy(10, 10 * 8);
+    cfg.network = NetworkConfig::partitioned(Slot::new(1_000_000));
+    cfg.honest_group = vec![0, 0, 0, 0, 0, 0, 0, 1, 1, 1];
+    let slot_report = SlotSim::new(cfg).run();
+
+    // cohort level (same proportions)
+    let cohort_cfg = TwoBranchConfig {
+        stop_on_conflict: false,
+        record_every: 1,
+        chain: ChainConfig::minimal(),
+        ..TwoBranchConfig::paper(10, 0, 0.7, 10)
+    };
+    let cohort = TwoBranchSim::new(cohort_cfg, Box::new(DualActive)).run();
+    let last = cohort.history.last().expect("history recorded");
+
+    assert!(slot_report.finalized[0].epoch.as_u64() > 0);
+    assert_eq!(slot_report.finalized[1].epoch.as_u64(), 0);
+    assert!(last.branch[0].finalized_epoch > 0);
+    assert_eq!(last.branch[1].finalized_epoch, 0);
+}
+
+/// The cohort engine's integer arithmetic tracks the paper's continuous
+/// stake model within 1% over 3000 epochs for both decaying behaviours.
+#[test]
+fn cohort_tracks_continuous_stake_model() {
+    let behaviors = {
+        let mut v = vec![Behavior::Active, Behavior::SemiActive, Behavior::Inactive];
+        v.extend(std::iter::repeat_n(Behavior::Inactive, 7));
+        v
+    };
+    let discrete = run_single_branch(ChainConfig::paper(), &behaviors, 3000);
+    for (idx, model) in [(1, StakeBehavior::SemiActive), (2, StakeBehavior::Inactive)] {
+        for &t in &[1000u64, 2000, 3000] {
+            let sim_eth = discrete[idx].balance_gwei[t as usize] as f64 / 1e9;
+            let ode = model.stake(t as f64);
+            let rel = (sim_eth - ode).abs() / ode;
+            assert!(
+                rel < 0.01,
+                "{model:?} at t={t}: sim {sim_eth:.3} vs ODE {ode:.3} ({rel:.4})"
+            );
+        }
+    }
+}
+
+/// Both finalization-time engines see the β₀ → ⅓ cliff: at β₀ = ⅓ the
+/// conflicting finalization is immediate (first possible epochs), far
+/// from the β₀ = 0.2 value.
+#[test]
+fn finalization_cliff_near_one_third() {
+    let cfg = TwoBranchConfig {
+        record_every: u64::MAX,
+        ..TwoBranchConfig::paper(300, 100, 0.5, 100) // β0 = 1/3 exactly
+    };
+    let out = TwoBranchSim::new(cfg, Box::new(DualActive)).run();
+    let t = out.conflicting_finalization_epoch.expect("immediate");
+    assert!(t < 10, "β0 = 1/3 must finalize almost immediately, got {t}");
+}
+
+/// Ejection epochs measured by the cohort engine vs closed forms.
+#[test]
+fn ejection_epochs_cross_engine() {
+    let behaviors = {
+        let mut v = vec![Behavior::Active, Behavior::SemiActive, Behavior::Inactive];
+        v.extend(std::iter::repeat_n(Behavior::Inactive, 7));
+        v
+    };
+    let t = run_single_branch(ChainConfig::paper(), &behaviors, 8000);
+    let inactive_ej = t[2].ejected_at.expect("inactive ejected") as f64;
+    let semi_ej = t[1].ejected_at.expect("semi-active ejected") as f64;
+    let inactive_model = StakeBehavior::Inactive.ejection_epoch().unwrap();
+    let semi_model = StakeBehavior::SemiActive.ejection_epoch().unwrap();
+    assert!((inactive_ej - inactive_model).abs() / inactive_model < 0.01);
+    assert!((semi_ej - semi_model).abs() / semi_model < 0.01);
+    // paper's quoted constants are within 0.7% of the measurements
+    assert!((inactive_ej - 4685.0).abs() / 4685.0 < 0.007);
+    assert!((semi_ej - 7652.0).abs() / 7652.0 < 0.007);
+}

@@ -1,0 +1,97 @@
+//! The experiment registry end-to-end: every table/figure renders, every
+//! paper-pinned headline number appears in the output, and the JSON
+//! export round-trips.
+
+use ethpos::core::experiments::{run_experiment, Experiment};
+
+#[test]
+fn every_experiment_renders_and_serializes() {
+    for e in Experiment::all() {
+        let out = run_experiment(e);
+        let text = out.render_text();
+        assert!(text.starts_with("# "), "{}: no title", e.id());
+        assert!(text.len() > 60, "{}: suspiciously short", e.id());
+        let json = out.to_json();
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert!(parsed.get("tables").is_some());
+        assert!(parsed.get("series").is_some());
+    }
+}
+
+#[test]
+fn paper_headline_numbers_appear_in_outputs() {
+    let checks: &[(Experiment, &[&str])] = &[
+        (
+            Experiment::Fig2StakeTrajectories,
+            &["4685", "7652", "4660.6", "7610.7"],
+        ),
+        (Experiment::Fig3ActiveRatio, &["3107", "4685"]),
+        (
+            Experiment::Table1Outcomes,
+            &["2 finalized branches", "β > 1/3", "β > 1/3 probably"],
+        ),
+        (
+            Experiment::Table2Slashable,
+            &["4685", "4066", "3622", "3107", "502"],
+        ),
+        (Experiment::Table3NonSlashable, &["4685", "556", "4221", "3819", "3328"]),
+        (Experiment::Fig7ThresholdRegion, &["0.2421"]),
+        (Experiment::Fig8MarkovTransitions, &["0.2500", "0.5000", "3.0000"]),
+        (Experiment::Fig10ThresholdProbability, &["0.5000"]),
+    ];
+    for (experiment, needles) in checks {
+        let text = run_experiment(*experiment).render_text();
+        for needle in *needles {
+            assert!(
+                text.contains(needle),
+                "{}: missing `{needle}` in\n{text}",
+                experiment.id()
+            );
+        }
+    }
+}
+
+#[test]
+fn figure_series_are_well_formed() {
+    for e in [
+        Experiment::Fig2StakeTrajectories,
+        Experiment::Fig3ActiveRatio,
+        Experiment::Fig6FinalizationTime,
+        Experiment::Fig7ThresholdRegion,
+        Experiment::Fig9StakeDistribution,
+        Experiment::Fig10ThresholdProbability,
+    ] {
+        let out = run_experiment(e);
+        assert!(!out.series.is_empty(), "{}: no series", e.id());
+        for s in &out.series {
+            assert_eq!(s.x.len(), s.y.len(), "{}: ragged series", e.id());
+            assert!(!s.x.is_empty());
+            assert!(
+                s.y.iter().all(|v| v.is_finite()),
+                "{}: non-finite values in {}",
+                e.id(),
+                s.name
+            );
+        }
+    }
+}
+
+#[test]
+fn fig10_curves_are_ordered_by_beta() {
+    let out = run_experiment(Experiment::Fig10ThresholdProbability);
+    // at the common abscissa t = 4000, curves with larger β0 dominate
+    let values_at_4000: Vec<f64> = out
+        .series
+        .iter()
+        .map(|s| {
+            let idx = s.x.iter().position(|&t| t == 4000.0).expect("grid point");
+            s.y[idx]
+        })
+        .collect();
+    for w in values_at_4000.windows(2) {
+        assert!(
+            w[0] >= w[1] - 1e-12,
+            "curves out of order: {values_at_4000:?}"
+        );
+    }
+}
