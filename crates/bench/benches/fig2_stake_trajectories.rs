@@ -10,10 +10,7 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     print_experiment(Experiment::Fig2StakeTrajectories);
-    eprintln!(
-        "{}",
-        simulated::fig2_discrete(8000).render_text()
-    );
+    eprintln!("{}", simulated::fig2_discrete(8000).render_text());
 
     c.bench_function("fig2/analytic_curves", |b| {
         b.iter(|| {

@@ -16,7 +16,12 @@ fn bench(c: &mut Criterion) {
         b.iter(|| black_box(semi_active::table3()))
     });
     c.bench_function("table3/eq10_brent_root", |b| {
-        b.iter(|| black_box(semi_active::two_thirds_epoch(black_box(0.5), black_box(0.2))))
+        b.iter(|| {
+            black_box(semi_active::two_thirds_epoch(
+                black_box(0.5),
+                black_box(0.2),
+            ))
+        })
     });
     let mut g = c.benchmark_group("table3/simulated");
     g.sample_size(10);

@@ -1,0 +1,254 @@
+//! Argument parsing and rendering for `ethpos-cli`, split out of the
+//! binary so the logic is unit-testable.
+//!
+//! The CLI regenerates paper experiments through
+//! [`ethpos_core::experiments::run_experiment`]: each positional argument
+//! is an experiment id (`fig2` … `table3`) or `all`, and `--format`
+//! selects rendered text (default) or JSON. JSON output is always a
+//! single document: one object per selected experiment, wrapped in an
+//! array when more than one experiment is selected.
+
+#![warn(missing_docs)]
+
+use ethpos_core::experiments::{run_experiment, Experiment};
+
+/// Usage text printed on `--help` and argument errors.
+pub const USAGE: &str = "\
+ethpos-cli — reproduce the tables and figures of
+'Byzantine Attacks Exploiting Penalties in Ethereum PoS' (DSN 2024)
+
+USAGE:
+    ethpos-cli [EXPERIMENT]... [--format text|json]
+    ethpos-cli --list
+
+ARGS:
+    EXPERIMENT    fig2 fig3 fig6 fig7 fig8 fig9 fig10 table1 table2 table3,
+                  or `all` for every experiment in paper order
+
+OPTIONS:
+    --format <text|json>    Output format [default: text]
+    --list                  List experiment ids with their paper reference
+    --help                  Show this help";
+
+/// Output format selected with `--format`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Rendered tables and series summaries.
+    Text,
+    /// The full experiment outputs (every series point) as JSON.
+    Json,
+}
+
+/// What one invocation should do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cli {
+    /// Run the selected experiments and print them.
+    Run {
+        /// Experiments in the order they will run.
+        experiments: Vec<Experiment>,
+        /// Selected output format.
+        format: Format,
+    },
+    /// Print the experiment table (`--list`).
+    List,
+    /// Print [`USAGE`] (`--help`).
+    Help,
+}
+
+/// A failed parse: the message to print before [`USAGE`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// Unknown id, unknown flag or malformed `--format`.
+    Usage(String),
+}
+
+/// Parses command-line arguments (without the program name).
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliError> {
+    let mut experiments = Vec::new();
+    let mut format = Format::Text;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(Cli::Help),
+            "--list" => return Ok(Cli::List),
+            "--format" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--format needs a value".into()))?;
+                format = parse_format(&value)?;
+            }
+            other if other.starts_with("--format=") => {
+                format = parse_format(&other["--format=".len()..])?;
+            }
+            other if other.starts_with('-') => {
+                return Err(CliError::Usage(format!("unknown option `{other}`")));
+            }
+            "all" => experiments.extend(Experiment::all()),
+            id => {
+                let experiment = Experiment::from_id(id).ok_or_else(|| {
+                    CliError::Usage(format!(
+                        "unknown experiment `{id}` (try --list for the valid ids)"
+                    ))
+                })?;
+                experiments.push(experiment);
+            }
+        }
+    }
+    if experiments.is_empty() {
+        return Err(CliError::Usage("no experiment selected".into()));
+    }
+    // Order-preserving dedup: `ethpos-cli all fig2` runs fig2 once.
+    let mut seen = Vec::new();
+    experiments.retain(|e| {
+        let fresh = !seen.contains(e);
+        seen.push(*e);
+        fresh
+    });
+    Ok(Cli::Run {
+        experiments,
+        format,
+    })
+}
+
+fn parse_format(value: &str) -> Result<Format, CliError> {
+    match value {
+        "text" => Ok(Format::Text),
+        "json" => Ok(Format::Json),
+        other => Err(CliError::Usage(format!(
+            "unknown format `{other}` (expected `text` or `json`)"
+        ))),
+    }
+}
+
+/// Executes a parsed invocation and returns everything to print.
+pub fn run(cli: &Cli) -> String {
+    match cli {
+        Cli::Help => format!("{USAGE}\n"),
+        Cli::List => {
+            let mut out = String::from("id      paper reference\n");
+            for e in Experiment::all() {
+                out.push_str(&format!("{:<7} {}\n", e.id(), e.title()));
+            }
+            out
+        }
+        Cli::Run {
+            experiments,
+            format: Format::Text,
+        } => {
+            let mut out = String::new();
+            for e in experiments {
+                out.push_str(&run_experiment(*e).render_text());
+                out.push('\n');
+            }
+            out
+        }
+        Cli::Run {
+            experiments,
+            format: Format::Json,
+        } => {
+            let outputs: Vec<String> = experiments
+                .iter()
+                .map(|e| run_experiment(*e).to_json())
+                .collect();
+            match outputs.as_slice() {
+                [single] => format!("{single}\n"),
+                many => format!("[{}]\n", many.join(",\n")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn every_id_parses_to_its_experiment() {
+        for e in Experiment::all() {
+            match parse_args(args(&[e.id()])) {
+                Ok(Cli::Run {
+                    experiments,
+                    format,
+                }) => {
+                    assert_eq!(experiments, vec![e]);
+                    assert_eq!(format, Format::Text);
+                }
+                other => panic!("{}: parsed to {other:?}", e.id()),
+            }
+        }
+    }
+
+    #[test]
+    fn all_expands_in_paper_order() {
+        let Ok(Cli::Run { experiments, .. }) = parse_args(args(&["all"])) else {
+            panic!("`all` did not parse");
+        };
+        assert_eq!(experiments, Experiment::all().to_vec());
+    }
+
+    #[test]
+    fn unknown_id_is_a_usage_error() {
+        for bad in ["fig42", "table9", "figure2", ""] {
+            let err = parse_args(args(&[bad]));
+            assert!(
+                matches!(err, Err(CliError::Usage(_))),
+                "`{bad}` parsed to {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn format_flag_both_spellings() {
+        for argv in [
+            args(&["fig2", "--format", "json"]),
+            args(&["--format=json", "fig2"]),
+        ] {
+            let Ok(Cli::Run { format, .. }) = parse_args(argv) else {
+                panic!("format flag did not parse");
+            };
+            assert_eq!(format, Format::Json);
+        }
+        assert!(matches!(
+            parse_args(args(&["fig2", "--format", "yaml"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(args(&["fig2", "--format"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn no_experiment_is_a_usage_error() {
+        assert!(matches!(parse_args(args(&[])), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn duplicate_selection_runs_once_even_when_not_adjacent() {
+        let Ok(Cli::Run { experiments, .. }) = parse_args(args(&["all", "fig2"])) else {
+            panic!("`all fig2` did not parse");
+        };
+        assert_eq!(experiments, Experiment::all().to_vec());
+    }
+
+    #[test]
+    fn json_run_emits_one_valid_document() {
+        let cli = parse_args(args(&["table2", "--format", "json"])).unwrap();
+        let out = run(&cli);
+        let value: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(
+            value.get("experiment").and_then(|v| v.as_str()),
+            Some("Table2Slashable")
+        );
+        assert!(value.get("tables").is_some());
+
+        let cli = parse_args(args(&["fig8", "table1", "--format", "json"])).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&run(&cli)).unwrap();
+        let items = value.as_array().expect("array for multiple experiments");
+        assert_eq!(items.len(), 2);
+    }
+}

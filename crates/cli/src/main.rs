@@ -1,0 +1,28 @@
+//! `ethpos-cli` — regenerate any table or figure of *Byzantine Attacks
+//! Exploiting Penalties in Ethereum PoS* (Pavloff, Amoussou-Guenou,
+//! Tucci-Piergiovanni — DSN 2024) from the analytical model.
+//!
+//! ```bash
+//! cargo run --release -p ethpos-cli -- table2        # one experiment
+//! cargo run --release -p ethpos-cli -- fig2 fig10    # several
+//! cargo run --release -p ethpos-cli -- all           # the whole paper
+//! cargo run --release -p ethpos-cli -- all --format json
+//! cargo run --release -p ethpos-cli -- --list
+//! ```
+
+use std::process::ExitCode;
+
+use ethpos_cli::{parse_args, run, CliError, USAGE};
+
+fn main() -> ExitCode {
+    match parse_args(std::env::args().skip(1)) {
+        Ok(cli) => {
+            print!("{}", run(&cli));
+            ExitCode::SUCCESS
+        }
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

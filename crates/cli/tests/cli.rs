@@ -1,0 +1,63 @@
+//! End-to-end tests of the `ethpos-cli` binary: experiment-id parsing at
+//! the process boundary, exit codes, and JSON that round-trips through
+//! serde.
+
+use std::process::{Command, Output};
+
+fn ethpos_cli(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ethpos-cli"))
+        .args(args)
+        .output()
+        .expect("spawn ethpos-cli")
+}
+
+#[test]
+fn single_experiment_renders_text() {
+    let out = ethpos_cli(&["table2"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.starts_with("# "), "no title in:\n{text}");
+    // Paper headline: conflicting finalization at epoch 3107 for β0 = 0.33.
+    assert!(text.contains("3107"), "missing headline number:\n{text}");
+}
+
+#[test]
+fn json_output_round_trips_through_serde() {
+    let out = ethpos_cli(&["fig8", "--format", "json"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    let value: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+    assert_eq!(
+        value.get("experiment").and_then(|v| v.as_str()),
+        Some("Fig8MarkovTransitions")
+    );
+    for key in ["title", "tables", "series"] {
+        assert!(value.get(key).is_some(), "missing `{key}`");
+    }
+    // Render → parse → render is a fixed point, i.e. the JSON truly
+    // round-trips through the serde value model.
+    let rendered = serde_json::to_string_pretty(&value).unwrap();
+    let reparsed: serde_json::Value = serde_json::from_str(&rendered).unwrap();
+    assert_eq!(reparsed, value);
+}
+
+#[test]
+fn unknown_experiment_fails_with_usage() {
+    let out = ethpos_cli(&["fig42"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown experiment `fig42`"), "stderr: {err}");
+    assert!(err.contains("USAGE"), "stderr: {err}");
+}
+
+#[test]
+fn list_names_every_experiment() {
+    let out = ethpos_cli(&["--list"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for id in [
+        "fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "table1", "table2", "table3",
+    ] {
+        assert!(text.contains(id), "`{id}` missing from --list:\n{text}");
+    }
+}

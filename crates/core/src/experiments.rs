@@ -70,6 +70,49 @@ impl Experiment {
             Experiment::Fig10ThresholdProbability => "fig10",
         }
     }
+
+    /// Title with the paper reference, as printed atop the rendered
+    /// output (static, so listings don't have to run the generators).
+    pub fn title(&self) -> &'static str {
+        match self {
+            Experiment::Fig2StakeTrajectories => {
+                "Figure 2 — stake trajectories during an inactivity leak"
+            }
+            Experiment::Fig3ActiveRatio => {
+                "Figure 3 — ratio of active validators during the leak (Eq. 5)"
+            }
+            Experiment::Table1Outcomes => "Table 1 — scenarios and outcomes",
+            Experiment::Table2Slashable => {
+                "Table 2 — time to conflicting finalization (with slashing)"
+            }
+            Experiment::Table3NonSlashable => {
+                "Table 3 — time to conflicting finalization (without slashing)"
+            }
+            Experiment::Fig6FinalizationTime => "Figure 6 — time to conflicting finalization vs β0",
+            Experiment::Fig7ThresholdRegion => "Figure 7 — (p0, β0) pairs with β_max ≥ 1/3",
+            Experiment::Fig8MarkovTransitions => {
+                "Figure 8 — bouncing Markov chain (honest branch membership)"
+            }
+            Experiment::Fig9StakeDistribution => {
+                "Figure 9 — censored stake distribution P̄ at t = 4024"
+            }
+            Experiment::Fig10ThresholdProbability => {
+                "Figure 10 — probability of exceeding the 1/3 threshold (Eq. 24)"
+            }
+        }
+    }
+
+    /// Parses a short identifier (the inverse of [`Experiment::id`]).
+    ///
+    /// ```
+    /// use ethpos_core::experiments::Experiment;
+    ///
+    /// assert_eq!(Experiment::from_id("table2"), Some(Experiment::Table2Slashable));
+    /// assert_eq!(Experiment::from_id("fig42"), None);
+    /// ```
+    pub fn from_id(id: &str) -> Option<Experiment> {
+        Experiment::all().into_iter().find(|e| e.id() == id)
+    }
 }
 
 /// The output of one experiment: tables and/or series plus context.
@@ -154,7 +197,7 @@ fn fig2() -> ExperimentOutput {
     }
     ExperimentOutput {
         experiment: Experiment::Fig2StakeTrajectories,
-        title: "Figure 2 — stake trajectories during an inactivity leak".into(),
+        title: Experiment::Fig2StakeTrajectories.title().into(),
         tables: vec![table],
         series,
     }
@@ -178,7 +221,7 @@ fn fig3() -> ExperimentOutput {
     }
     ExperimentOutput {
         experiment: Experiment::Fig3ActiveRatio,
-        title: "Figure 3 — ratio of active validators during the leak (Eq. 5)".into(),
+        title: Experiment::Fig3ActiveRatio.title().into(),
         tables: vec![table],
         series,
     }
@@ -194,7 +237,7 @@ fn table1() -> ExperimentOutput {
     }
     ExperimentOutput {
         experiment: Experiment::Table1Outcomes,
-        title: "Table 1 — scenarios and outcomes".into(),
+        title: Experiment::Table1Outcomes.title().into(),
         tables: vec![table],
         series: vec![],
     }
@@ -210,7 +253,7 @@ fn table2() -> ExperimentOutput {
     }
     ExperimentOutput {
         experiment: Experiment::Table2Slashable,
-        title: "Table 2 — time to conflicting finalization (with slashing)".into(),
+        title: Experiment::Table2Slashable.title().into(),
         tables: vec![table],
         series: vec![],
     }
@@ -230,7 +273,7 @@ fn table3() -> ExperimentOutput {
     }
     ExperimentOutput {
         experiment: Experiment::Table3NonSlashable,
-        title: "Table 3 — time to conflicting finalization (without slashing)".into(),
+        title: Experiment::Table3NonSlashable.title().into(),
         tables: vec![table],
         series: vec![],
     }
@@ -252,7 +295,7 @@ fn fig6() -> ExperimentOutput {
     ];
     ExperimentOutput {
         experiment: Experiment::Fig6FinalizationTime,
-        title: "Figure 6 — time to conflicting finalization vs β0".into(),
+        title: Experiment::Fig6FinalizationTime.title().into(),
         tables: vec![],
         series,
     }
@@ -261,7 +304,10 @@ fn fig6() -> ExperimentOutput {
 fn fig7() -> ExperimentOutput {
     // Boundary curves: minimal β0 per p0 for each branch.
     let p0s: Vec<f64> = (1..100).map(|i| i as f64 / 100.0).collect();
-    let branch1: Vec<f64> = p0s.iter().map(|&p| threshold::min_beta0_for_third(p)).collect();
+    let branch1: Vec<f64> = p0s
+        .iter()
+        .map(|&p| threshold::min_beta0_for_third(p))
+        .collect();
     let branch2: Vec<f64> = p0s
         .iter()
         .map(|&p| threshold::min_beta0_for_third(1.0 - p))
@@ -282,11 +328,19 @@ fn fig7() -> ExperimentOutput {
     }
     ExperimentOutput {
         experiment: Experiment::Fig7ThresholdRegion,
-        title: "Figure 7 — (p0, β0) pairs with β_max ≥ 1/3".into(),
+        title: Experiment::Fig7ThresholdRegion.title().into(),
         tables: vec![table],
         series: vec![
-            Series::new("β_max(p0, β0) ≥ 1/3 boundary (branch 1)", p0s.clone(), branch1),
-            Series::new("β_max(1−p0, β0) ≥ 1/3 boundary (branch 2)", p0s.clone(), branch2),
+            Series::new(
+                "β_max(p0, β0) ≥ 1/3 boundary (branch 1)",
+                p0s.clone(),
+                branch1,
+            ),
+            Series::new(
+                "β_max(1−p0, β0) ≥ 1/3 boundary (branch 2)",
+                p0s.clone(),
+                branch2,
+            ),
             Series::new("both branches", p0s, both),
         ],
     }
@@ -310,7 +364,7 @@ fn fig8() -> ExperimentOutput {
     }
     ExperimentOutput {
         experiment: Experiment::Fig8MarkovTransitions,
-        title: "Figure 8 — bouncing Markov chain (honest branch membership)".into(),
+        title: Experiment::Fig8MarkovTransitions.title().into(),
         tables: vec![table],
         series: vec![],
     }
@@ -323,15 +377,21 @@ fn fig9() -> ExperimentOutput {
         "Censored stake distribution at t = 4024 (Eq. 20-21)",
         &["component", "mass"],
     );
-    table.push_row(vec!["δ at 0 (ejected)".into(), format!("{:.4}", d.mass_at_zero)]);
-    table.push_row(vec!["δ at 32 (cap)".into(), format!("{:.4}", d.mass_at_cap)]);
+    table.push_row(vec![
+        "δ at 0 (ejected)".into(),
+        format!("{:.4}", d.mass_at_zero),
+    ]);
+    table.push_row(vec![
+        "δ at 32 (cap)".into(),
+        format!("{:.4}", d.mass_at_cap),
+    ]);
     table.push_row(vec![
         "continuous (16.75, 32)".into(),
         format!("{:.4}", 1.0 - d.mass_at_zero - d.mass_at_cap),
     ]);
     ExperimentOutput {
         experiment: Experiment::Fig9StakeDistribution,
-        title: "Figure 9 — censored stake distribution P̄ at t = 4024".into(),
+        title: Experiment::Fig9StakeDistribution.title().into(),
         tables: vec![table],
         series: vec![Series::new("density on (16.75, 32)", d.stake, d.density)],
     }
@@ -358,7 +418,7 @@ fn fig10() -> ExperimentOutput {
     }
     ExperimentOutput {
         experiment: Experiment::Fig10ThresholdProbability,
-        title: "Figure 10 — probability of exceeding the 1/3 threshold (Eq. 24)".into(),
+        title: Experiment::Fig10ThresholdProbability.title().into(),
         tables: vec![table],
         series,
     }
@@ -368,9 +428,7 @@ fn fig10() -> ExperimentOutput {
 /// harness and integration tests).
 pub mod simulated {
     use super::*;
-    use ethpos_sim::{
-        run_single_branch, Behavior, MembershipModel, TwoBranchConfig, TwoBranchSim,
-    };
+    use ethpos_sim::{run_single_branch, Behavior, MembershipModel, TwoBranchConfig, TwoBranchSim};
     use ethpos_validator::{DualActive, SemiActive};
 
     /// Figure 2 via the discrete spec-arithmetic simulator: stake

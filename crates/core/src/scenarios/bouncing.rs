@@ -132,8 +132,7 @@ impl BouncingLaw {
         }
         let var = 4.0 / 3.0 * self.d * t * t * t;
         let arg = 67_108_864.0 * (s / STAKE_0).ln() + self.v * t * t / 2.0;
-        67_108_864.0 / s * (1.0 / (core::f64::consts::PI * var).sqrt())
-            * (-arg * arg / var).exp()
+        67_108_864.0 / s * (1.0 / (core::f64::consts::PI * var).sqrt()) * (-arg * arg / var).exp()
     }
 
     /// Eq. 22: the censored stake CDF `F̄(x, t)` accounting for ejection
@@ -432,7 +431,7 @@ mod tests {
         // the SAME walkers (anti-correlated) and compare the union rate
         // against twice the single-branch rate.
         use ethpos_stats::seeded_rng;
-        use rand::RngExt;
+        use rand::Rng;
         let mut rng = seeded_rng(11);
         let m = 20_000usize;
         let t_end = 3000u64;
@@ -447,13 +446,25 @@ mod tests {
                 let (sa, sb) = &mut score[i];
                 let (ka, kb) = &mut stake[i];
                 // branch A view
-                if on_a { *sa = (*sa - 1.0).max(0.0) } else { *sa += 4.0 }
+                if on_a {
+                    *sa = (*sa - 1.0).max(0.0)
+                } else {
+                    *sa += 4.0
+                }
                 *ka -= *sa * *ka / 67_108_864.0;
                 // branch B view (anti-correlated)
-                if !on_a { *sb = (*sb - 1.0).max(0.0) } else { *sb += 4.0 }
+                if !on_a {
+                    *sb = (*sb - 1.0).max(0.0)
+                } else {
+                    *sb += 4.0
+                }
                 *kb -= *sb * *kb / 67_108_864.0;
             }
-            if e % 2 == 0 { byz_score = (byz_score - 1.0).max(0.0) } else { byz_score += 4.0 }
+            if e % 2 == 0 {
+                byz_score = (byz_score - 1.0).max(0.0)
+            } else {
+                byz_score += 4.0
+            }
             byz_stake -= byz_score * byz_stake / 67_108_864.0;
         }
         let threshold = 2.0 * beta0 / (1.0 - beta0) * byz_stake;
@@ -461,7 +472,8 @@ mod tests {
         let either = stake
             .iter()
             .filter(|(a, b)| *a < threshold || *b < threshold)
-            .count() as f64 / m as f64;
+            .count() as f64
+            / m as f64;
         // anti-correlation makes breaches on A and B nearly disjoint at
         // moderate probabilities, so the union is close to 2× the single
         assert!(single > 0.1, "single = {single}");

@@ -118,7 +118,7 @@ pub fn table3_semantics_ablation() -> Vec<(f64, u64, u64)> {
         .map(|beta0| {
             (
                 beta0,
-                two_thirds_epoch(0.5, beta0).max(two_thirds_epoch(0.5, beta0)).ceil() as u64,
+                conflicting_finalization_epoch(0.5, beta0).ceil() as u64,
                 two_thirds_epoch_spec(0.5, beta0).ceil() as u64,
             )
         })
@@ -133,10 +133,7 @@ mod tests {
     #[test]
     fn paper_numerical_example_reproduced() {
         let t = two_thirds_epoch(0.5, 0.33);
-        assert!(
-            (t - 555.65).abs() < 0.02,
-            "t = {t}, paper reports 555.65"
-        );
+        assert!((t - 555.65).abs() < 0.02, "t = {t}, paper reports 555.65");
     }
 
     /// Table 3 rows: β₀ = 0 and β₀ = 0.33 match the paper exactly; the
@@ -147,8 +144,7 @@ mod tests {
             if row.beta0 == 0.0 || row.beta0 == 0.33 {
                 assert_eq!(row.t, row.paper_t, "β0 = {}", row.beta0);
             } else {
-                let rel =
-                    (row.t as f64 - row.paper_t as f64).abs() / row.paper_t as f64;
+                let rel = (row.t as f64 - row.paper_t as f64).abs() / row.paper_t as f64;
                 assert!(
                     rel < 0.006,
                     "β0 = {}: ours {} vs paper {} ({rel:.4})",
@@ -167,10 +163,7 @@ mod tests {
         for beta0 in [0.05, 0.1, 0.2, 0.3, 0.33] {
             let dual = crate::scenarios::slashing::two_thirds_epoch(0.5, beta0);
             let semi = two_thirds_epoch(0.5, beta0);
-            assert!(
-                semi >= dual,
-                "β0 = {beta0}: semi {semi} < dual {dual}"
-            );
+            assert!(semi >= dual, "β0 = {beta0}: semi {semi} < dual {dual}");
         }
     }
 

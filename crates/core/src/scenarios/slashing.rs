@@ -130,8 +130,8 @@ pub fn slashing_aftermath(n: usize, byzantine: usize) -> SlashingAftermath {
     let after: u64 = (0..byzantine)
         .map(|i| state.balance(ValidatorIndex::from(i)).as_u64())
         .sum();
-    let all_exited = (0..byzantine)
-        .all(|i| state.validators()[i].has_exited_by(state.current_epoch()));
+    let all_exited =
+        (0..byzantine).all(|i| state.validators()[i].has_exited_by(state.current_epoch()));
 
     SlashingAftermath {
         slashed: byzantine,

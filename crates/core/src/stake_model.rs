@@ -247,28 +247,22 @@ mod tests {
         // Over 4000 epochs the spec-semantics trajectory tracks
         // e^(−3t²/2²⁹) within 0.5%, i.e. decays half as fast (in log) as
         // the paper's model.
-        let spec = discrete_stake_trajectory_with(
-            StakeBehavior::SemiActive,
-            4000,
-            PenaltySemantics::Spec,
-        );
+        let spec =
+            discrete_stake_trajectory_with(StakeBehavior::SemiActive, 4000, PenaltySemantics::Spec);
         for &t in &[1000.0f64, 2000.0, 4000.0] {
             let model = semi_active_stake_spec(t);
             let exact = spec[t as usize];
             let rel = (model - exact).abs() / exact;
-            assert!(rel < 0.005, "t={t}: model {model:.4} vs discrete {exact:.4}");
+            assert!(
+                rel < 0.005,
+                "t={t}: model {model:.4} vs discrete {exact:.4}"
+            );
         }
         // always-inactive is unaffected by the semantics choice
-        let a = discrete_stake_trajectory_with(
-            StakeBehavior::Inactive,
-            2000,
-            PenaltySemantics::Spec,
-        );
-        let b = discrete_stake_trajectory_with(
-            StakeBehavior::Inactive,
-            2000,
-            PenaltySemantics::Paper,
-        );
+        let a =
+            discrete_stake_trajectory_with(StakeBehavior::Inactive, 2000, PenaltySemantics::Spec);
+        let b =
+            discrete_stake_trajectory_with(StakeBehavior::Inactive, 2000, PenaltySemantics::Paper);
         assert_eq!(a, b);
     }
 

@@ -84,7 +84,10 @@ mod tests {
     fn distinct_indices_yield_distinct_keys() {
         let mut seen = HashSet::new();
         for i in 0..4096u64 {
-            assert!(seen.insert(Keypair::derive(i).public), "pk collision at {i}");
+            assert!(
+                seen.insert(Keypair::derive(i).public),
+                "pk collision at {i}"
+            );
         }
     }
 

@@ -86,10 +86,7 @@ impl ProtoArray {
         }
         let parent = match parent_root {
             None => None,
-            Some(p) => Some(
-                self.index_of(&p)
-                    .ok_or(ForkChoiceError::UnknownBlock(p))?,
-            ),
+            Some(p) => Some(self.index_of(&p).ok_or(ForkChoiceError::UnknownBlock(p))?),
         };
         let index = self.nodes.len();
         self.nodes.push(ProtoNode {
@@ -242,13 +239,15 @@ impl ProtoArray {
                 parent,
                 slot: node.slot,
                 weight: node.weight,
-                best_child: node.best_child.and_then(|c| {
-                    if keep[c] {
-                        Some(remap[c])
-                    } else {
-                        None
-                    }
-                }),
+                best_child: node.best_child.and_then(
+                    |c| {
+                        if keep[c] {
+                            Some(remap[c])
+                        } else {
+                            None
+                        }
+                    },
+                ),
                 best_descendant: node.best_descendant.and_then(|d| {
                     if keep[d] {
                         Some(remap[d])
@@ -526,8 +525,12 @@ mod tests {
         p.insert(r(0), None, Slot::new(0)).unwrap();
         for i in 1..=10u64 {
             p.insert(r(i), Some(r(i - 1)), Slot::new(i)).unwrap(); // branch A: 1..10
-            p.insert(r(100 + i), Some(if i == 1 { r(0) } else { r(100 + i - 1) }), Slot::new(i))
-                .unwrap(); // branch B: 101..110
+            p.insert(
+                r(100 + i),
+                Some(if i == 1 { r(0) } else { r(100 + i - 1) }),
+                Slot::new(i),
+            )
+            .unwrap(); // branch B: 101..110
         }
         let tip_a = p.index_of(&r(10)).unwrap();
         let tip_b = p.index_of(&r(110)).unwrap();

@@ -80,7 +80,12 @@ impl ForkChoiceStore {
     /// # Errors
     ///
     /// Propagates proto-array insertion failures.
-    pub fn on_block(&mut self, root: Root, parent: Root, slot: Slot) -> Result<(), ForkChoiceError> {
+    pub fn on_block(
+        &mut self,
+        root: Root,
+        parent: Root,
+        slot: Slot,
+    ) -> Result<(), ForkChoiceError> {
         self.proto.insert(root, Some(parent), slot)?;
         Ok(())
     }

@@ -84,7 +84,9 @@ impl SimNetwork {
 
     /// Creates an empty network with an explicit jitter seed.
     pub fn with_seed(config: NetworkConfig, seed: u64) -> Self {
-        let queues = (0..config.num_groups + 1).map(|_| BinaryHeap::new()).collect();
+        let queues = (0..config.num_groups + 1)
+            .map(|_| BinaryHeap::new())
+            .collect();
         SimNetwork {
             config,
             queues,

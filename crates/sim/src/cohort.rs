@@ -12,7 +12,7 @@
 //! *conflicting finalization* (the paper's Safety loss №1) is observable
 //! by comparing finalized checkpoints.
 
-use rand::RngExt;
+use rand::Rng;
 use serde::Serialize;
 
 use ethpos_state::attestations::synthetic_branch_root;
@@ -268,8 +268,7 @@ impl TwoBranchSim {
                     .map(|_| self.rng.random_bool(self.config.p0))
                     .collect(),
             };
-            let honest_on_branch1: Vec<bool> =
-                honest_on_branch0.iter().map(|&b| !b).collect();
+            let honest_on_branch1: Vec<bool> = honest_on_branch0.iter().map(|&b| !b).collect();
 
             // 2. Adversary observation & decision.
             let statuses = [0, 1].map(|b| {
@@ -286,7 +285,10 @@ impl TwoBranchSim {
                     total_active_stake: total,
                     honest_active_stake: honest_active,
                     byzantine_stake: byz_stake,
-                    justified_epoch: self.branches[b].current_justified_checkpoint().epoch.as_u64(),
+                    justified_epoch: self.branches[b]
+                        .current_justified_checkpoint()
+                        .epoch
+                        .as_u64(),
                     finalized_epoch: self.branches[b].finalized_checkpoint().epoch.as_u64(),
                 }
             });
@@ -326,8 +328,7 @@ impl TwoBranchSim {
                 // participating stake for the ratio metric, before advancing
                 let (honest_active, byz_stake, total, ejected_honest, ejected_byz) =
                     self.branch_stake_breakdown(b, membership);
-                let attesting =
-                    honest_active + if byz_participates[b] { byz_stake } else { 0 };
+                let attesting = honest_active + if byz_participates[b] { byz_stake } else { 0 };
 
                 let state = &mut self.branches[b];
                 let spe = state.config().slots_per_epoch;
@@ -335,10 +336,7 @@ impl TwoBranchSim {
                 state.process_slots(next_start).expect("monotone epochs");
                 // Install this branch's synthetic checkpoint root for the
                 // new epoch so FFG targets differ across branches.
-                state.set_block_root(
-                    next_start,
-                    synthetic_branch_root(b as u64, epoch + 1),
-                );
+                state.set_block_root(next_start, synthetic_branch_root(b as u64, epoch + 1));
 
                 stats.push(BranchEpochStats {
                     active_ratio: if total > 0 {
@@ -472,7 +470,11 @@ mod tests {
         let semi = TwoBranchSim::new(mk(), Box::new(SemiActive::new())).run();
         for r in &semi.history {
             // never simultaneously on both (non-slashable), always on one
-            assert_ne!(r.byzantine_active[0], r.byzantine_active[1], "epoch {}", r.epoch);
+            assert_ne!(
+                r.byzantine_active[0], r.byzantine_active[1],
+                "epoch {}",
+                r.epoch
+            );
         }
         // alternation: consecutive epochs flip branches
         for w in semi.history.windows(2) {

@@ -218,10 +218,7 @@ impl SlotSim {
         let _ = self.net.drain(Recipient::Adversary, slot);
 
         // 2. Release withheld equivocation evidence after GST.
-        if !self.evidence_released
-            && slot >= self.net.config().gst
-            && !self.evidence.is_empty()
-        {
+        if !self.evidence_released && slot >= self.net.config().gst && !self.evidence.is_empty() {
             for ev in std::mem::take(&mut self.evidence) {
                 self.net.broadcast(None, Message::Slashing(ev), slot);
             }
@@ -244,8 +241,7 @@ impl SlotSim {
 
         // 4. Attestations from this slot's committee.
         let committee = committee_at_slot(slot, self.config.n, spe);
-        let mut per_group: Vec<Vec<ValidatorIndex>> =
-            vec![Vec::new(); self.views.len()];
+        let mut per_group: Vec<Vec<ValidatorIndex>> = vec![Vec::new(); self.views.len()];
         let mut byz_members: Vec<ValidatorIndex> = Vec::new();
         for v in committee {
             match self.group_of(v) {
@@ -258,8 +254,7 @@ impl SlotSim {
                 continue;
             }
             let att = self.views[g].produce_attestation(members, slot);
-            self.net
-                .broadcast(Some(g), Message::Attestation(att), slot);
+            self.net.broadcast(Some(g), Message::Attestation(att), slot);
         }
 
         // 5. Byzantine attestations (dual-active equivocation).
@@ -268,8 +263,11 @@ impl SlotSim {
             for g in 0..self.views.len() {
                 let data = self.views[g].attestation_data(slot);
                 let att = build_attestation(&byz_members, data);
-                self.net
-                    .send_targeted(Recipient::Group(g), Message::Attestation(att.clone()), slot);
+                self.net.send_targeted(
+                    Recipient::Group(g),
+                    Message::Attestation(att.clone()),
+                    slot,
+                );
                 made.push(att);
             }
             // Record pairwise equivocations as slashing evidence.
@@ -285,7 +283,8 @@ impl SlotSim {
 
         // 6. Safety monitoring + pruning at epoch boundaries.
         for (g, view) in self.views.iter_mut().enumerate() {
-            self.monitor.observe_finalized(g, view.finalized_checkpoint());
+            self.monitor
+                .observe_finalized(g, view.finalized_checkpoint());
         }
         if slot.is_epoch_start(spe) && slot.as_u64() >= 4 * spe {
             let keep_from = slot.saturating_sub(4 * spe);
@@ -394,10 +393,7 @@ mod tests {
             !report.slashed_validators.is_empty(),
             "equivocating Byzantine validators must end up slashed"
         );
-        assert!(report
-            .slashed_validators
-            .iter()
-            .all(|v| v.as_usize() < 4));
+        assert!(report.slashed_validators.iter().all(|v| v.as_usize() < 4));
     }
 
     #[test]

@@ -31,11 +31,10 @@ pub mod view;
 pub mod walk_mc;
 
 pub use cohort::{
-    BranchEpochStats, EpochRecord, MembershipModel, TwoBranchConfig, TwoBranchOutcome,
-    TwoBranchSim,
+    BranchEpochStats, EpochRecord, MembershipModel, TwoBranchConfig, TwoBranchOutcome, TwoBranchSim,
 };
 pub use engine::{SlotByzMode, SlotSim, SlotSimConfig, SlotSimReport};
 pub use monitor::SafetyMonitor;
 pub use single_branch::{run_single_branch, Behavior, StakeTrajectory};
 pub use view::View;
-pub use walk_mc::{BouncingWalkConfig, BouncingWalkResult, run_bouncing_walks};
+pub use walk_mc::{run_bouncing_walks, BouncingWalkConfig, BouncingWalkResult};

@@ -102,8 +102,11 @@ impl View {
     /// vote and pools the attestation for inclusion in future proposals.
     pub fn on_attestation(&mut self, att: &Attestation) {
         for idx in &att.attesting_indices {
-            self.store
-                .on_attestation(idx.as_usize(), att.data.beacon_block_root, att.data.target.epoch);
+            self.store.on_attestation(
+                idx.as_usize(),
+                att.data.beacon_block_root,
+                att.data.target.epoch,
+            );
         }
         if !self.included.contains(att) {
             self.pool.push(att.clone());
@@ -127,9 +130,7 @@ impl View {
             .or_else(|| self.states.get(&self.genesis_root))
             .map(|s| s.validators().iter().map(|v| v.effective_balance).collect())
             .unwrap_or_default();
-        self.store
-            .get_head(&balances)
-            .unwrap_or(self.genesis_root)
+        self.store.get_head(&balances).unwrap_or(self.genesis_root)
     }
 
     /// The attestation data an honest attester in this view produces at
@@ -139,9 +140,7 @@ impl View {
         let state = self.states.get(&head).expect("head state exists");
         if state.slot() < slot {
             let mut advanced = state.clone();
-            advanced
-                .process_slots(slot)
-                .expect("advancing head state");
+            advanced.process_slots(slot).expect("advancing head state");
             honest_attestation_data(&advanced, head, slot)
         } else {
             honest_attestation_data(state, head, slot)
@@ -149,11 +148,7 @@ impl View {
     }
 
     /// Builds an honest attestation for `attesters` at `slot`.
-    pub fn produce_attestation(
-        &mut self,
-        attesters: &[ValidatorIndex],
-        slot: Slot,
-    ) -> Attestation {
+    pub fn produce_attestation(&mut self, attesters: &[ValidatorIndex], slot: Slot) -> Attestation {
         let data = self.attestation_data(slot);
         build_attestation(attesters, data)
     }

@@ -15,7 +15,7 @@
 //! satisfies `s_H < 2β₀/(1−β₀) · s_B(t)`, which is exactly
 //! `F(2β₀/(1−β₀)·s_B(t), t)` as the walker count grows.
 
-use rand::RngExt;
+use rand::Rng;
 use serde::Serialize;
 
 use ethpos_stats::seeded_rng;

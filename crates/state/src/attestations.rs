@@ -11,8 +11,7 @@ use ethpos_types::{Attestation, BeaconBlock, Root, SignedBeaconBlock};
 use crate::beacon_state::BeaconState;
 use crate::error::StateError;
 use crate::participation::{
-    ParticipationFlags, TIMELY_HEAD_FLAG_INDEX, TIMELY_SOURCE_FLAG_INDEX,
-    TIMELY_TARGET_FLAG_INDEX,
+    ParticipationFlags, TIMELY_HEAD_FLAG_INDEX, TIMELY_SOURCE_FLAG_INDEX, TIMELY_TARGET_FLAG_INDEX,
 };
 
 /// Computes the canonical root of a block (the simulation's analogue of
@@ -89,7 +88,8 @@ impl BeaconState {
         let source_ok = data.source == expected_source;
         // Target check: the checkpoint root must be this chain's block
         // root at the target epoch's start.
-        let target_ok = source_ok && data.target.root == self.block_root_at_epoch_start(target_epoch);
+        let target_ok =
+            source_ok && data.target.root == self.block_root_at_epoch_start(target_epoch);
         // Head check: block vote matches this chain's root at the
         // attestation slot.
         let head_ok = target_ok
@@ -168,7 +168,9 @@ impl BeaconState {
 mod tests {
     use super::*;
     use ethpos_types::attestation::{AttestationData, Signature};
-    use ethpos_types::{BeaconBlockBody, ChainConfig, Checkpoint, Epoch, Gwei, Slot, ValidatorIndex};
+    use ethpos_types::{
+        BeaconBlockBody, ChainConfig, Checkpoint, Epoch, Gwei, Slot, ValidatorIndex,
+    };
 
     fn state(n: usize) -> BeaconState {
         BeaconState::genesis(ChainConfig::minimal(), n)
@@ -286,7 +288,10 @@ mod tests {
         let block = BeaconBlock::empty(Slot::new(1), ValidatorIndex::new(0), Root::from_u64(42));
         let root = block_root(&block);
         let signed = SignedBeaconBlock::new(block, Signature(7), root);
-        assert_eq!(s.process_block(&signed), Err(StateError::ParentRootMismatch));
+        assert_eq!(
+            s.process_block(&signed),
+            Err(StateError::ParentRootMismatch)
+        );
     }
 
     #[test]

@@ -269,7 +269,11 @@ impl BeaconState {
     ///
     /// Simulation hook used by the cohort simulator; block processing sets
     /// the same flags through attestation validation.
-    pub fn merge_current_participation(&mut self, index: ValidatorIndex, flags: ParticipationFlags) {
+    pub fn merge_current_participation(
+        &mut self,
+        index: ValidatorIndex,
+        flags: ParticipationFlags,
+    ) {
         let f = &mut self.current_epoch_participation[index.as_usize()];
         let mut merged = *f;
         for bit in 0..3 {
@@ -420,11 +424,15 @@ mod tests {
     fn epoch_boundary_rotates_participation() {
         let mut s = state(4);
         s.merge_current_participation(ValidatorIndex::new(2), ParticipationFlags::all());
-        assert!(s.current_participation(ValidatorIndex::new(2)).has_timely_target());
+        assert!(s
+            .current_participation(ValidatorIndex::new(2))
+            .has_timely_target());
         // crossing into epoch 1 rotates current → previous
         s.process_slots(Epoch::new(1).start_slot(s.config().slots_per_epoch))
             .unwrap();
-        assert!(s.previous_participation(ValidatorIndex::new(2)).has_timely_target());
+        assert!(s
+            .previous_participation(ValidatorIndex::new(2))
+            .has_timely_target());
         assert!(s.current_participation(ValidatorIndex::new(2)).is_empty());
     }
 
@@ -443,7 +451,10 @@ mod tests {
         let mut s = state(1);
         // exit the only validator
         s.validators_mut()[0].exit_epoch = Epoch::GENESIS;
-        assert_eq!(s.total_active_balance(), s.config().effective_balance_increment);
+        assert_eq!(
+            s.total_active_balance(),
+            s.config().effective_balance_increment
+        );
     }
 
     #[test]

@@ -87,9 +87,7 @@ impl BeaconState {
 
         // The four finalization rules.
         // 2nd/3rd/4th most recent epochs all justified, source 3 back.
-        if bits[1] && bits[2] && bits[3]
-            && old_previous_justified.epoch + 3 == current_epoch
-        {
+        if bits[1] && bits[2] && bits[3] && old_previous_justified.epoch + 3 == current_epoch {
             *finalized = old_previous_justified;
         }
         // 2nd/3rd most recent justified, source 2 back.
@@ -183,12 +181,10 @@ impl BeaconState {
     pub fn process_effective_balance_updates(&mut self) {
         let increment = self.config().effective_balance_increment;
         let hysteresis_increment = increment.integer_div(self.config().hysteresis_quotient);
-        let downward = Gwei::new(
-            hysteresis_increment.as_u64() * self.config().hysteresis_downward_multiplier,
-        );
-        let upward = Gwei::new(
-            hysteresis_increment.as_u64() * self.config().hysteresis_upward_multiplier,
-        );
+        let downward =
+            Gwei::new(hysteresis_increment.as_u64() * self.config().hysteresis_downward_multiplier);
+        let upward =
+            Gwei::new(hysteresis_increment.as_u64() * self.config().hysteresis_upward_multiplier);
         let max_eff = self.config().max_effective_balance;
 
         let balances: Vec<Gwei> = self.balances().to_vec();

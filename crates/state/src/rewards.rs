@@ -203,8 +203,8 @@ mod tests {
         }
         advance_one_epoch(&mut s); // rotates flags, settles epoch 0
         advance_one_epoch(&mut s); // settles epoch 1 deltas... rotated again
-        // After the first boundary, previous participation is full; the
-        // second boundary pays rewards for it (current_epoch = 1 then).
+                                   // After the first boundary, previous participation is full; the
+                                   // second boundary pays rewards for it (current_epoch = 1 then).
         let b = s.balance(ValidatorIndex::new(0));
         assert!(
             b > Gwei::from_eth_u64(32),

@@ -41,8 +41,7 @@ impl BeaconState {
                 v.exit_epoch = current_epoch + 1;
             }
             let min_withdrawable = current_epoch + vector;
-            if v.withdrawable_epoch == FAR_FUTURE_EPOCH || v.withdrawable_epoch < min_withdrawable
-            {
+            if v.withdrawable_epoch == FAR_FUTURE_EPOCH || v.withdrawable_epoch < min_withdrawable {
                 v.withdrawable_epoch = min_withdrawable;
             }
         }
@@ -110,9 +109,7 @@ impl BeaconState {
             .validators()
             .iter()
             .enumerate()
-            .filter(|(_, v)| {
-                v.slashed && epoch + vector / 2 == v.withdrawable_epoch
-            })
+            .filter(|(_, v)| v.slashed && epoch + vector / 2 == v.withdrawable_epoch)
             .map(|(i, v)| (ValidatorIndex::from(i), v.effective_balance.as_u64()))
             .collect();
 
@@ -215,7 +212,10 @@ mod tests {
         let before = s.balance(idx);
         s.process_slashings();
         let after = s.balance(idx);
-        assert!(after < before, "correlation penalty must apply: {before} → {after}");
+        assert!(
+            after < before,
+            "correlation penalty must apply: {before} → {after}"
+        );
         // One epoch off: no penalty.
         let idx2 = ValidatorIndex::new(1);
         s.slash_validator(idx2);

@@ -1,6 +1,6 @@
 //! Normal and log-normal laws with PDF/CDF/quantile and sampling.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 use crate::erf::{normal_cdf, normal_pdf};
 

@@ -99,10 +99,7 @@ mod tests {
     fn erf_matches_reference_values() {
         for &(x, want) in REFS {
             let got = erf(x);
-            assert!(
-                (got - want).abs() < 5e-8,
-                "erf({x}) = {got}, want {want}"
-            );
+            assert!((got - want).abs() < 5e-8, "erf({x}) = {got}, want {want}");
         }
     }
 

@@ -15,7 +15,7 @@ pub fn seeded_rng(seed: u64) -> StdRng {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::RngExt;
+    use rand::Rng;
 
     #[test]
     fn same_seed_same_stream() {

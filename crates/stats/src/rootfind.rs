@@ -31,7 +31,12 @@ impl std::error::Error for RootError {}
 /// # Errors
 ///
 /// Returns [`RootError::NotBracketed`] if `f(lo)·f(hi) > 0`.
-pub fn bisect<F: Fn(f64) -> f64>(f: F, mut lo: f64, mut hi: f64, tol: f64) -> Result<f64, RootError> {
+pub fn bisect<F: Fn(f64) -> f64>(
+    f: F,
+    mut lo: f64,
+    mut hi: f64,
+    tol: f64,
+) -> Result<f64, RootError> {
     let flo = f(lo);
     let fhi = f(hi);
     if flo == 0.0 {

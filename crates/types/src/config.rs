@@ -177,9 +177,10 @@ impl ChainConfig {
     /// i.e. 16 + 1 − 0.25 = **16.75 ETH** on mainnet — the ejection
     /// constant quoted by the paper (§4.3).
     pub fn ejection_actual_balance(&self) -> Gwei {
-        let downward_threshold = self
-            .effective_balance_increment
-            .mul_div(self.hysteresis_downward_multiplier, self.hysteresis_quotient);
+        let downward_threshold = self.effective_balance_increment.mul_div(
+            self.hysteresis_downward_multiplier,
+            self.hysteresis_quotient,
+        );
         self.ejection_balance + self.effective_balance_increment - downward_threshold
     }
 

@@ -67,11 +67,7 @@ impl ProposerLottery {
 /// The slot within `epoch` at which validator `index` attests: committees
 /// are spread round-robin over the epoch's slots (each validator attests
 /// exactly once per epoch, like the real protocol).
-pub fn attestation_slot(
-    index: ValidatorIndex,
-    epoch: Epoch,
-    slots_per_epoch: u64,
-) -> Slot {
+pub fn attestation_slot(index: ValidatorIndex, epoch: Epoch, slots_per_epoch: u64) -> Slot {
     epoch.start_slot(slots_per_epoch) + (index.as_u64() % slots_per_epoch)
 }
 
@@ -111,7 +107,10 @@ mod tests {
         let expected = trials as f64 / n as f64;
         for (i, &c) in counts.iter().enumerate() {
             let dev = (c as f64 - expected).abs() / expected;
-            assert!(dev < 0.1, "validator {i} proposed {c} times (expected {expected})");
+            assert!(
+                dev < 0.1,
+                "validator {i} proposed {c} times (expected {expected})"
+            );
         }
     }
 
@@ -126,9 +125,7 @@ mod tests {
         let epochs = 4000u64;
         let hits = (0..epochs)
             .filter(|&e| {
-                lot.any_proposer_in_first_slots(Epoch::new(e), 8, 32, |v| {
-                    byz.contains(&v.as_u64())
-                })
+                lot.any_proposer_in_first_slots(Epoch::new(e), 8, 32, |v| byz.contains(&v.as_u64()))
             })
             .count();
         let rate = hits as f64 / epochs as f64;

@@ -17,7 +17,11 @@ use ethpos_types::{
 /// at `slot`: block vote = `head_root`, FFG source = the state's justified
 /// checkpoint, FFG target = the current epoch's checkpoint on the head
 /// chain.
-pub fn honest_attestation_data(state: &BeaconState, head_root: Root, slot: Slot) -> AttestationData {
+pub fn honest_attestation_data(
+    state: &BeaconState,
+    head_root: Root,
+    slot: Slot,
+) -> AttestationData {
     let spe = state.config().slots_per_epoch;
     let epoch = slot.epoch(spe);
     let target_root = if slot.is_epoch_start(spe) && head_root == state.latest_block_root() {
@@ -38,7 +42,11 @@ pub fn build_attestation(attesters: &[ValidatorIndex], data: AttestationData) ->
     let message = ethpos_crypto::hash_u64(&[
         data.slot.as_u64(),
         data.target.epoch.as_u64(),
-        u64::from_le_bytes(data.beacon_block_root.as_bytes()[..8].try_into().expect("8")),
+        u64::from_le_bytes(
+            data.beacon_block_root.as_bytes()[..8]
+                .try_into()
+                .expect("8"),
+        ),
         u64::from_le_bytes(data.target.root.as_bytes()[..8].try_into().expect("8")),
     ]);
     let indices: Vec<u64> = attesters.iter().map(|v| v.as_u64()).collect();
@@ -83,17 +91,17 @@ mod tests {
         assert_eq!(data.beacon_block_root, head);
         assert_eq!(data.target.epoch, Epoch::new(1));
         assert_eq!(data.source, state.current_justified_checkpoint());
-        assert_eq!(data.target.root, state.block_root_at_epoch_start(Epoch::new(1)));
+        assert_eq!(
+            data.target.root,
+            state.block_root_at_epoch_start(Epoch::new(1))
+        );
     }
 
     #[test]
     fn built_attestation_contains_sorted_attesters() {
         let state = BeaconState::genesis(ChainConfig::minimal(), 8);
         let data = honest_attestation_data(&state, state.latest_block_root(), Slot::new(0));
-        let att = build_attestation(
-            &[ValidatorIndex::new(3), ValidatorIndex::new(1)],
-            data,
-        );
+        let att = build_attestation(&[ValidatorIndex::new(3), ValidatorIndex::new(1)], data);
         assert_eq!(
             att.attesting_indices,
             vec![ValidatorIndex::new(1), ValidatorIndex::new(3)]

@@ -19,6 +19,6 @@ pub mod duties;
 pub mod honest;
 
 pub use byzantine::{
-    BranchStatus, Bouncing, ByzantineSchedule, DualActive, SemiActive, ThresholdSeeker,
+    Bouncing, BranchStatus, ByzantineSchedule, DualActive, SemiActive, ThresholdSeeker,
 };
 pub use duties::ProposerLottery;

@@ -11,9 +11,7 @@
 //! cargo run --release --example bouncing_attack -- 0.333
 //! ```
 
-use ethpos::core::scenarios::bouncing::{
-    continuation_log_prob, viability_window, BouncingLaw,
-};
+use ethpos::core::scenarios::bouncing::{continuation_log_prob, viability_window, BouncingLaw};
 use ethpos::sim::{run_bouncing_walks, BouncingWalkConfig};
 use ethpos::types::Epoch;
 use ethpos::validator::byzantine::Bouncing;

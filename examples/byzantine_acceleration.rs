@@ -13,8 +13,14 @@ use ethpos::core::experiments::{run_experiment, simulated, Experiment};
 use ethpos::core::scenarios::{semi_active, slashing};
 
 fn main() {
-    println!("{}", run_experiment(Experiment::Table2Slashable).render_text());
-    println!("{}", run_experiment(Experiment::Table3NonSlashable).render_text());
+    println!(
+        "{}",
+        run_experiment(Experiment::Table2Slashable).render_text()
+    );
+    println!(
+        "{}",
+        run_experiment(Experiment::Table3NonSlashable).render_text()
+    );
 
     println!("speed-up vs the honest-only baseline (4685 epochs):");
     for beta0 in [0.1, 0.2, 0.33] {

@@ -56,8 +56,6 @@ fn main() {
              (paper: 4686 for p0 = 0.5; the discrete run lands within the\n\
              effective-balance staircase tolerance)"
         ),
-        None => println!(
-            "\nno conflicting finalization within the horizon (try p0 closer to 0.5)"
-        ),
+        None => println!("\nno conflicting finalization within the horizon (try p0 closer to 0.5)"),
     }
 }

@@ -17,10 +17,7 @@ fn main() {
     println!("  blocks produced : {}", report.blocks_produced);
     println!("  justified       : {}", report.justified[0]);
     println!("  finalized       : {}", report.finalized[0]);
-    println!(
-        "  safety violated : {}",
-        report.safety_violation.is_some()
-    );
+    println!("  safety violated : {}", report.safety_violation.is_some());
     assert!(report.safety_violation.is_none());
     assert!(report.finalized[0].epoch.as_u64() >= 8);
 

@@ -40,12 +40,18 @@ fn main() {
     println!(
         "  inactive    : 4685 / {:.0} / {}",
         StakeBehavior::Inactive.ejection_epoch().unwrap(),
-        fig2[2].ejected_at.map(|e| e.to_string()).unwrap_or_default()
+        fig2[2]
+            .ejected_at
+            .map(|e| e.to_string())
+            .unwrap_or_default()
     );
     println!(
         "  semi-active : 7652 / {:.0} / {}",
         StakeBehavior::SemiActive.ejection_epoch().unwrap(),
-        fig2[1].ejected_at.map(|e| e.to_string()).unwrap_or_default()
+        fig2[1]
+            .ejected_at
+            .map(|e| e.to_string())
+            .unwrap_or_default()
     );
 
     // ── §5.1: honest-only conflicting finalization ──────────────────────

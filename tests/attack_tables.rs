@@ -49,7 +49,10 @@ fn table3_beta02_simulated_matches_analytic_and_orders() {
 #[test]
 fn beta_zero_rows_agree_with_honest_baseline() {
     assert_eq!(slashing::conflicting_finalization_epoch(0.5, 0.0), 4685.0);
-    assert_eq!(semi_active::conflicting_finalization_epoch(0.5, 0.0), 4685.0);
+    assert_eq!(
+        semi_active::conflicting_finalization_epoch(0.5, 0.0),
+        4685.0
+    );
 }
 
 /// Sanity: simulated finalization time decreases with β₀ (more Byzantine

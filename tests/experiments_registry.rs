@@ -34,9 +34,15 @@ fn paper_headline_numbers_appear_in_outputs() {
             Experiment::Table2Slashable,
             &["4685", "4066", "3622", "3107", "502"],
         ),
-        (Experiment::Table3NonSlashable, &["4685", "556", "4221", "3819", "3328"]),
+        (
+            Experiment::Table3NonSlashable,
+            &["4685", "556", "4221", "3819", "3328"],
+        ),
         (Experiment::Fig7ThresholdRegion, &["0.2421"]),
-        (Experiment::Fig8MarkovTransitions, &["0.2500", "0.5000", "3.0000"]),
+        (
+            Experiment::Fig8MarkovTransitions,
+            &["0.2500", "0.5000", "3.0000"],
+        ),
         (Experiment::Fig10ThresholdProbability, &["0.5000"]),
     ];
     for (experiment, needles) in checks {

@@ -2,9 +2,7 @@
 //! the paper's headline Safety violation — at both simulation levels.
 
 use ethpos::network::NetworkConfig;
-use ethpos::sim::{
-    SlotByzMode, SlotSim, SlotSimConfig, TwoBranchConfig, TwoBranchSim,
-};
+use ethpos::sim::{SlotByzMode, SlotSim, SlotSimConfig, TwoBranchConfig, TwoBranchSim};
 use ethpos::types::Slot;
 use ethpos::validator::DualActive;
 

@@ -99,8 +99,7 @@ fn bouncing_two_branch_protocol_run() {
     // With β0 = 1/3 exactly, symmetry puts each branch above 1/3 about
     // half the time once penalties differentiate the cohorts.
     assert!(
-        out.max_byzantine_proportion[0] > 1.0 / 3.0
-            || out.max_byzantine_proportion[1] > 1.0 / 3.0,
+        out.max_byzantine_proportion[0] > 1.0 / 3.0 || out.max_byzantine_proportion[1] > 1.0 / 3.0,
         "max β = {:?}",
         out.max_byzantine_proportion
     );
@@ -122,7 +121,7 @@ fn viability_window_is_tight() {
             assert!(with_byz > 2.0 / 3.0, "byzantine cannot tip the branch");
         }
         // just outside
-        assert!( (hi + 1e-6) * (1.0 - beta0) > 2.0 / 3.0 - 1e-9);
-        assert!( (lo - 1e-6) * (1.0 - beta0) + beta0 < 2.0 / 3.0 + 1e-9);
+        assert!((hi + 1e-6) * (1.0 - beta0) > 2.0 / 3.0 - 1e-9);
+        assert!((lo - 1e-6) * (1.0 - beta0) + beta0 < 2.0 / 3.0 + 1e-9);
     }
 }

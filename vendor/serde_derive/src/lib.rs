@@ -1,0 +1,389 @@
+//! Minimal `#[derive(Serialize, Deserialize)]` implementation for the
+//! workspace-local `serde` shim.
+//!
+//! The container this workspace builds in has no access to crates.io, so
+//! the real `serde_derive` (and its `syn`/`quote` dependencies) cannot be
+//! used. This crate hand-parses the derive input token stream and emits
+//! impls of the shim's value-based `Serialize`/`Deserialize` traits. It
+//! supports exactly the shapes the workspace uses:
+//!
+//! * structs with named fields (serialized as a JSON object, field order
+//!   preserved);
+//! * newtype / tuple structs (newtype serializes as its inner value,
+//!   wider tuples as an array);
+//! * enums whose variants are all unit variants (serialized as the
+//!   variant name string);
+//! * the `#[serde(transparent)]` attribute (single-field structs
+//!   serialize as the field's value).
+//!
+//! Generics, data-carrying enum variants and every other serde attribute
+//! are rejected with a compile error rather than silently mishandled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim's `serde::Serialize` for a struct or unit-only enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives the shim's `serde::Deserialize` for a struct or unit-only enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+/// The parsed shape of the derive target.
+enum Shape {
+    /// `struct Name { a: A, b: B }` — field names in declaration order.
+    NamedStruct(Vec<String>),
+    /// `struct Name(A, B, ...);` — number of fields.
+    TupleStruct(usize),
+    /// `enum Name { V1, V2 }` — unit variant names.
+    UnitEnum(Vec<String>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse(input) {
+        Ok((name, transparent, shape)) => generate(&name, transparent, &shape, mode)
+            .parse()
+            .expect("serde_derive shim generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// Parses the derive input into (type name, `#[serde(transparent)]`, shape).
+fn parse(input: TokenStream) -> Result<(String, bool, Shape), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut transparent = false;
+    let mut i = 0;
+
+    // Outer attributes and visibility before `struct` / `enum`.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    transparent |= serde_attr_is_transparent(g.stream())?;
+                }
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    // `pub(crate)` and friends.
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                break
+            }
+            Some(t) => return Err(format!("unexpected token `{t}` before struct/enum keyword")),
+            None => return Err("no struct/enum keyword in derive input".into()),
+        }
+    }
+
+    let is_enum = matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "enum");
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive does not support generic type `{name}`"
+        ));
+    }
+
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) => break g,
+            Some(_) => i += 1, // e.g. a `where` clause (none in practice)
+            None => return Err(format!("no body found for `{name}`")),
+        }
+    };
+
+    let shape = if is_enum {
+        Shape::UnitEnum(parse_unit_variants(body.stream(), &name)?)
+    } else if body.delimiter() == Delimiter::Brace {
+        Shape::NamedStruct(parse_named_fields(body.stream(), &name)?)
+    } else {
+        Shape::TupleStruct(count_tuple_fields(body.stream()))
+    };
+    Ok((name, transparent, shape))
+}
+
+/// Inspects one attribute body. Non-`serde` attributes are `Ok(false)`;
+/// `serde(transparent)` is `Ok(true)`; any other `serde(...)` content is
+/// an error, so unsupported serde attributes fail the build instead of
+/// being silently ignored.
+fn serde_attr_is_transparent(attr: TokenStream) -> Result<bool, String> {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g))) if id.to_string() == "serde" => {
+            let args: Vec<TokenTree> = g.stream().into_iter().collect();
+            match args.as_slice() {
+                [TokenTree::Ident(arg)] if arg.to_string() == "transparent" => Ok(true),
+                _ => Err(format!(
+                    "serde shim derive only supports #[serde(transparent)], \
+                     found #[serde({})]",
+                    g.stream()
+                )),
+            }
+        }
+        _ => Ok(false),
+    }
+}
+
+/// Rejects `#[serde(...)]` in a position (field or variant) where the
+/// shim supports no serde attribute at all.
+fn reject_serde_attr(attr: TokenStream, context: &str) -> Result<(), String> {
+    let mut tokens = attr.into_iter();
+    if let Some(TokenTree::Ident(id)) = tokens.next() {
+        if id.to_string() == "serde" {
+            return Err(format!(
+                "serde shim derive does not support serde attributes on {context}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Extracts field names from `{ a: A, b: B }`, skipping attributes,
+/// visibility and types (tracking `<...>` depth so commas inside generic
+/// arguments don't split fields).
+fn parse_named_fields(body: TokenStream, name: &str) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip field attributes (doc comments included), rejecting
+        // serde ones — no field-level serde attribute is supported.
+        while matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                reject_serde_attr(g.stream(), &format!("fields (in `{name}`)"))?;
+            }
+            i += 2;
+        }
+        // Skip visibility.
+        if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        match &tokens[i] {
+            TokenTree::Ident(id) => fields.push(id.to_string()),
+            other => return Err(format!("{name}: expected field name, found `{other}`")),
+        }
+        i += 1;
+        if !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':') {
+            return Err(format!("{name}: expected `:` after field name"));
+        }
+        i += 1;
+        // Skip the type up to a top-level comma.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple struct body `(A, B, ...)`.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut fields = 0usize;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0i32;
+    for t in body {
+        match t {
+            TokenTree::Punct(ref p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(ref p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(ref p) if p.as_char() == ',' && angle_depth == 0 => {
+                fields += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    fields + usize::from(saw_tokens)
+}
+
+/// Extracts variant names from a unit-only enum body.
+fn parse_unit_variants(body: TokenStream, name: &str) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                reject_serde_attr(g.stream(), &format!("variants (in `{name}`)"))?;
+            }
+            i += 2;
+        }
+        match &tokens[i] {
+            TokenTree::Ident(id) => variants.push(id.to_string()),
+            other => return Err(format!("{name}: expected variant name, found `{other}`")),
+        }
+        i += 1;
+        match tokens.get(i) {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "{name}: serde shim derive only supports unit enum variants"
+                ))
+            }
+            Some(other) => return Err(format!("{name}: unexpected token `{other}`")),
+        }
+    }
+    Ok(variants)
+}
+
+fn generate(name: &str, transparent: bool, shape: &Shape, mode: Mode) -> String {
+    match mode {
+        Mode::Serialize => generate_serialize(name, transparent, shape),
+        Mode::Deserialize => generate_deserialize(name, transparent, shape),
+    }
+}
+
+fn generate_serialize(name: &str, transparent: bool, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) if transparent && fields.len() == 1 => {
+            format!("::serde::Serialize::to_value(&self.{})", fields[0])
+        }
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => \
+                         ::serde::Value::String(::std::string::String::from({v:?}))"
+                    )
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn generate_deserialize(name: &str, transparent: bool, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) if transparent && fields.len() == 1 => {
+            format!(
+                "::std::result::Result::Ok({name} {{ {}: ::serde::Deserialize::from_value(value)? }})",
+                fields[0]
+            )
+        }
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::Value::field(fields, {f:?}, {name:?})?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "match value {{\n\
+                 ::serde::Value::Object(fields) => \
+                 ::std::result::Result::Ok({name} {{ {} }}),\n\
+                 _ => ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"object\", {name:?})),\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match value {{\n\
+                 ::serde::Value::Array(items) if items.len() == {n} => \
+                 ::std::result::Result::Ok({name}({})),\n\
+                 _ => ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"array of {n} elements\", {name:?})),\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v})"))
+                .collect();
+            format!(
+                "match value {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n\
+                 {},\n\
+                 _ => ::std::result::Result::Err(\
+                 ::serde::DeError::unknown_variant(s, {name:?})),\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"variant string\", {name:?})),\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(value: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
