@@ -2,7 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ethpos_bench::print_experiment;
-use ethpos_core::experiments::{simulated, Experiment};
+use ethpos_core::experiments::{simulated, Experiment, McConfig};
 use ethpos_core::scenarios::bouncing;
 use ethpos_sim::{run_bouncing_walks, BouncingWalkConfig};
 use std::hint::black_box;
@@ -11,7 +11,15 @@ fn bench(c: &mut Criterion) {
     print_experiment(Experiment::Fig10ThresholdProbability);
     eprintln!(
         "{}",
-        simulated::fig10_monte_carlo(0.333, 4001, 10_000).render_text()
+        simulated::fig10_monte_carlo(
+            0.333,
+            &McConfig {
+                walkers: 10_000,
+                epochs: 4001,
+                ..McConfig::default()
+            }
+        )
+        .render_text()
     );
 
     c.bench_function("fig10/analytic_six_curves", |b| {

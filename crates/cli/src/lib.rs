@@ -2,15 +2,24 @@
 //! binary so the logic is unit-testable.
 //!
 //! The CLI regenerates paper experiments through
-//! [`ethpos_core::experiments::run_experiment`]: each positional argument
-//! is an experiment id (`fig2` … `table3`) or `all`, and `--format`
-//! selects rendered text (default) or JSON. JSON output is always a
-//! single document: one object per selected experiment, wrapped in an
-//! array when more than one experiment is selected.
+//! [`ethpos_core::experiments::run_experiment_with`]: each positional
+//! argument is an experiment id (`fig2` … `table3`) or `all`, and
+//! `--format` selects rendered text (default) or JSON. JSON output is
+//! always a single document: one object per selected experiment, wrapped
+//! in an array when more than one experiment is selected.
+//!
+//! The `sweep` subcommand runs [`ethpos_core::sweep::SweepSpec`] grids
+//! instead of the paper's fixed parameters: `--grid axis=v1,v2,…`
+//! replaces an axis (`beta0`, `p0`, `walkers`, `semantics`), and
+//! `--walkers` / `--epochs` / `--seed` set the scalar Monte-Carlo knobs.
+//! `--threads` bounds the worker pool everywhere; by the workspace's
+//! determinism model it can change wall-clock time but never a single
+//! output byte.
 
 #![warn(missing_docs)]
 
-use ethpos_core::experiments::{run_experiment, Experiment};
+use ethpos_core::experiments::{run_experiment_with, Experiment, McConfig};
+use ethpos_core::sweep::SweepSpec;
 
 /// Usage text printed on `--help` and argument errors.
 pub const USAGE: &str = "\
@@ -18,15 +27,26 @@ ethpos-cli — reproduce the tables and figures of
 'Byzantine Attacks Exploiting Penalties in Ethereum PoS' (DSN 2024)
 
 USAGE:
-    ethpos-cli [EXPERIMENT]... [--format text|json]
+    ethpos-cli [EXPERIMENT]... [OPTIONS]
+    ethpos-cli sweep [--grid AXIS=V1,V2,...]... [OPTIONS]
     ethpos-cli --list
 
 ARGS:
     EXPERIMENT    fig2 fig3 fig6 fig7 fig8 fig9 fig10 table1 table2 table3,
                   or `all` for every experiment in paper order
+    sweep         run a parameter grid (β0 × p0 × walkers × semantics)
+                  over the §5.3 Monte Carlo and the §5.2 closed forms
 
 OPTIONS:
     --format <text|json>    Output format [default: text]
+    --threads <N>           Worker threads, 0 = all hardware threads
+                            [default: 0]; never changes the output bytes
+    --walkers <N>           Monte-Carlo walkers [default: 20000]
+    --epochs <N>            Monte-Carlo epoch horizon
+                            [default: 8000; sweep: 3000]
+    --seed <N>              Monte-Carlo root seed [default: 42; sweep: 11]
+    --grid <AXIS=V1,V2,..>  (sweep only, repeatable) replace a sweep axis:
+                            beta0, p0, walkers, semantics (paper|spec)
     --list                  List experiment ids with their paper reference
     --help                  Show this help";
 
@@ -40,12 +60,22 @@ pub enum Format {
 }
 
 /// What one invocation should do.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Cli {
     /// Run the selected experiments and print them.
     Run {
         /// Experiments in the order they will run.
         experiments: Vec<Experiment>,
+        /// Selected output format.
+        format: Format,
+        /// Monte-Carlo sizing/seeding/threading for the simulation-backed
+        /// cross-checks (currently: the fig10 walker Monte Carlo).
+        mc: McConfig,
+    },
+    /// Run a parameter sweep (`sweep`).
+    Sweep {
+        /// The grid to evaluate.
+        spec: SweepSpec,
         /// Selected output format.
         format: Format,
     },
@@ -58,41 +88,89 @@ pub enum Cli {
 /// A failed parse: the message to print before [`USAGE`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CliError {
-    /// Unknown id, unknown flag or malformed `--format`.
+    /// Unknown id, unknown flag or malformed option value.
     Usage(String),
+}
+
+/// Flag values accumulated by the first parsing pass, before the mode
+/// (experiments vs sweep) is known.
+#[derive(Debug, Default)]
+struct RawFlags {
+    format: Option<Format>,
+    threads: Option<usize>,
+    walkers: Option<usize>,
+    epochs: Option<u64>,
+    seed: Option<u64>,
+    grids: Vec<String>,
 }
 
 /// Parses command-line arguments (without the program name).
 pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliError> {
     let mut experiments = Vec::new();
-    let mut format = Format::Text;
+    let mut sweep = false;
+    let mut flags = RawFlags::default();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
-        match arg.as_str() {
-            "--help" | "-h" => return Ok(Cli::Help),
-            "--list" => return Ok(Cli::List),
-            "--format" => {
-                let value = iter
+        // `--opt value` and `--opt=value` are both accepted.
+        let mut flag_value = |name: &str| -> Result<Option<String>, CliError> {
+            if arg == name {
+                return iter
                     .next()
-                    .ok_or_else(|| CliError::Usage("--format needs a value".into()))?;
-                format = parse_format(&value)?;
+                    .map(Some)
+                    .ok_or_else(|| CliError::Usage(format!("{name} needs a value")));
             }
-            other if other.starts_with("--format=") => {
-                format = parse_format(&other["--format=".len()..])?;
+            if let Some(rest) = arg.strip_prefix(&format!("{name}=")) {
+                return Ok(Some(rest.to_string()));
             }
-            other if other.starts_with('-') => {
-                return Err(CliError::Usage(format!("unknown option `{other}`")));
-            }
-            "all" => experiments.extend(Experiment::all()),
-            id => {
-                let experiment = Experiment::from_id(id).ok_or_else(|| {
-                    CliError::Usage(format!(
-                        "unknown experiment `{id}` (try --list for the valid ids)"
-                    ))
-                })?;
-                experiments.push(experiment);
+            Ok(None)
+        };
+        if let Some(value) = flag_value("--format")? {
+            flags.format = Some(parse_format(&value)?);
+        } else if let Some(value) = flag_value("--threads")? {
+            flags.threads = Some(parse_count("--threads", &value, true)?);
+        } else if let Some(value) = flag_value("--walkers")? {
+            flags.walkers = Some(parse_count("--walkers", &value, false)?);
+        } else if let Some(value) = flag_value("--epochs")? {
+            flags.epochs = Some(parse_count("--epochs", &value, false)? as u64);
+        } else if let Some(value) = flag_value("--seed")? {
+            flags.seed = Some(
+                value
+                    .parse::<u64>()
+                    .map_err(|_| CliError::Usage(format!("--seed `{value}` is not a u64")))?,
+            );
+        } else if let Some(value) = flag_value("--grid")? {
+            flags.grids.push(value);
+        } else {
+            match arg.as_str() {
+                "--help" | "-h" => return Ok(Cli::Help),
+                "--list" => return Ok(Cli::List),
+                other if other.starts_with('-') => {
+                    return Err(CliError::Usage(format!("unknown option `{other}`")));
+                }
+                "sweep" => sweep = true,
+                "all" => experiments.extend(Experiment::all()),
+                id => {
+                    let experiment = Experiment::from_id(id).ok_or_else(|| {
+                        CliError::Usage(format!(
+                            "unknown experiment `{id}` (try --list for the valid ids)"
+                        ))
+                    })?;
+                    experiments.push(experiment);
+                }
             }
         }
+    }
+    if sweep {
+        return build_sweep(&experiments, flags);
+    }
+    build_run(experiments, flags)
+}
+
+fn build_run(mut experiments: Vec<Experiment>, flags: RawFlags) -> Result<Cli, CliError> {
+    if let Some(grid) = flags.grids.first() {
+        return Err(CliError::Usage(format!(
+            "--grid {grid} is only valid with the `sweep` subcommand"
+        )));
     }
     if experiments.is_empty() {
         return Err(CliError::Usage("no experiment selected".into()));
@@ -104,9 +182,47 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliErr
         seen.push(*e);
         fresh
     });
+    let defaults = McConfig::default();
     Ok(Cli::Run {
         experiments,
-        format,
+        format: flags.format.unwrap_or(Format::Text),
+        mc: McConfig {
+            threads: flags.threads.unwrap_or(defaults.threads),
+            walkers: flags.walkers.unwrap_or(defaults.walkers),
+            epochs: flags.epochs.unwrap_or(defaults.epochs),
+            seed: flags.seed.unwrap_or(defaults.seed),
+        },
+    })
+}
+
+fn build_sweep(experiments: &[Experiment], flags: RawFlags) -> Result<Cli, CliError> {
+    if let Some(extra) = experiments.first() {
+        return Err(CliError::Usage(format!(
+            "`sweep` cannot be combined with experiment ids (got `{}`)",
+            extra.id()
+        )));
+    }
+    let mut spec = SweepSpec::default();
+    if let Some(threads) = flags.threads {
+        spec.threads = threads;
+    }
+    if let Some(walkers) = flags.walkers {
+        spec.walkers = vec![walkers];
+    }
+    if let Some(epochs) = flags.epochs {
+        spec.epochs = epochs;
+    }
+    if let Some(seed) = flags.seed {
+        spec.seed = seed;
+    }
+    // Grid directives come last so `--grid walkers=…` wins over
+    // `--walkers` regardless of flag order.
+    for grid in &flags.grids {
+        spec.apply_grid(grid).map_err(CliError::Usage)?;
+    }
+    Ok(Cli::Sweep {
+        spec,
+        format: flags.format.unwrap_or(Format::Text),
     })
 }
 
@@ -118,6 +234,19 @@ fn parse_format(value: &str) -> Result<Format, CliError> {
             "unknown format `{other}` (expected `text` or `json`)"
         ))),
     }
+}
+
+fn parse_count(name: &str, value: &str, zero_ok: bool) -> Result<usize, CliError> {
+    value
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| zero_ok || n > 0)
+        .ok_or_else(|| {
+            CliError::Usage(format!(
+                "{name} `{value}` is not a {} integer",
+                if zero_ok { "non-negative" } else { "positive" }
+            ))
+        })
 }
 
 /// Executes a parsed invocation and returns everything to print.
@@ -134,10 +263,11 @@ pub fn run(cli: &Cli) -> String {
         Cli::Run {
             experiments,
             format: Format::Text,
+            mc,
         } => {
             let mut out = String::new();
             for e in experiments {
-                out.push_str(&run_experiment(*e).render_text());
+                out.push_str(&run_experiment_with(*e, mc).render_text());
                 out.push('\n');
             }
             out
@@ -145,14 +275,22 @@ pub fn run(cli: &Cli) -> String {
         Cli::Run {
             experiments,
             format: Format::Json,
+            mc,
         } => {
             let outputs: Vec<String> = experiments
                 .iter()
-                .map(|e| run_experiment(*e).to_json())
+                .map(|e| run_experiment_with(*e, mc).to_json())
                 .collect();
             match outputs.as_slice() {
                 [single] => format!("{single}\n"),
                 many => format!("[{}]\n", many.join(",\n")),
+            }
+        }
+        Cli::Sweep { spec, format } => {
+            let result = spec.run();
+            match format {
+                Format::Text => result.render_text(),
+                Format::Json => format!("{}\n", result.to_json()),
             }
         }
     }
@@ -161,6 +299,7 @@ pub fn run(cli: &Cli) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ethpos_core::stake_model::PenaltySemantics;
 
     fn args(list: &[&str]) -> Vec<String> {
         list.iter().map(|s| s.to_string()).collect()
@@ -173,9 +312,11 @@ mod tests {
                 Ok(Cli::Run {
                     experiments,
                     format,
+                    mc,
                 }) => {
                     assert_eq!(experiments, vec![e]);
                     assert_eq!(format, Format::Text);
+                    assert_eq!(mc, McConfig::default());
                 }
                 other => panic!("{}: parsed to {other:?}", e.id()),
             }
@@ -236,6 +377,104 @@ mod tests {
     }
 
     #[test]
+    fn mc_knobs_reach_the_config() {
+        let cli = parse_args(args(&[
+            "fig10",
+            "--threads=4",
+            "--walkers",
+            "1000",
+            "--epochs=500",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+        let Cli::Run { mc, .. } = cli else {
+            panic!("not a run: {cli:?}");
+        };
+        assert_eq!(
+            mc,
+            McConfig {
+                threads: 4,
+                walkers: 1000,
+                epochs: 500,
+                seed: 7
+            }
+        );
+        // zero walkers / epochs are rejected, zero threads means "all"
+        assert!(parse_args(args(&["fig10", "--walkers", "0"])).is_err());
+        assert!(parse_args(args(&["fig10", "--epochs", "0"])).is_err());
+        assert!(parse_args(args(&["fig10", "--threads", "0"])).is_ok());
+    }
+
+    #[test]
+    fn sweep_parses_with_grid_directives() {
+        let cli = parse_args(args(&[
+            "sweep",
+            "--grid",
+            "beta0=0.3,0.32",
+            "--grid=semantics=paper,spec",
+            "--walkers",
+            "500",
+            "--epochs",
+            "200",
+            "--threads",
+            "2",
+            "--seed=9",
+        ]))
+        .unwrap();
+        let Cli::Sweep { spec, format } = cli else {
+            panic!("not a sweep: {cli:?}");
+        };
+        assert_eq!(format, Format::Text);
+        assert_eq!(spec.beta0, vec![0.3, 0.32]);
+        assert_eq!(
+            spec.semantics,
+            vec![PenaltySemantics::Paper, PenaltySemantics::Spec]
+        );
+        assert_eq!(spec.walkers, vec![500]);
+        assert_eq!(spec.epochs, 200);
+        assert_eq!(spec.threads, 2);
+        assert_eq!(spec.seed, 9);
+    }
+
+    #[test]
+    fn grid_walkers_wins_over_scalar_walkers() {
+        let Ok(Cli::Sweep { spec, .. }) = parse_args(args(&[
+            "sweep",
+            "--grid",
+            "walkers=100,200",
+            "--walkers",
+            "5000",
+        ])) else {
+            panic!("sweep did not parse");
+        };
+        assert_eq!(spec.walkers, vec![100, 200]);
+    }
+
+    #[test]
+    fn sweep_misuse_is_a_usage_error() {
+        // grid without sweep
+        assert!(matches!(
+            parse_args(args(&["fig2", "--grid", "beta0=0.3"])),
+            Err(CliError::Usage(_))
+        ));
+        // sweep with an experiment id
+        assert!(matches!(
+            parse_args(args(&["sweep", "fig2"])),
+            Err(CliError::Usage(_))
+        ));
+        // malformed directives surface the sweep parser's message
+        assert!(matches!(
+            parse_args(args(&["sweep", "--grid", "gamma=1"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(args(&["sweep", "--grid", "beta0=2"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
     fn json_run_emits_one_valid_document() {
         let cli = parse_args(args(&["table2", "--format", "json"])).unwrap();
         let out = run(&cli);
@@ -250,5 +489,25 @@ mod tests {
         let value: serde_json::Value = serde_json::from_str(&run(&cli)).unwrap();
         let items = value.as_array().expect("array for multiple experiments");
         assert_eq!(items.len(), 2);
+    }
+
+    #[test]
+    fn sweep_run_emits_valid_json() {
+        let cli = parse_args(args(&[
+            "sweep",
+            "--grid",
+            "beta0=0.3,0.333",
+            "--walkers",
+            "256",
+            "--epochs",
+            "100",
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        let value: serde_json::Value = serde_json::from_str(&run(&cli)).unwrap();
+        assert_eq!(value.get("epochs").and_then(|v| v.as_u64()), Some(100));
+        let rows = value.get("rows").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(rows.len(), 2);
     }
 }

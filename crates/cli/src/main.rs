@@ -8,6 +8,12 @@
 //! cargo run --release -p ethpos-cli -- all           # the whole paper
 //! cargo run --release -p ethpos-cli -- all --format json
 //! cargo run --release -p ethpos-cli -- --list
+//!
+//! # Beyond the paper: parameter sweeps on the deterministic thread pool
+//! # (the thread count never changes a single output byte):
+//! cargo run --release -p ethpos-cli -- sweep --grid beta0=0.3,0.33,0.333 \
+//!     --grid semantics=paper,spec --threads 8 --format json
+//! cargo run --release -p ethpos-cli -- fig10 --threads 8
 //! ```
 
 use std::process::ExitCode;

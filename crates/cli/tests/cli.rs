@@ -61,3 +61,101 @@ fn list_names_every_experiment() {
         assert!(text.contains(id), "`{id}` missing from --list:\n{text}");
     }
 }
+
+/// Runs the binary and returns raw stdout, asserting success.
+fn stdout_bytes(args: &[&str]) -> Vec<u8> {
+    let out = ethpos_cli(args);
+    assert!(
+        out.status.success(),
+        "{args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+/// The workspace determinism model, observed at the process boundary:
+/// the fig10 JSON (including its Monte-Carlo cross-check table) is
+/// byte-identical for any `--threads` value.
+#[test]
+fn fig10_json_is_byte_identical_across_thread_counts() {
+    let run = |threads: &str| {
+        stdout_bytes(&[
+            "fig10",
+            "--walkers",
+            "2048",
+            "--epochs",
+            "400",
+            "--seed",
+            "42",
+            "--format",
+            "json",
+            "--threads",
+            threads,
+        ])
+    };
+    let one = run("1");
+    assert!(!one.is_empty());
+    for threads in ["2", "8"] {
+        assert_eq!(run(threads), one, "--threads {threads} changed fig10");
+    }
+}
+
+/// Same property for a sweep grid: `--threads` may only change
+/// wall-clock time.
+#[test]
+fn sweep_json_is_byte_identical_across_thread_counts() {
+    let run = |threads: &str| {
+        stdout_bytes(&[
+            "sweep",
+            "--grid",
+            "beta0=0.3,0.333",
+            "--grid",
+            "semantics=paper,spec",
+            "--walkers",
+            "1024",
+            "--epochs",
+            "300",
+            "--format",
+            "json",
+            "--threads",
+            threads,
+        ])
+    };
+    let one = run("1");
+    for threads in ["2", "8"] {
+        assert_eq!(run(threads), one, "--threads {threads} changed the sweep");
+    }
+    // and the document is valid JSON with the full grid
+    let text = String::from_utf8(one).expect("utf-8");
+    let value: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+    let rows = value.get("rows").and_then(|v| v.as_array()).unwrap();
+    assert_eq!(rows.len(), 4);
+}
+
+#[test]
+fn sweep_text_renders_the_grid_table() {
+    let out = stdout_bytes(&[
+        "sweep",
+        "--walkers",
+        "512",
+        "--epochs",
+        "200",
+        "--threads",
+        "2",
+    ]);
+    let text = String::from_utf8(out).unwrap();
+    assert!(text.contains("Parameter sweep"), "{text}");
+    // One row per default-grid β0, matched as whole padded table cells
+    // so a shorter value cannot satisfy a longer one's assertion.
+    for cell in ["| 0.3   |", "| 0.33  |", "| 0.333 |"] {
+        assert!(text.contains(cell), "missing β0 row `{cell}`:\n{text}");
+    }
+}
+
+#[test]
+fn sweep_rejects_bad_grid_axis() {
+    let out = ethpos_cli(&["sweep", "--grid", "gamma=1"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown grid axis"), "stderr: {err}");
+}

@@ -149,6 +149,36 @@ impl ExperimentOutput {
     }
 }
 
+/// Monte-Carlo knobs for [`run_experiment_with`]: sizing, seeding and
+/// the worker-thread budget of the simulation-backed cross-checks.
+///
+/// The defaults are the paper's §5.3 run — 20 000 walkers to epoch 8000
+/// — sharded over one worker per hardware thread. The thread count only
+/// changes wall-clock time, never a single output byte (see
+/// `ARCHITECTURE.md`, "The determinism model").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct McConfig {
+    /// Worker threads (`0` = one per hardware thread).
+    pub threads: usize,
+    /// Monte-Carlo walker count.
+    pub walkers: usize,
+    /// Epoch horizon.
+    pub epochs: u64,
+    /// Root seed of the per-chunk seed stream.
+    pub seed: u64,
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        McConfig {
+            threads: 0,
+            walkers: 20_000,
+            epochs: 8000,
+            seed: 42,
+        }
+    }
+}
+
 /// Runs the analytical generator for `experiment`.
 pub fn run_experiment(experiment: Experiment) -> ExperimentOutput {
     match experiment {
@@ -163,6 +193,35 @@ pub fn run_experiment(experiment: Experiment) -> ExperimentOutput {
         Experiment::Fig9StakeDistribution => fig9(),
         Experiment::Fig10ThresholdProbability => fig10(),
     }
+}
+
+/// [`run_experiment`] plus the Monte-Carlo cross-checks, where defined.
+///
+/// For [`Experiment::Fig10ThresholdProbability`] this appends the §5.3
+/// walker Monte Carlo (Eq. 24 vs empirical breach fraction at
+/// `β0 = 0.33`) sized by `mc`; every other experiment is purely
+/// analytical and returned unchanged. The output is bit-identical for
+/// any `mc.threads`.
+///
+/// # Example
+///
+/// ```
+/// use ethpos_core::experiments::{run_experiment_with, Experiment, McConfig};
+///
+/// let mc = McConfig {
+///     walkers: 500,
+///     epochs: 400,
+///     ..McConfig::default()
+/// };
+/// let out = run_experiment_with(Experiment::Fig10ThresholdProbability, &mc);
+/// assert_eq!(out.tables.len(), 2); // analytic table + MC cross-check
+/// ```
+pub fn run_experiment_with(experiment: Experiment, mc: &McConfig) -> ExperimentOutput {
+    let mut out = run_experiment(experiment);
+    if experiment == Experiment::Fig10ThresholdProbability {
+        out.tables.push(simulated::fig10_monte_carlo(0.33, mc));
+    }
+    out
 }
 
 fn fig2() -> ExperimentOutput {
@@ -511,14 +570,17 @@ pub mod simulated {
     }
 
     /// The §5.3 Monte Carlo (Fig. 10) at one β0, compared to Eq. 24.
-    pub fn fig10_monte_carlo(beta0: f64, epochs: u64, walkers: usize) -> Table {
+    /// Sized, seeded and threaded by `mc`; thread-count invariant.
+    pub fn fig10_monte_carlo(beta0: f64, mc: &McConfig) -> Table {
         use ethpos_sim::{run_bouncing_walks, BouncingWalkConfig};
         let law = bouncing::BouncingLaw::new(0.5);
         let mc = run_bouncing_walks(&BouncingWalkConfig {
             beta0,
-            walkers,
-            epochs,
-            record_every: (epochs / 8).max(1),
+            walkers: mc.walkers,
+            epochs: mc.epochs,
+            seed: mc.seed,
+            threads: mc.threads,
+            record_every: (mc.epochs / 8).max(1),
             ..BouncingWalkConfig::default()
         });
         let mut table = Table::new(

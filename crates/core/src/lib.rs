@@ -17,7 +17,9 @@
 //!
 //! [`stake_model`] holds the §4.3 continuous stake functions, and
 //! [`experiments`] exposes a typed registry that regenerates **every**
-//! table and figure of the paper's evaluation.
+//! table and figure of the paper's evaluation. [`sweep`] generalizes the
+//! hard-coded paper parameters into grids (`β₀ × p0 × walkers ×
+//! semantics`) evaluated on the deterministic thread pool.
 //!
 //! # Example
 //!
@@ -35,5 +37,9 @@ pub mod experiments;
 pub mod report;
 pub mod scenarios;
 pub mod stake_model;
+pub mod sweep;
 
-pub use experiments::{run_experiment, Experiment, ExperimentOutput};
+pub use experiments::{
+    run_experiment, run_experiment_with, Experiment, ExperimentOutput, McConfig,
+};
+pub use sweep::{SweepResult, SweepRow, SweepSpec};

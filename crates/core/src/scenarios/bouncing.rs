@@ -427,53 +427,20 @@ mod tests {
 
     #[test]
     fn two_branch_monte_carlo_confirms_doubling() {
-        // Empirical check of the "doubled" remark: track both branches of
-        // the SAME walkers (anti-correlated) and compare the union rate
+        // Empirical check of the "doubled" remark via the sharded walk
+        // harness: every walker is tracked from both branches' viewpoints
+        // (anti-correlated), and the union breach rate is compared
         // against twice the single-branch rate.
-        use ethpos_stats::seeded_rng;
-        use rand::Rng;
-        let mut rng = seeded_rng(11);
-        let m = 20_000usize;
-        let t_end = 3000u64;
-        let beta0 = 0.333f64;
-        let mut score = vec![(0.0f64, 0.0f64); m];
-        let mut stake = vec![(32.0f64, 32.0f64); m];
-        let mut byz_stake = 32.0f64;
-        let mut byz_score = 0.0f64;
-        for e in 0..t_end {
-            for i in 0..m {
-                let on_a = rng.random_bool(0.5);
-                let (sa, sb) = &mut score[i];
-                let (ka, kb) = &mut stake[i];
-                // branch A view
-                if on_a {
-                    *sa = (*sa - 1.0).max(0.0)
-                } else {
-                    *sa += 4.0
-                }
-                *ka -= *sa * *ka / 67_108_864.0;
-                // branch B view (anti-correlated)
-                if !on_a {
-                    *sb = (*sb - 1.0).max(0.0)
-                } else {
-                    *sb += 4.0
-                }
-                *kb -= *sb * *kb / 67_108_864.0;
-            }
-            if e % 2 == 0 {
-                byz_score = (byz_score - 1.0).max(0.0)
-            } else {
-                byz_score += 4.0
-            }
-            byz_stake -= byz_score * byz_stake / 67_108_864.0;
-        }
-        let threshold = 2.0 * beta0 / (1.0 - beta0) * byz_stake;
-        let single = stake.iter().filter(|(a, _)| *a < threshold).count() as f64 / m as f64;
-        let either = stake
-            .iter()
-            .filter(|(a, b)| *a < threshold || *b < threshold)
-            .count() as f64
-            / m as f64;
+        use ethpos_sim::{run_two_branch_walks, TwoBranchWalkConfig};
+        let out = run_two_branch_walks(&TwoBranchWalkConfig {
+            beta0: 0.333,
+            walkers: 20_000,
+            epochs: 3000,
+            seed: 11,
+            ..TwoBranchWalkConfig::default()
+        });
+        let single = out.single_branch_breach;
+        let either = out.either_branch_breach;
         // anti-correlation makes breaches on A and B nearly disjoint at
         // moderate probabilities, so the union is close to 2× the single
         assert!(single > 0.1, "single = {single}");

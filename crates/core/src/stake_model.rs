@@ -132,7 +132,7 @@ pub fn discrete_stake_trajectory(behavior: StakeBehavior, epochs: u64) -> Vec<f6
 
 /// Which inactivity-penalty semantics a trajectory uses (see
 /// `ChainConfig::paper_inactivity_penalties` in `ethpos-types`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PenaltySemantics {
     /// Paper Eq. 2: the penalty applies every epoch while the score is
     /// positive.
@@ -140,6 +140,42 @@ pub enum PenaltySemantics {
     /// Bellatrix spec: the penalty applies only in epochs whose
     /// timely-target flag was missed.
     Spec,
+}
+
+impl PenaltySemantics {
+    /// Short identifier used by tables and the CLI `--grid semantics=`
+    /// axis.
+    ///
+    /// ```
+    /// use ethpos_core::stake_model::PenaltySemantics;
+    ///
+    /// assert_eq!(PenaltySemantics::Paper.id(), "paper");
+    /// assert_eq!(PenaltySemantics::from_id("spec"), Some(PenaltySemantics::Spec));
+    /// assert_eq!(PenaltySemantics::from_id("bogus"), None);
+    /// ```
+    pub fn id(self) -> &'static str {
+        match self {
+            PenaltySemantics::Paper => "paper",
+            PenaltySemantics::Spec => "spec",
+        }
+    }
+
+    /// Parses [`PenaltySemantics::id`] back.
+    pub fn from_id(id: &str) -> Option<Self> {
+        match id {
+            "paper" => Some(PenaltySemantics::Paper),
+            "spec" => Some(PenaltySemantics::Spec),
+            _ => None,
+        }
+    }
+}
+
+/// Serializes as [`PenaltySemantics::id`] (`"paper"` / `"spec"`), so the
+/// JSON value round-trips through the CLI's `--grid semantics=` axis.
+impl Serialize for PenaltySemantics {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::String(self.id().into())
+    }
 }
 
 /// [`discrete_stake_trajectory`] with explicit penalty semantics

@@ -1,0 +1,516 @@
+//! Parameter sweeps: run the paper's scenarios over grids instead of the
+//! publication's hard-coded parameters.
+//!
+//! A [`SweepSpec`] is a cartesian grid over the attack parameters the
+//! paper tabulates one point at a time — Byzantine proportion `β₀`,
+//! partition split `p0` (the probability of an honest validator sitting
+//! on branch A), walker count, and penalty semantics (paper Eq. 2 vs
+//! Bellatrix). [`SweepSpec::run`] evaluates every grid point:
+//!
+//! * the §5.3 two-branch Monte Carlo ([`ethpos_sim::run_two_branch_walks`]),
+//!   giving the empirical single-branch and either-branch breach
+//!   fractions at the horizon;
+//! * the analytical Eq. 24 probability (paper semantics only — the
+//!   closed forms assume the Eq. 2 penalty);
+//! * the closed-form conflicting-finalization epochs of §5.2.1 (Eq. 9)
+//!   and §5.2.2 (Eq. 10) for the same `(p0, β₀)`;
+//! * the Eq. 14 bouncing-viability check.
+//!
+//! Grid points fan onto the deterministic chunked thread pool
+//! ([`ethpos_sim::ChunkPool`]) and every point draws its Monte-Carlo
+//! seed from an order-insensitive [`SeedSequence`] child, so the whole
+//! sweep is **bit-identical for any `threads` value** (see
+//! `ARCHITECTURE.md`, "The determinism model").
+
+use serde::Serialize;
+
+use ethpos_sim::{run_two_branch_walks, ChunkPool, TwoBranchWalkConfig};
+use ethpos_stats::SeedSequence;
+
+use crate::report::Table;
+use crate::scenarios::{bouncing, semi_active, slashing};
+use crate::stake_model::PenaltySemantics;
+
+/// A cartesian parameter grid over the bouncing-attack Monte Carlo and
+/// the §5.2 closed forms.
+///
+/// Axis vectors multiply out: the grid has
+/// `beta0.len() × p0.len() × walkers.len() × semantics.len()` points,
+/// enumerated semantics-major, then `p0`, then `beta0`, then `walkers`
+/// (the row order of the rendered table).
+///
+/// # Example
+///
+/// ```
+/// use ethpos_core::sweep::SweepSpec;
+///
+/// let mut spec = SweepSpec::smoke();
+/// spec.apply_grid("beta0=0.3,0.333").unwrap();
+/// let result = spec.run();
+/// assert_eq!(result.rows.len(), 2);
+/// // The union breach rate dominates the single-branch rate everywhere.
+/// assert!(result
+///     .rows
+///     .iter()
+///     .all(|r| r.mc_either_branch >= r.mc_single_branch));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SweepSpec {
+    /// Initial Byzantine proportions to sweep.
+    pub beta0: Vec<f64>,
+    /// Partition splits (probability of an honest validator being on
+    /// branch A at even epochs).
+    pub p0: Vec<f64>,
+    /// Monte-Carlo walker counts.
+    pub walkers: Vec<usize>,
+    /// Penalty semantics to sweep (paper Eq. 2 and/or Bellatrix spec).
+    pub semantics: Vec<PenaltySemantics>,
+    /// Epoch horizon at which breach fractions are evaluated.
+    pub epochs: u64,
+    /// Root seed of the per-grid-point seed stream.
+    pub seed: u64,
+    /// Worker threads (`0` = one per hardware thread). Never changes the
+    /// numbers, only the wall-clock time.
+    pub threads: usize,
+}
+
+impl Default for SweepSpec {
+    /// The paper-flavoured default grid: the Fig. 10 β₀ values of
+    /// interest at `p0 = 0.5`, paper semantics, 20 000 walkers to epoch
+    /// 3000.
+    fn default() -> Self {
+        SweepSpec {
+            beta0: vec![0.3, 0.33, 0.333],
+            p0: vec![0.5],
+            walkers: vec![20_000],
+            semantics: vec![PenaltySemantics::Paper],
+            epochs: 3000,
+            seed: 11,
+            threads: 0,
+        }
+    }
+}
+
+impl SweepSpec {
+    /// A small grid that runs in well under a second even unoptimized —
+    /// used by doctests, the CLI smoke tests and the CI sweep artifact.
+    pub fn smoke() -> Self {
+        SweepSpec {
+            beta0: vec![0.3, 0.333],
+            p0: vec![0.5],
+            walkers: vec![2000],
+            semantics: vec![PenaltySemantics::Paper],
+            epochs: 400,
+            seed: 11,
+            threads: 0,
+        }
+    }
+
+    /// Applies one `--grid axis=v1,v2,…` directive.
+    ///
+    /// Axes: `beta0`, `p0` (floats in (0, 1)), `walkers` (positive
+    /// integers), `semantics` (`paper` / `spec`). Later directives
+    /// replace the axis wholesale.
+    ///
+    /// ```
+    /// use ethpos_core::stake_model::PenaltySemantics;
+    /// use ethpos_core::sweep::SweepSpec;
+    ///
+    /// let mut spec = SweepSpec::default();
+    /// spec.apply_grid("semantics=paper,spec").unwrap();
+    /// assert_eq!(
+    ///     spec.semantics,
+    ///     vec![PenaltySemantics::Paper, PenaltySemantics::Spec]
+    /// );
+    /// assert!(spec.apply_grid("gamma=1").is_err());
+    /// ```
+    pub fn apply_grid(&mut self, directive: &str) -> Result<(), String> {
+        let (axis, values) = directive
+            .split_once('=')
+            .ok_or_else(|| format!("grid directive `{directive}` is not `axis=v1,v2,…`"))?;
+        let values: Vec<&str> = values.split(',').filter(|v| !v.is_empty()).collect();
+        if values.is_empty() {
+            return Err(format!("grid axis `{axis}` has no values"));
+        }
+        match axis {
+            "beta0" => self.beta0 = parse_unit_interval(axis, &values)?,
+            "p0" => self.p0 = parse_unit_interval(axis, &values)?,
+            "walkers" => {
+                self.walkers = values
+                    .iter()
+                    .map(|v| {
+                        v.parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| format!("walkers value `{v}` is not a positive integer"))
+                    })
+                    .collect::<Result<_, _>>()?
+            }
+            "semantics" => {
+                self.semantics = values
+                    .iter()
+                    .map(|v| {
+                        PenaltySemantics::from_id(v)
+                            .ok_or_else(|| format!("semantics `{v}` (expected `paper` or `spec`)"))
+                    })
+                    .collect::<Result<_, _>>()?
+            }
+            other => {
+                return Err(format!(
+                    "unknown grid axis `{other}` (expected beta0, p0, walkers or semantics)"
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.beta0.len() * self.p0.len() * self.walkers.len() * self.semantics.len()
+    }
+
+    /// True if any axis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Grid points in row order (semantics-major, then `p0`, `beta0`,
+    /// `walkers`).
+    fn points(&self) -> Vec<SweepPoint> {
+        let mut points = Vec::with_capacity(self.len());
+        for &semantics in &self.semantics {
+            for &p0 in &self.p0 {
+                for &beta0 in &self.beta0 {
+                    for &walkers in &self.walkers {
+                        points.push(SweepPoint {
+                            beta0,
+                            p0,
+                            walkers,
+                            semantics,
+                        });
+                    }
+                }
+            }
+        }
+        points
+    }
+
+    /// Runs the full grid and aggregates the rows.
+    ///
+    /// Grid points are fanned onto the pool; each point's Monte Carlo
+    /// additionally shards its own walkers when there are more workers
+    /// than remaining points. Point `g`'s seed is child `g` of the root
+    /// [`SeedSequence`], so results depend only on `(seed, grid)` —
+    /// never on the thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is empty or a value is outside its domain
+    /// (enforced earlier by [`SweepSpec::apply_grid`]).
+    pub fn run(&self) -> SweepResult {
+        assert!(!self.is_empty(), "empty sweep grid");
+        let points = self.points();
+        let seq = SeedSequence::new(self.seed);
+        let pool = ChunkPool::new(self.threads);
+        // Split the worker budget: across grid points first, and let each
+        // point's Monte Carlo use the leftover parallelism when the grid
+        // is narrower than the pool.
+        let inner_threads = (pool.threads() / points.len().min(pool.threads())).max(1);
+        let rows = pool.map(points.len(), |g| {
+            run_point(&points[g], self, seq.child_seed(g as u64), inner_threads)
+        });
+        SweepResult {
+            epochs: self.epochs,
+            seed: self.seed,
+            rows,
+        }
+    }
+}
+
+/// One grid point (the sweep-axis coordinates of a [`SweepRow`]).
+#[derive(Debug, Clone, Copy)]
+struct SweepPoint {
+    beta0: f64,
+    p0: f64,
+    walkers: usize,
+    semantics: PenaltySemantics,
+}
+
+fn parse_unit_interval(axis: &str, values: &[&str]) -> Result<Vec<f64>, String> {
+    values
+        .iter()
+        .map(|v| {
+            v.parse::<f64>()
+                .ok()
+                .filter(|x| *x > 0.0 && *x < 1.0)
+                .ok_or_else(|| format!("{axis} value `{v}` is not a float in (0, 1)"))
+        })
+        .collect()
+}
+
+fn run_point(point: &SweepPoint, spec: &SweepSpec, seed: u64, threads: usize) -> SweepRow {
+    let paper_semantics = point.semantics == PenaltySemantics::Paper;
+    let mc = run_two_branch_walks(&TwoBranchWalkConfig {
+        p0: point.p0,
+        beta0: point.beta0,
+        walkers: point.walkers,
+        epochs: spec.epochs,
+        seed,
+        paper_semantics,
+        threads,
+    });
+    // The closed forms all assume the paper's Eq. 2 penalty; under spec
+    // semantics only the Monte Carlo is meaningful.
+    let analytic_prob = paper_semantics.then(|| {
+        bouncing::BouncingLaw::new(point.p0).prob_exceed_third(point.beta0, spec.epochs as f64)
+    });
+    SweepRow {
+        beta0: point.beta0,
+        p0: point.p0,
+        walkers: point.walkers,
+        semantics: point.semantics,
+        bouncing_viable: bouncing::is_viable(point.p0, point.beta0),
+        analytic_prob,
+        mc_single_branch: mc.single_branch_breach,
+        mc_either_branch: mc.either_branch_breach,
+        byzantine_stake: mc.byzantine_stake[0],
+        slashable_finalization_epoch: slashing::conflicting_finalization_epoch(
+            point.p0,
+            point.beta0,
+        ),
+        non_slashable_finalization_epoch: semi_active::conflicting_finalization_epoch(
+            point.p0,
+            point.beta0,
+        ),
+    }
+}
+
+/// One evaluated grid point.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepRow {
+    /// Initial Byzantine proportion.
+    pub beta0: f64,
+    /// Partition split.
+    pub p0: f64,
+    /// Monte-Carlo walker count.
+    pub walkers: usize,
+    /// Penalty semantics this row was evaluated under.
+    pub semantics: PenaltySemantics,
+    /// Eq. 14: can the bouncing attack keep going at `(p0, β0)`?
+    pub bouncing_viable: bool,
+    /// Eq. 24 at the horizon (`None` under spec semantics, where the
+    /// closed form does not apply).
+    pub analytic_prob: Option<f64>,
+    /// Monte-Carlo fraction of walkers breaching the ⅓ threshold on
+    /// branch A.
+    pub mc_single_branch: f64,
+    /// Monte-Carlo fraction breaching on either branch (the union the
+    /// paper bounds by `2·P`).
+    pub mc_either_branch: f64,
+    /// Byzantine semi-active stake (ETH) at the horizon, branch A's view.
+    pub byzantine_stake: f64,
+    /// Eq. 9: conflicting-finalization epoch, slashable strategy.
+    pub slashable_finalization_epoch: f64,
+    /// Eq. 10: conflicting-finalization epoch, non-slashable strategy.
+    pub non_slashable_finalization_epoch: f64,
+}
+
+/// The aggregated output of [`SweepSpec::run`].
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepResult {
+    /// Horizon the breach fractions were evaluated at.
+    pub epochs: u64,
+    /// Root seed the per-point seeds were derived from.
+    pub seed: u64,
+    /// One row per grid point, in grid order.
+    pub rows: Vec<SweepRow>,
+}
+
+impl SweepResult {
+    /// Renders the sweep as one rectangular table.
+    pub fn table(&self) -> Table {
+        let mut table = Table::new(
+            format!(
+                "Parameter sweep at horizon t = {} (seed {})",
+                self.epochs, self.seed
+            ),
+            &[
+                "β0",
+                "p0",
+                "walkers",
+                "semantics",
+                "viable",
+                "Eq.24 P",
+                "MC P (A)",
+                "MC P (A∪B)",
+                "s_B (ETH)",
+                "t_slash (Eq.9)",
+                "t_semi (Eq.10)",
+            ],
+        );
+        for r in &self.rows {
+            table.push_row(vec![
+                format!("{}", r.beta0),
+                format!("{}", r.p0),
+                r.walkers.to_string(),
+                r.semantics.id().to_string(),
+                if r.bouncing_viable { "yes" } else { "no" }.into(),
+                r.analytic_prob
+                    .map(|p| format!("{p:.4}"))
+                    .unwrap_or_else(|| "—".into()),
+                format!("{:.4}", r.mc_single_branch),
+                format!("{:.4}", r.mc_either_branch),
+                format!("{:.3}", r.byzantine_stake),
+                format!("{:.0}", r.slashable_finalization_epoch),
+                format!("{:.0}", r.non_slashable_finalization_epoch),
+            ]);
+        }
+        table
+    }
+
+    /// Renders the table as text (the CLI's `--format text`).
+    pub fn render_text(&self) -> String {
+        format!("# Parameter sweep\n\n{}", self.table().render_text())
+    }
+
+    /// Serializes every row to pretty JSON (the CLI's `--format json`).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("serializable")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SweepSpec {
+        SweepSpec {
+            beta0: vec![0.3, 0.333],
+            p0: vec![0.5],
+            walkers: vec![512],
+            semantics: vec![PenaltySemantics::Paper],
+            epochs: 200,
+            seed: 7,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn grid_enumeration_is_the_full_product() {
+        let mut spec = tiny();
+        spec.p0 = vec![0.5, 0.55];
+        spec.semantics = vec![PenaltySemantics::Paper, PenaltySemantics::Spec];
+        assert_eq!(spec.len(), 8); // 2 β0 × 2 p0 × 1 walkers × 2 semantics
+        let result = spec.run();
+        assert_eq!(result.rows.len(), 8);
+        // semantics-major ordering
+        assert_eq!(result.rows[0].semantics, PenaltySemantics::Paper);
+        assert_eq!(result.rows[7].semantics, PenaltySemantics::Spec);
+        // spec rows carry no analytic column
+        assert!(result.rows[0].analytic_prob.is_some());
+        assert!(result.rows[7].analytic_prob.is_none());
+    }
+
+    #[test]
+    fn sweep_is_thread_invariant() {
+        let run = |threads: usize| {
+            let mut spec = tiny();
+            spec.threads = threads;
+            spec.run().to_json()
+        };
+        let one = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), one, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn grid_directives_replace_axes() {
+        let mut spec = SweepSpec::default();
+        spec.apply_grid("beta0=0.2,0.25").unwrap();
+        assert_eq!(spec.beta0, vec![0.2, 0.25]);
+        spec.apply_grid("walkers=100,200").unwrap();
+        assert_eq!(spec.walkers, vec![100, 200]);
+        spec.apply_grid("p0=0.6").unwrap();
+        assert_eq!(spec.p0, vec![0.6]);
+    }
+
+    #[test]
+    fn bad_grid_directives_are_rejected() {
+        let mut spec = SweepSpec::default();
+        for bad in [
+            "beta0",
+            "beta0=",
+            "beta0=1.5",
+            "beta0=zero",
+            "p0=0",
+            "walkers=0",
+            "walkers=-3",
+            "semantics=bellatrix",
+            "gamma=1",
+        ] {
+            assert!(spec.apply_grid(bad).is_err(), "`{bad}` was accepted");
+        }
+        // and the spec is unchanged by the failed directives
+        assert_eq!(spec, SweepSpec::default());
+    }
+
+    #[test]
+    fn larger_beta_breaches_more() {
+        let result = SweepSpec {
+            epochs: 2000,
+            walkers: vec![4000],
+            ..tiny()
+        }
+        .run();
+        assert!(result.rows[1].mc_single_branch > result.rows[0].mc_single_branch);
+        // Eq. 24 disregards the score floor at zero ("conservatively
+        // estimating the loss of stake"), so it tracks the Monte Carlo
+        // from above, within a few percent at these sizes.
+        for r in &result.rows {
+            let analytic = r.analytic_prob.unwrap();
+            assert!(
+                analytic >= r.mc_single_branch - 0.01,
+                "β0 {}: analytic {analytic} below MC {}",
+                r.beta0,
+                r.mc_single_branch
+            );
+            assert!(
+                (analytic - r.mc_single_branch).abs() < 0.1,
+                "β0 {}: analytic {analytic} vs MC {}",
+                r.beta0,
+                r.mc_single_branch
+            );
+        }
+    }
+
+    #[test]
+    fn closed_forms_ride_along() {
+        let mut spec = tiny();
+        spec.p0 = vec![0.5, 0.6];
+        let result = spec.run();
+        for r in &result.rows {
+            // §5.2: the non-slashable strategy always takes longer.
+            assert!(r.non_slashable_finalization_epoch > r.slashable_finalization_epoch);
+            // Eq. 14: at p0 = 0.5 the window needs β0 > 1/3 strictly, so
+            // these grid points sit outside; p0 = 0.6 is inside for both.
+            assert_eq!(r.bouncing_viable, r.p0 > 0.5, "({}, {})", r.p0, r.beta0);
+        }
+    }
+
+    #[test]
+    fn table_and_json_render() {
+        let result = tiny().run();
+        let text = result.render_text();
+        assert!(text.contains("Parameter sweep"));
+        assert!(text.contains("0.333"));
+        let value: serde_json::Value = serde_json::from_str(&result.to_json()).unwrap();
+        let rows = value.get("rows").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(rows.len(), 2);
+        // serialized as the CLI-round-trippable id, not the variant name
+        assert_eq!(
+            rows[0].get("semantics").and_then(|v| v.as_str()),
+            Some("paper")
+        );
+    }
+}

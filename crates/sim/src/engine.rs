@@ -17,6 +17,7 @@ use ethpos_validator::duties::{committee_at_slot, ProposerLottery};
 use ethpos_validator::honest::build_attestation;
 
 use crate::monitor::SafetyMonitor;
+use crate::pool::ChunkPool;
 use crate::view::View;
 
 /// Byzantine behaviour at slot level.
@@ -295,10 +296,56 @@ impl SlotSim {
     }
 }
 
+/// Runs many independent slot-level simulations on up to `threads`
+/// workers (`0` = one per hardware thread) and returns the reports in
+/// configuration order.
+///
+/// Each simulation is already deterministic given its config (the
+/// proposer lottery is the only stochastic input and it is seeded), so
+/// fanning runs across threads cannot change any report — this is the
+/// multi-run entry point scenario drivers and sweeps should use instead
+/// of looping over [`SlotSim::run`].
+///
+/// # Example
+///
+/// ```
+/// use ethpos_sim::{run_slot_sims, SlotSimConfig};
+///
+/// let configs = vec![SlotSimConfig::healthy(8, 40), SlotSimConfig::healthy(10, 40)];
+/// let reports = run_slot_sims(configs, 2);
+/// assert_eq!(reports.len(), 2);
+/// assert!(reports.iter().all(|r| r.safety_violation.is_none()));
+/// ```
+pub fn run_slot_sims(configs: Vec<SlotSimConfig>, threads: usize) -> Vec<SlotSimReport> {
+    let pool = ChunkPool::new(threads);
+    pool.map(configs.len(), |i| SlotSim::new(configs[i].clone()).run())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use ethpos_types::Epoch;
+
+    #[test]
+    fn parallel_multi_run_matches_sequential() {
+        let mk = |seed: u64| {
+            let mut cfg = SlotSimConfig::healthy(8, 6 * 8);
+            cfg.seed = seed;
+            cfg
+        };
+        let configs: Vec<SlotSimConfig> = (0..4).map(mk).collect();
+        let sequential: Vec<SlotSimReport> = configs
+            .iter()
+            .map(|c| SlotSim::new(c.clone()).run())
+            .collect();
+        let parallel = run_slot_sims(configs, 4);
+        assert_eq!(parallel.len(), sequential.len());
+        for (p, s) in parallel.iter().zip(&sequential) {
+            assert_eq!(p.heads, s.heads);
+            assert_eq!(p.finalized, s.finalized);
+            assert_eq!(p.blocks_produced, s.blocks_produced);
+        }
+    }
 
     #[test]
     fn healthy_network_finalizes_steadily() {

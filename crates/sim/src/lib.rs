@@ -16,6 +16,10 @@
 //!   bouncing attack (§5.3): per-validator inactivity-score walks and
 //!   stake trajectories, regenerating Figures 9–10 empirically.
 //!
+//! The Monte-Carlo engines shard their walkers over [`pool::ChunkPool`]
+//! with per-chunk [`ethpos_stats::SeedSequence`] child RNGs, so results
+//! are **bit-identical for any thread count** (see `ARCHITECTURE.md`).
+//!
 //! [`monitor::SafetyMonitor`] watches all views/branches for conflicting
 //! finalized checkpoints — a Safety violation is an *observed result*, not
 //! an assertion failure.
@@ -26,6 +30,7 @@
 pub mod cohort;
 pub mod engine;
 pub mod monitor;
+pub mod pool;
 pub mod single_branch;
 pub mod view;
 pub mod walk_mc;
@@ -33,8 +38,12 @@ pub mod walk_mc;
 pub use cohort::{
     BranchEpochStats, EpochRecord, MembershipModel, TwoBranchConfig, TwoBranchOutcome, TwoBranchSim,
 };
-pub use engine::{SlotByzMode, SlotSim, SlotSimConfig, SlotSimReport};
+pub use engine::{run_slot_sims, SlotByzMode, SlotSim, SlotSimConfig, SlotSimReport};
 pub use monitor::SafetyMonitor;
+pub use pool::ChunkPool;
 pub use single_branch::{run_single_branch, Behavior, StakeTrajectory};
 pub use view::View;
-pub use walk_mc::{run_bouncing_walks, BouncingWalkConfig, BouncingWalkResult};
+pub use walk_mc::{
+    run_bouncing_walks, run_two_branch_walks, BouncingWalkConfig, BouncingWalkResult,
+    TwoBranchWalkConfig, TwoBranchWalkResult,
+};

@@ -1,0 +1,159 @@
+//! A small, work-stealing-free chunked thread pool.
+//!
+//! [`ChunkPool::map`] runs `tasks` independent closures on up to
+//! `threads` OS threads (`std::thread::scope` + channels — no external
+//! crates) and returns their results **in task order**. Workers claim
+//! task indices from a shared atomic counter, so scheduling is dynamic,
+//! but nothing about a task's *inputs* depends on which worker runs it:
+//! as long as each task derives its randomness from its own index (via
+//! [`ethpos_stats::SeedSequence`]), the assembled result vector is
+//! bit-identical for any thread count — including `threads = 1`, which
+//! runs inline on the calling thread.
+//!
+//! This is deliberately *not* a work-stealing deque: tasks here are
+//! chunky (thousands of walker-epochs each), so a single shared counter
+//! has no measurable contention and keeps the scheduling trivially
+//! auditable.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// A fixed-width pool that maps an indexed task set onto OS threads.
+///
+/// # Example
+///
+/// Results arrive in task order no matter how the threads interleave:
+///
+/// ```
+/// use ethpos_sim::ChunkPool;
+///
+/// let squares = ChunkPool::new(4).map(8, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// // A different thread count produces the same vector.
+/// assert_eq!(ChunkPool::new(1).map(8, |i| i * i), squares);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkPool {
+    threads: usize,
+}
+
+impl ChunkPool {
+    /// Creates a pool of `threads` workers; `0` means one worker per
+    /// available hardware thread.
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        ChunkPool { threads }
+    }
+
+    /// The worker count this pool will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `task(i)` for every `i in 0..tasks` and returns the results
+    /// indexed by `i`.
+    ///
+    /// The output is a pure function of the task closure — never of the
+    /// thread count or of scheduling order.
+    pub fn map<T, F>(&self, tasks: usize, task: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if tasks == 0 {
+            return Vec::new();
+        }
+        let workers = self.threads.min(tasks);
+        if workers <= 1 {
+            return (0..tasks).map(task).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        let mut slots: Vec<Option<T>> = (0..tasks).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let task = &task;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= tasks {
+                        break;
+                    }
+                    // A send only fails if the receiver is gone, and the
+                    // receiver outlives the scope.
+                    let _ = tx.send((i, task(i)));
+                });
+            }
+            drop(tx);
+            for (i, value) in rx {
+                slots[i] = Some(value);
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every task index produced a result"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ethpos_stats::SeedSequence;
+    use rand::Rng;
+
+    #[test]
+    fn map_preserves_task_order() {
+        let pool = ChunkPool::new(3);
+        // Uneven task durations scramble completion order; output order
+        // must not care.
+        let out = pool.map(64, |i| {
+            if i % 7 == 0 {
+                std::thread::yield_now();
+            }
+            i * 2
+        });
+        assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_seeded_results() {
+        let seq = SeedSequence::new(42);
+        let draw = |i: usize| {
+            let mut rng = seq.child_rng(i as u64);
+            (0..100).fold(0u64, |acc, _| acc ^ rng.random::<u64>())
+        };
+        let one = ChunkPool::new(1).map(40, draw);
+        for threads in [2, 4, 8] {
+            assert_eq!(ChunkPool::new(threads).map(40, draw), one, "{threads}");
+        }
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_hardware_parallelism() {
+        let pool = ChunkPool::new(0);
+        assert!(pool.threads() >= 1);
+        assert_eq!(pool.map(5, |i| i), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_and_single_task_sets() {
+        let pool = ChunkPool::new(8);
+        assert_eq!(pool.map(0, |i| i), Vec::<usize>::new());
+        assert_eq!(pool.map(1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn more_threads_than_tasks_is_fine() {
+        let out = ChunkPool::new(16).map(3, |i| i as u64 + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+}

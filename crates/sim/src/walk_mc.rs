@@ -7,18 +7,57 @@
 //! vanishes).
 //! From branch A's perspective its inactivity score follows the paper's
 //! random walk (+4 when absent, −1 when present, floored at 0) and its
-//! stake decays by `I·s/2²⁶` per epoch, with ejection below 16.75 ETH and
-//! the 32 ETH cap — the censoring of paper Eq. 20.
+//! stake decays by `I·s/2²⁶` per epoch, with the 32 ETH cap and ejection
+//! once the balance falls below **16.75 ETH** — the censoring of paper
+//! Eq. 20. The paper quotes the ejection threshold as "16 ETH", which is
+//! the **effective-balance** floor; ejection actually triggers when the
+//! *actual* balance drops below `EJECTION_BALANCE + hysteresis margin`
+//! = 16 + (1 − 0.25) = 16.75 ETH, and that spec-accurate value is what
+//! the paper's own ejection epochs (4685 / 7652) are computed from. See
+//! `ethpos_core::stake_model::EJECTION_STAKE` and `PAPER.md`.
 //!
 //! The Byzantine stake follows the deterministic semi-active trajectory.
 //! The estimator of paper Eq. 24 is the fraction of walkers whose stake
 //! satisfies `s_H < 2β₀/(1−β₀) · s_B(t)`, which is exactly
 //! `F(2β₀/(1−β₀)·s_B(t), t)` as the walker count grows.
+//!
+//! # Parallel determinism
+//!
+//! Walkers are sharded into fixed chunks of [`WALKER_CHUNK`]; chunk `c`
+//! draws from [`SeedSequence::child_rng`]`(c)` and the per-chunk partial
+//! statistics are merged in chunk order. Chunk boundaries, chunk seeds
+//! and merge order are all independent of the thread count, so the
+//! result is **bit-identical** for `threads = 1` and `threads = N` (the
+//! workspace-wide determinism model — see `ARCHITECTURE.md`).
 
 use rand::Rng;
 use serde::Serialize;
 
-use ethpos_stats::seeded_rng;
+use ethpos_stats::SeedSequence;
+
+use crate::pool::ChunkPool;
+
+/// Number of walkers per work-unit chunk. Fixed (never derived from the
+/// thread count) so that sharding cannot change results.
+pub const WALKER_CHUNK: usize = 1024;
+
+/// Walker count of chunk `chunk` out of `walkers` total: every chunk
+/// holds [`WALKER_CHUNK`] walkers except a short final remainder. All
+/// sharded Monte Carlos must use this (and child RNG `chunk`) so the
+/// decomposition — and therefore the bit-exact result — is shared.
+fn chunk_len(chunk: usize, walkers: usize) -> usize {
+    ((chunk + 1) * WALKER_CHUNK).min(walkers) - chunk * WALKER_CHUNK
+}
+
+/// Fig. 8 alternation: the proportion of honest validators on branch A
+/// flips between `p0` and `1 − p0` each epoch.
+fn branch_a_probability(p0: f64, epoch: u64) -> f64 {
+    if epoch.is_multiple_of(2) {
+        p0
+    } else {
+        1.0 - p0
+    }
+}
 
 /// Configuration for the bouncing-walk Monte Carlo.
 #[derive(Debug, Clone)]
@@ -31,7 +70,7 @@ pub struct BouncingWalkConfig {
     pub walkers: usize,
     /// Epoch horizon.
     pub epochs: u64,
-    /// RNG seed.
+    /// RNG seed (root of the per-chunk seed stream).
     pub seed: u64,
     /// Record every `record_every` epochs.
     pub record_every: u64,
@@ -39,6 +78,9 @@ pub struct BouncingWalkConfig {
     /// the score is positive), `false` = Bellatrix spec (penalty only in
     /// missed epochs). See `ChainConfig::paper_inactivity_penalties`.
     pub paper_semantics: bool,
+    /// Worker threads to shard the walkers over (`0` = one per hardware
+    /// thread). Does not affect results, only wall-clock time.
+    pub threads: usize,
 }
 
 impl Default for BouncingWalkConfig {
@@ -51,6 +93,7 @@ impl Default for BouncingWalkConfig {
             seed: 42,
             record_every: 10,
             paper_semantics: true,
+            threads: 0,
         }
     }
 }
@@ -83,7 +126,7 @@ pub struct BouncingWalkResult {
 }
 
 const LEAK_DENOM: f64 = 67_108_864.0; // 2^26
-const EJECT_BELOW: f64 = 16.75;
+const EJECT_BELOW: f64 = 16.75; // 16 ETH effective + 0.75 ETH hysteresis
 const STAKE0: f64 = 32.0;
 
 /// Advances one (score, stake, ejected) walker by one epoch.
@@ -117,21 +160,118 @@ fn step_walker(
     }
 }
 
+/// The deterministic semi-active Byzantine walker: stake at every
+/// recorded epoch (sampled *before* that epoch's update, like the honest
+/// statistics) plus the ejection epoch, if reached.
+fn byzantine_trajectory(config: &BouncingWalkConfig) -> (Vec<f64>, Option<u64>) {
+    let mut score = 0.0f64;
+    let mut stake = STAKE0;
+    let mut ejected = false;
+    let mut ejected_at = None;
+    let mut recorded = Vec::new();
+    for epoch in 0..config.epochs {
+        if epoch % config.record_every == 0 {
+            recorded.push(stake);
+        }
+        let was_ejected = ejected;
+        step_walker(
+            &mut score,
+            &mut stake,
+            &mut ejected,
+            epoch % 2 == 0,
+            config.paper_semantics,
+        );
+        if ejected && !was_ejected {
+            ejected_at = Some(epoch);
+        }
+    }
+    (recorded, ejected_at)
+}
+
+/// Per-chunk partial statistics, merged in chunk order by the caller.
+struct ChunkStats {
+    /// Per recorded epoch: walkers below the Eq. 24 threshold.
+    below: Vec<u64>,
+    /// Per recorded epoch: sum of stakes (ejected contribute 0).
+    stake_sum: Vec<f64>,
+    /// Per recorded epoch: ejected walkers.
+    ejected: Vec<u64>,
+    /// Stakes at the horizon, in walker order.
+    final_stakes: Vec<f64>,
+}
+
+/// Runs one chunk of walkers over the full horizon with its own child
+/// RNG. `thresholds[r]` is the Eq. 24 stake threshold at recorded epoch
+/// `r` (precomputed from the deterministic Byzantine trajectory).
+fn run_chunk(
+    config: &BouncingWalkConfig,
+    seq: &SeedSequence,
+    chunk: usize,
+    thresholds: &[f64],
+) -> ChunkStats {
+    let len = chunk_len(chunk, config.walkers);
+    let mut rng = seq.child_rng(chunk as u64);
+    let mut scores = vec![0.0f64; len];
+    let mut stakes = vec![STAKE0; len];
+    let mut ejected = vec![false; len];
+    let records = thresholds.len();
+    let mut stats = ChunkStats {
+        below: Vec::with_capacity(records),
+        stake_sum: Vec::with_capacity(records),
+        ejected: Vec::with_capacity(records),
+        final_stakes: Vec::new(),
+    };
+    for epoch in 0..config.epochs {
+        if epoch % config.record_every == 0 {
+            let threshold = thresholds[stats.below.len()];
+            stats
+                .below
+                .push(stakes.iter().filter(|&&s| s < threshold).count() as u64);
+            stats.stake_sum.push(stakes.iter().sum::<f64>());
+            stats
+                .ejected
+                .push(ejected.iter().filter(|&&e| e).count() as u64);
+        }
+        let p_on_a = branch_a_probability(config.p0, epoch);
+        for i in 0..len {
+            let active = rng.random_bool(p_on_a);
+            step_walker(
+                &mut scores[i],
+                &mut stakes[i],
+                &mut ejected[i],
+                active,
+                config.paper_semantics,
+            );
+        }
+    }
+    stats.final_stakes = stakes;
+    stats
+}
+
 /// Runs the Monte Carlo and returns the per-epoch estimates.
+///
+/// Walkers are sharded across `config.threads` workers in fixed chunks
+/// with independent [`SeedSequence`] child streams; the output is
+/// bit-identical for any thread count.
 ///
 /// # Example
 ///
 /// ```
 /// use ethpos_sim::{run_bouncing_walks, BouncingWalkConfig};
 ///
-/// let out = run_bouncing_walks(&BouncingWalkConfig {
+/// let cfg = BouncingWalkConfig {
 ///     walkers: 200,
 ///     epochs: 100,
 ///     record_every: 50,
 ///     ..BouncingWalkConfig::default()
-/// });
+/// };
+/// let out = run_bouncing_walks(&cfg);
 /// assert_eq!(out.series.len(), 2); // epochs 0 and 50
 /// assert!(out.byzantine_ejected_at.is_none()); // far before epoch 7653
+///
+/// // Thread count changes wall-clock time, never the numbers.
+/// let wide = run_bouncing_walks(&BouncingWalkConfig { threads: 8, ..cfg });
+/// assert_eq!(wide.series[1].prob_exceed_third, out.series[1].prob_exceed_third);
 /// ```
 ///
 /// # Panics
@@ -142,70 +282,158 @@ pub fn run_bouncing_walks(config: &BouncingWalkConfig) -> BouncingWalkResult {
     assert!(config.beta0 > 0.0 && config.beta0 < 1.0, "beta0 in (0,1)");
     assert!(config.walkers > 0, "need walkers");
 
-    let mut rng = seeded_rng(config.seed);
     let m = config.walkers;
-    let mut scores = vec![0.0f64; m];
-    let mut stakes = vec![STAKE0; m];
-    let mut ejected = vec![false; m];
-
-    // Byzantine semi-active deterministic walker (active on A at even
-    // epochs).
-    let mut byz_score = 0.0f64;
-    let mut byz_stake = STAKE0;
-    let mut byz_ejected = false;
-    let mut byz_ejected_at = None;
-
+    let (byz_stakes, byz_ejected_at) = byzantine_trajectory(config);
     let threshold_factor = 2.0 * config.beta0 / (1.0 - config.beta0);
+    let thresholds: Vec<f64> = byz_stakes.iter().map(|s| threshold_factor * s).collect();
 
-    let mut series = Vec::new();
-    for epoch in 0..config.epochs {
-        if epoch % config.record_every == 0 {
-            let threshold = threshold_factor * byz_stake;
-            let below = stakes.iter().filter(|&&s| s < threshold).count();
-            let eject_count = ejected.iter().filter(|&&e| e).count();
-            series.push(WalkEpochStats {
-                epoch,
-                prob_exceed_third: below as f64 / m as f64,
-                mean_honest_stake: stakes.iter().sum::<f64>() / m as f64,
-                byzantine_stake: byz_stake,
-                ejected_fraction: eject_count as f64 / m as f64,
-            });
-        }
+    let seq = SeedSequence::new(config.seed);
+    let chunks = m.div_ceil(WALKER_CHUNK);
+    let pool = ChunkPool::new(config.threads);
+    let parts = pool.map(chunks, |c| run_chunk(config, &seq, c, &thresholds));
 
-        // Fig. 8 alternation: the proportion on branch A flips between
-        // p0 and 1−p0 each epoch.
-        let p_on_a = if epoch % 2 == 0 {
-            config.p0
-        } else {
-            1.0 - config.p0
-        };
-        for i in 0..m {
-            let active = rng.random_bool(p_on_a);
-            step_walker(
-                &mut scores[i],
-                &mut stakes[i],
-                &mut ejected[i],
-                active,
-                config.paper_semantics,
-            );
-        }
-        let was_ejected = byz_ejected;
-        step_walker(
-            &mut byz_score,
-            &mut byz_stake,
-            &mut byz_ejected,
-            epoch % 2 == 0,
-            config.paper_semantics,
-        );
-        if byz_ejected && !was_ejected {
-            byz_ejected_at = Some(epoch);
-        }
+    // Merge in chunk order: fixed grouping ⇒ identical floating-point
+    // sums for every thread count.
+    let mut series = Vec::with_capacity(thresholds.len());
+    for (r, &byz_stake) in byz_stakes.iter().enumerate() {
+        let below: u64 = parts.iter().map(|p| p.below[r]).sum();
+        let stake_sum: f64 = parts.iter().map(|p| p.stake_sum[r]).sum();
+        let eject_count: u64 = parts.iter().map(|p| p.ejected[r]).sum();
+        series.push(WalkEpochStats {
+            epoch: r as u64 * config.record_every,
+            prob_exceed_third: below as f64 / m as f64,
+            mean_honest_stake: stake_sum / m as f64,
+            byzantine_stake: byz_stake,
+            ejected_fraction: eject_count as f64 / m as f64,
+        });
     }
+    let final_stakes: Vec<f64> = parts.into_iter().flat_map(|p| p.final_stakes).collect();
 
     BouncingWalkResult {
         series,
         byzantine_ejected_at: byz_ejected_at,
-        final_stakes: stakes,
+        final_stakes,
+    }
+}
+
+/// Configuration for the two-branch (anti-correlated) walk Monte Carlo.
+#[derive(Debug, Clone)]
+pub struct TwoBranchWalkConfig {
+    /// Probability of being on branch A each even epoch.
+    pub p0: f64,
+    /// Initial Byzantine stake proportion.
+    pub beta0: f64,
+    /// Number of honest walkers.
+    pub walkers: usize,
+    /// Epoch horizon (breach fractions are evaluated here).
+    pub epochs: u64,
+    /// RNG seed (root of the per-chunk seed stream).
+    pub seed: u64,
+    /// Penalty semantics (see [`BouncingWalkConfig::paper_semantics`]).
+    pub paper_semantics: bool,
+    /// Worker threads (`0` = one per hardware thread).
+    pub threads: usize,
+}
+
+impl Default for TwoBranchWalkConfig {
+    fn default() -> Self {
+        TwoBranchWalkConfig {
+            p0: 0.5,
+            beta0: 0.333,
+            walkers: 20_000,
+            epochs: 3000,
+            seed: 11,
+            paper_semantics: true,
+            threads: 0,
+        }
+    }
+}
+
+/// Result of the two-branch walk Monte Carlo at the horizon.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct TwoBranchWalkResult {
+    /// Fraction of walkers breaching the Eq. 24 threshold on branch A.
+    pub single_branch_breach: f64,
+    /// Fraction breaching on branch A **or** branch B (the union the
+    /// paper bounds by `2·P` at the end of §5.3).
+    pub either_branch_breach: f64,
+    /// Byzantine semi-active stake at the horizon, per branch view.
+    pub byzantine_stake: [f64; 2],
+}
+
+/// The two-branch refinement of §5.3, empirically: every walker is
+/// tracked from **both** branches' viewpoints (being active on A means
+/// being inactive on B, so the per-branch scores are anti-correlated)
+/// and the breach fractions are evaluated at the horizon.
+///
+/// Sharded like [`run_bouncing_walks`]; bit-identical for any
+/// `config.threads`.
+///
+/// # Example
+///
+/// ```
+/// use ethpos_sim::{run_two_branch_walks, TwoBranchWalkConfig};
+///
+/// let out = run_two_branch_walks(&TwoBranchWalkConfig {
+///     walkers: 500,
+///     epochs: 200,
+///     ..TwoBranchWalkConfig::default()
+/// });
+/// assert!(out.either_branch_breach >= out.single_branch_breach);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `p0` or `beta0` are outside `(0, 1)` or `walkers == 0`.
+pub fn run_two_branch_walks(config: &TwoBranchWalkConfig) -> TwoBranchWalkResult {
+    assert!(config.p0 > 0.0 && config.p0 < 1.0, "p0 in (0,1)");
+    assert!(config.beta0 > 0.0 && config.beta0 < 1.0, "beta0 in (0,1)");
+    assert!(config.walkers > 0, "need walkers");
+
+    // Byzantine semi-active walkers as seen by each branch: active on A
+    // at even epochs, hence active on B at odd epochs.
+    let mut byz = [(0.0f64, STAKE0, false); 2];
+    for epoch in 0..config.epochs {
+        for (b, (score, stake, ejected)) in byz.iter_mut().enumerate() {
+            let active = (epoch % 2 == 0) == (b == 0);
+            step_walker(score, stake, ejected, active, config.paper_semantics);
+        }
+    }
+    let byz_stake = [byz[0].1, byz[1].1];
+    let factor = 2.0 * config.beta0 / (1.0 - config.beta0);
+    let thresholds = [factor * byz_stake[0], factor * byz_stake[1]];
+
+    let m = config.walkers;
+    let seq = SeedSequence::new(config.seed);
+    let chunks = m.div_ceil(WALKER_CHUNK);
+    let parts = ChunkPool::new(config.threads).map(chunks, |c| {
+        let len = chunk_len(c, m);
+        let mut rng = seq.child_rng(c as u64);
+        let mut walkers = vec![[(0.0f64, STAKE0, false); 2]; len];
+        for epoch in 0..config.epochs {
+            let p_on_a = branch_a_probability(config.p0, epoch);
+            for w in walkers.iter_mut() {
+                let on_a = rng.random_bool(p_on_a);
+                for (b, (score, stake, ejected)) in w.iter_mut().enumerate() {
+                    let active = on_a == (b == 0);
+                    step_walker(score, stake, ejected, active, config.paper_semantics);
+                }
+            }
+        }
+        let single = walkers.iter().filter(|w| w[0].1 < thresholds[0]).count() as u64;
+        let either = walkers
+            .iter()
+            .filter(|w| w[0].1 < thresholds[0] || w[1].1 < thresholds[1])
+            .count() as u64;
+        (single, either)
+    });
+
+    let single: u64 = parts.iter().map(|&(s, _)| s).sum();
+    let either: u64 = parts.iter().map(|&(_, e)| e).sum();
+    TwoBranchWalkResult {
+        single_branch_breach: single as f64 / m as f64,
+        either_branch_breach: either as f64 / m as f64,
+        byzantine_stake: byz_stake,
     }
 }
 
@@ -340,5 +568,64 @@ mod tests {
         for (x, y) in a.series.iter().zip(b.series.iter()) {
             assert_eq!(x.prob_exceed_third, y.prob_exceed_third);
         }
+    }
+
+    #[test]
+    fn thread_count_is_bit_invisible() {
+        // The headline property of the parallel harness: every field of
+        // the result — counts, floating-point means, the final stake
+        // vector — is byte-identical across thread counts.
+        let mk = |threads: usize| BouncingWalkConfig {
+            walkers: 3000, // three chunks, one partial
+            epochs: 600,
+            record_every: 150,
+            threads,
+            ..BouncingWalkConfig::default()
+        };
+        let one = run_bouncing_walks(&mk(1));
+        for threads in [2, 3, 8] {
+            let n = run_bouncing_walks(&mk(threads));
+            assert_eq!(n.byzantine_ejected_at, one.byzantine_ejected_at);
+            assert_eq!(n.final_stakes, one.final_stakes, "threads {threads}");
+            assert_eq!(n.series.len(), one.series.len());
+            for (a, b) in n.series.iter().zip(one.series.iter()) {
+                assert_eq!(a.epoch, b.epoch);
+                assert_eq!(a.prob_exceed_third, b.prob_exceed_third);
+                assert_eq!(a.mean_honest_stake, b.mean_honest_stake);
+                assert_eq!(a.byzantine_stake, b.byzantine_stake);
+                assert_eq!(a.ejected_fraction, b.ejected_fraction);
+            }
+        }
+    }
+
+    #[test]
+    fn two_branch_thread_count_is_bit_invisible() {
+        let mk = |threads: usize| TwoBranchWalkConfig {
+            walkers: 2500,
+            epochs: 400,
+            threads,
+            ..TwoBranchWalkConfig::default()
+        };
+        let one = run_two_branch_walks(&mk(1));
+        for threads in [2, 8] {
+            let n = run_two_branch_walks(&mk(threads));
+            assert_eq!(n.single_branch_breach, one.single_branch_breach);
+            assert_eq!(n.either_branch_breach, one.either_branch_breach);
+            assert_eq!(n.byzantine_stake, one.byzantine_stake);
+        }
+    }
+
+    #[test]
+    fn two_branch_union_bounds() {
+        // The union is at least the single-branch rate and at most its
+        // double (the paper's `2·P` remark is an upper bound).
+        let out = run_two_branch_walks(&TwoBranchWalkConfig {
+            walkers: 5000,
+            epochs: 2000,
+            ..TwoBranchWalkConfig::default()
+        });
+        assert!(out.single_branch_breach > 0.0);
+        assert!(out.either_branch_breach >= out.single_branch_breach);
+        assert!(out.either_branch_breach <= 2.0 * out.single_branch_breach + 1e-12);
     }
 }

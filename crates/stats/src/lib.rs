@@ -13,6 +13,7 @@ pub mod erf;
 pub mod quadrature;
 pub mod rng;
 pub mod rootfind;
+pub mod seedseq;
 pub mod summary;
 
 pub use distributions::{LogNormal, Normal};
@@ -20,4 +21,5 @@ pub use erf::{erf, erfc, normal_cdf, normal_pdf};
 pub use quadrature::integrate_simpson;
 pub use rng::seeded_rng;
 pub use rootfind::{bisect, brent, RootError};
+pub use seedseq::SeedSequence;
 pub use summary::Summary;
