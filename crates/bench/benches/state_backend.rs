@@ -1,0 +1,57 @@
+//! Dense vs cohort epoch throughput across registry sizes.
+//!
+//! The cohort-compressed backend promises the *same results* as the
+//! dense per-validator state in O(#cohorts) instead of O(n) per epoch.
+//! This bench first **verifies** snapshot equality on the benched
+//! schedule (like `mc_throughput` verifies bit-identity before timing),
+//! then times full epoch processing — participation marking + the eight
+//! spec epoch steps — on both backends at n = 10³ … 10⁶.
+//!
+//! The workload is the Figure 2 cohort mix (10% active, 10% semi-active,
+//! 80% inactive) under the paper configuration: a persistent inactivity
+//! leak, the arithmetic-heaviest regime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ethpos_sim::{run_single_branch_on, Behavior};
+use ethpos_state::backend::StateBackend;
+use ethpos_state::{CohortState, DenseState};
+use ethpos_types::ChainConfig;
+use std::hint::black_box;
+
+const EPOCHS: u64 = 32;
+
+fn classes(n: u64) -> [(Behavior, u64); 3] {
+    [
+        (Behavior::Active, n / 10),
+        (Behavior::SemiActive, n / 10),
+        (Behavior::Inactive, n - 2 * (n / 10)),
+    ]
+}
+
+fn run<B: StateBackend>(n: u64) -> Vec<u64> {
+    run_single_branch_on::<B>(ChainConfig::paper(), &classes(n), EPOCHS)
+        .into_iter()
+        .map(|t| *t.balance_gwei.last().unwrap())
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    // Equality gate: the benched schedule must produce identical final
+    // balances (snapshot equality is covered exhaustively by the
+    // `backend_equivalence` property tests).
+    let dense = run::<DenseState>(10_000);
+    let cohort = run::<CohortState>(10_000);
+    assert_eq!(dense, cohort, "backends diverged on the benched schedule");
+
+    for n in [1_000u64, 10_000, 100_000, 1_000_000] {
+        let name = format!("state_backend/fig2_mix_{EPOCHS}e_n{n}");
+        let mut g = c.benchmark_group(&name);
+        g.sample_size(10);
+        g.bench_function("dense", |b| b.iter(|| black_box(run::<DenseState>(n))));
+        g.bench_function("cohort", |b| b.iter(|| black_box(run::<CohortState>(n))));
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -10,16 +10,23 @@
 //!
 //! The `sweep` subcommand runs [`ethpos_core::sweep::SweepSpec`] grids
 //! instead of the paper's fixed parameters: `--grid axis=v1,v2,…`
-//! replaces an axis (`beta0`, `p0`, `walkers`, `semantics`), and
-//! `--walkers` / `--epochs` / `--seed` set the scalar Monte-Carlo knobs.
-//! `--threads` bounds the worker pool everywhere; by the workspace's
-//! determinism model it can change wall-clock time but never a single
-//! output byte.
+//! replaces an axis (`beta0`, `p0`, `walkers`, `validators`,
+//! `semantics`), and `--walkers` / `--epochs` / `--seed` set the scalar
+//! Monte-Carlo knobs. `--threads` bounds the worker pool everywhere; by
+//! the workspace's determinism model it can change wall-clock time but
+//! never a single output byte.
+//!
+//! `--validators N` switches on the discrete spec-arithmetic
+//! cross-checks at registry size `N` (fig2, table2, table3, and the
+//! sweep's `t_disc` column), and `--backend dense|cohort` picks the
+//! state representation they run on — the cohort-compressed backend
+//! makes `N = 1000000` interactive.
 
 #![warn(missing_docs)]
 
 use ethpos_core::experiments::{run_experiment_with, Experiment, McConfig};
 use ethpos_core::sweep::SweepSpec;
+use ethpos_core::BackendKind;
 
 /// Usage text printed on `--help` and argument errors.
 pub const USAGE: &str = "\
@@ -45,8 +52,16 @@ OPTIONS:
     --epochs <N>            Monte-Carlo epoch horizon
                             [default: 8000; sweep: 3000]
     --seed <N>              Monte-Carlo root seed [default: 42; sweep: 11]
+    --validators <N>        Run the discrete protocol cross-checks (fig2,
+                            table2, table3; sweep: the t_disc column) at
+                            registry size N — spec scale (1000000) is
+                            interactive on the cohort backend
+    --backend <dense|cohort> State backend of the discrete cross-checks
+                            [default: cohort]; both produce identical
+                            results, dense is the O(n·epochs) reference
     --grid <AXIS=V1,V2,..>  (sweep only, repeatable) replace a sweep axis:
-                            beta0, p0, walkers, semantics (paper|spec)
+                            beta0, p0, walkers, validators,
+                            semantics (paper|spec)
     --list                  List experiment ids with their paper reference
     --help                  Show this help";
 
@@ -101,6 +116,8 @@ struct RawFlags {
     walkers: Option<usize>,
     epochs: Option<u64>,
     seed: Option<u64>,
+    validators: Option<usize>,
+    backend: Option<BackendKind>,
     grids: Vec<String>,
 }
 
@@ -138,6 +155,14 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliErr
                     .parse::<u64>()
                     .map_err(|_| CliError::Usage(format!("--seed `{value}` is not a u64")))?,
             );
+        } else if let Some(value) = flag_value("--validators")? {
+            flags.validators = Some(parse_count("--validators", &value, false)?);
+        } else if let Some(value) = flag_value("--backend")? {
+            flags.backend = Some(BackendKind::from_id(&value).ok_or_else(|| {
+                CliError::Usage(format!(
+                    "unknown backend `{value}` (expected `dense` or `cohort`)"
+                ))
+            })?);
         } else if let Some(value) = flag_value("--grid")? {
             flags.grids.push(value);
         } else {
@@ -191,6 +216,8 @@ fn build_run(mut experiments: Vec<Experiment>, flags: RawFlags) -> Result<Cli, C
             walkers: flags.walkers.unwrap_or(defaults.walkers),
             epochs: flags.epochs.unwrap_or(defaults.epochs),
             seed: flags.seed.unwrap_or(defaults.seed),
+            validators: flags.validators,
+            backend: flags.backend.unwrap_or(defaults.backend),
         },
     })
 }
@@ -214,6 +241,12 @@ fn build_sweep(experiments: &[Experiment], flags: RawFlags) -> Result<Cli, CliEr
     }
     if let Some(seed) = flags.seed {
         spec.seed = seed;
+    }
+    if let Some(validators) = flags.validators {
+        spec.validators = vec![validators];
+    }
+    if let Some(backend) = flags.backend {
+        spec.backend = backend;
     }
     // Grid directives come last so `--grid walkers=…` wins over
     // `--walkers` regardless of flag order.
@@ -397,13 +430,92 @@ mod tests {
                 threads: 4,
                 walkers: 1000,
                 epochs: 500,
-                seed: 7
+                seed: 7,
+                ..McConfig::default()
             }
         );
         // zero walkers / epochs are rejected, zero threads means "all"
         assert!(parse_args(args(&["fig10", "--walkers", "0"])).is_err());
         assert!(parse_args(args(&["fig10", "--epochs", "0"])).is_err());
         assert!(parse_args(args(&["fig10", "--threads", "0"])).is_ok());
+    }
+
+    #[test]
+    fn validators_and_backend_reach_the_config() {
+        let cli = parse_args(args(&[
+            "fig2",
+            "--validators",
+            "1000000",
+            "--backend=cohort",
+        ]))
+        .unwrap();
+        let Cli::Run { mc, .. } = cli else {
+            panic!("not a run: {cli:?}");
+        };
+        assert_eq!(mc.validators, Some(1_000_000));
+        assert_eq!(mc.backend, BackendKind::Cohort);
+        let cli = parse_args(args(&["table2", "--validators=600", "--backend", "dense"])).unwrap();
+        let Cli::Run { mc, .. } = cli else {
+            panic!("not a run: {cli:?}");
+        };
+        assert_eq!(mc.validators, Some(600));
+        assert_eq!(mc.backend, BackendKind::Dense);
+        // defaults: cross-checks off, cohort backend
+        let Ok(Cli::Run { mc, .. }) = parse_args(args(&["fig2"])) else {
+            panic!("fig2 did not parse");
+        };
+        assert_eq!(mc.validators, None);
+        assert_eq!(mc.backend, BackendKind::Cohort);
+        // rejections
+        assert!(parse_args(args(&["fig2", "--validators", "0"])).is_err());
+        assert!(parse_args(args(&["fig2", "--backend", "sparse"])).is_err());
+    }
+
+    #[test]
+    fn sweep_accepts_validators_scalar_and_grid() {
+        let Ok(Cli::Sweep { spec, .. }) = parse_args(args(&[
+            "sweep",
+            "--validators",
+            "1200",
+            "--backend",
+            "cohort",
+        ])) else {
+            panic!("sweep did not parse");
+        };
+        assert_eq!(spec.validators, vec![1200]);
+        assert_eq!(spec.backend, BackendKind::Cohort);
+        // the grid axis wins over the scalar, like walkers
+        let Ok(Cli::Sweep { spec, .. }) = parse_args(args(&[
+            "sweep",
+            "--grid",
+            "validators=600,1000000",
+            "--validators",
+            "1200",
+        ])) else {
+            panic!("sweep did not parse");
+        };
+        assert_eq!(spec.validators, vec![600, 1_000_000]);
+    }
+
+    #[test]
+    fn fig2_cross_check_rides_along_at_small_n() {
+        let cli = parse_args(args(&[
+            "fig2",
+            "--validators",
+            "20",
+            "--backend",
+            "cohort",
+            "--epochs",
+            "64",
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        let value: serde_json::Value = serde_json::from_str(&run(&cli)).unwrap();
+        let tables = value.get("tables").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(tables.len(), 2); // closed-form + discrete cross-check
+        let text = serde_json::to_string(&tables[1]).unwrap();
+        assert!(text.contains("cohort backend"), "{text}");
     }
 
     #[test]

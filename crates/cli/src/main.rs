@@ -14,6 +14,12 @@
 //! cargo run --release -p ethpos-cli -- sweep --grid beta0=0.3,0.33,0.333 \
 //!     --grid semantics=paper,spec --threads 8 --format json
 //! cargo run --release -p ethpos-cli -- fig10 --threads 8
+//!
+//! # Discrete cross-checks at the paper's true population size, on the
+//! # cohort-compressed state backend (exact spec arithmetic, interactive
+//! # at a million validators):
+//! cargo run --release -p ethpos-cli -- fig2 table2 --validators 1000000 \
+//!     --backend cohort
 //! ```
 
 use std::process::ExitCode;

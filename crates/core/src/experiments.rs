@@ -8,6 +8,8 @@
 
 use serde::Serialize;
 
+use ethpos_state::BackendKind;
+
 use crate::report::{Series, Table};
 use crate::scenarios::{bouncing, honest, outcome_table, semi_active, slashing, threshold};
 use crate::stake_model::StakeBehavior;
@@ -149,11 +151,14 @@ impl ExperimentOutput {
     }
 }
 
-/// Monte-Carlo knobs for [`run_experiment_with`]: sizing, seeding and
-/// the worker-thread budget of the simulation-backed cross-checks.
+/// Monte-Carlo and discrete cross-check knobs for
+/// [`run_experiment_with`]: sizing, seeding, the worker-thread budget,
+/// and the validator population / state backend of the discrete
+/// protocol cross-checks.
 ///
 /// The defaults are the paper's §5.3 run — 20 000 walkers to epoch 8000
-/// — sharded over one worker per hardware thread. The thread count only
+/// — sharded over one worker per hardware thread, with the discrete
+/// cross-checks disabled (`validators: None`). The thread count only
 /// changes wall-clock time, never a single output byte (see
 /// `ARCHITECTURE.md`, "The determinism model").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -166,6 +171,12 @@ pub struct McConfig {
     pub epochs: u64,
     /// Root seed of the per-chunk seed stream.
     pub seed: u64,
+    /// Registry size of the discrete protocol cross-checks (`None`
+    /// disables them). With [`BackendKind::Cohort`] the paper's true
+    /// million-validator population is interactive.
+    pub validators: Option<usize>,
+    /// State backend the discrete cross-checks run on.
+    pub backend: BackendKind,
 }
 
 impl Default for McConfig {
@@ -175,6 +186,8 @@ impl Default for McConfig {
             walkers: 20_000,
             epochs: 8000,
             seed: 42,
+            validators: None,
+            backend: BackendKind::Cohort,
         }
     }
 }
@@ -195,11 +208,18 @@ pub fn run_experiment(experiment: Experiment) -> ExperimentOutput {
     }
 }
 
-/// [`run_experiment`] plus the Monte-Carlo cross-checks, where defined.
+/// [`run_experiment`] plus the simulation-backed cross-checks, where
+/// defined.
 ///
 /// For [`Experiment::Fig10ThresholdProbability`] this appends the §5.3
 /// walker Monte Carlo (Eq. 24 vs empirical breach fraction at
-/// `β0 = 0.33`) sized by `mc`; every other experiment is purely
+/// `β0 = 0.33`) sized by `mc`. When `mc.validators` is set, the
+/// discrete protocol cross-checks also run at that population on
+/// `mc.backend`: [`Experiment::Fig2StakeTrajectories`] gains measured
+/// stake trajectories/ejection epochs, and
+/// [`Experiment::Table2Slashable`] /
+/// [`Experiment::Table3NonSlashable`] gain simulated
+/// conflicting-finalization rows. Every other experiment is purely
 /// analytical and returned unchanged. The output is bit-identical for
 /// any `mc.threads`.
 ///
@@ -218,8 +238,30 @@ pub fn run_experiment(experiment: Experiment) -> ExperimentOutput {
 /// ```
 pub fn run_experiment_with(experiment: Experiment, mc: &McConfig) -> ExperimentOutput {
     let mut out = run_experiment(experiment);
-    if experiment == Experiment::Fig10ThresholdProbability {
-        out.tables.push(simulated::fig10_monte_carlo(0.33, mc));
+    match experiment {
+        Experiment::Fig10ThresholdProbability => {
+            out.tables.push(simulated::fig10_monte_carlo(0.33, mc));
+        }
+        Experiment::Fig2StakeTrajectories => {
+            if let Some(n) = mc.validators {
+                let discrete = simulated::fig2_discrete_at(mc.epochs, n, mc.backend);
+                out.tables.extend(discrete.tables);
+                out.series.extend(discrete.series);
+            }
+        }
+        Experiment::Table2Slashable => {
+            if let Some(n) = mc.validators {
+                out.tables
+                    .push(simulated::table2_cross_check(n, mc.backend));
+            }
+        }
+        Experiment::Table3NonSlashable => {
+            if let Some(n) = mc.validators {
+                out.tables
+                    .push(simulated::table3_cross_check(n, mc.backend));
+            }
+        }
+        _ => {}
     }
     out
 }
@@ -487,30 +529,60 @@ fn fig10() -> ExperimentOutput {
 /// harness and integration tests).
 pub mod simulated {
     use super::*;
-    use ethpos_sim::{run_single_branch, Behavior, MembershipModel, TwoBranchConfig, TwoBranchSim};
-    use ethpos_validator::{DualActive, SemiActive};
+    use ethpos_sim::{
+        run_single_branch_on, Behavior, MembershipModel, TwoBranchConfig, TwoBranchSim,
+    };
+    use ethpos_state::{CohortState, DenseState, StateBackend};
+    use ethpos_validator::{ByzantineSchedule, DualActive, SemiActive};
+
+    /// The Figure 2 population mix at registry size `n`: one tenth
+    /// always-active, one tenth semi-active, the rest inactive (the same
+    /// 1/1/8 proportions as the original 10-validator reproduction).
+    pub fn fig2_classes(n: usize) -> [(Behavior, u64); 3] {
+        let tenth = (n as u64 / 10).max(1);
+        [
+            (Behavior::Active, tenth),
+            (Behavior::SemiActive, tenth),
+            (
+                Behavior::Inactive,
+                (n as u64).saturating_sub(2 * tenth).max(1),
+            ),
+        ]
+    }
 
     /// Figure 2 via the discrete spec-arithmetic simulator: stake
-    /// trajectories + measured ejection epochs.
+    /// trajectories + measured ejection epochs (10-validator reference
+    /// mix on the dense backend).
     pub fn fig2_discrete(epochs: u64) -> ExperimentOutput {
-        let behaviors = {
-            let mut v = vec![Behavior::Active, Behavior::SemiActive, Behavior::Inactive];
-            v.extend(std::iter::repeat_n(Behavior::Inactive, 7));
-            v
+        fig2_discrete_at(epochs, 10, BackendKind::Dense)
+    }
+
+    /// Figure 2 via the discrete simulator at registry size `n` on the
+    /// chosen backend. On [`BackendKind::Cohort`] the million-validator
+    /// population is interactive; the dense path is the O(n·epochs)
+    /// reference.
+    pub fn fig2_discrete_at(epochs: u64, n: usize, backend: BackendKind) -> ExperimentOutput {
+        let classes = fig2_classes(n);
+        let config = ethpos_types::ChainConfig::paper();
+        let trajectories = match backend {
+            BackendKind::Dense => run_single_branch_on::<DenseState>(config, &classes, epochs),
+            BackendKind::Cohort => run_single_branch_on::<CohortState>(config, &classes, epochs),
         };
-        let trajectories =
-            run_single_branch(ethpos_types::ChainConfig::paper(), &behaviors, epochs);
         let mut series = Vec::new();
         let mut table = Table::new(
-            "Measured ejection epochs (discrete protocol)",
-            &["behavior", "ejection epoch", "paper"],
+            format!(
+                "Measured ejection epochs (discrete protocol, n = {n}, {} backend)",
+                backend.id()
+            ),
+            &["behavior", "members", "ejection epoch", "paper"],
         );
-        for (t, paper) in trajectories.iter().take(3).zip(["never", "7652", "4685"]) {
+        for (t, paper) in trajectories.iter().zip(["never", "7652", "4685"]) {
             let x: Vec<f64> = (0..t.balance_gwei.len()).map(|i| i as f64).collect();
             let y: Vec<f64> = t.balance_gwei.iter().map(|&b| b as f64 / 1e9).collect();
             series.push(Series::new(format!("{:?} (discrete)", t.behavior), x, y));
             table.push_row(vec![
                 format!("{:?}", t.behavior),
+                t.count.to_string(),
                 t.ejected_at
                     .map(|e| e.to_string())
                     .unwrap_or_else(|| "never".into()),
@@ -525,11 +597,7 @@ pub mod simulated {
         }
     }
 
-    /// One Table 2/3 row measured on the two-branch simulator.
-    ///
-    /// `n` controls granularity (β0 is realized as `round(β0·n)`
-    /// validators). Returns the epoch of conflicting finalization.
-    pub fn conflicting_finalization_simulated(
+    fn two_branch_outcome<B: StateBackend>(
         beta0: f64,
         p0: f64,
         n: usize,
@@ -541,25 +609,91 @@ pub mod simulated {
             record_every: u64::MAX,
             ..TwoBranchConfig::paper(n, byz, p0, max_epochs)
         };
-        let schedule: Box<dyn ethpos_validator::ByzantineSchedule> = if slashable {
+        let schedule: Box<dyn ByzantineSchedule> = if slashable {
             Box::new(DualActive)
         } else {
             Box::new(SemiActive::new())
         };
-        TwoBranchSim::new(cfg, schedule)
+        TwoBranchSim::<B>::with_backend(cfg, schedule)
             .run()
             .conflicting_finalization_epoch
     }
 
-    /// Table 2 cross-check: analytic vs simulated rows.
+    /// One Table 2/3 row measured on the two-branch simulator, on the
+    /// chosen backend.
+    ///
+    /// `n` controls granularity (β0 is realized as `round(β0·n)`
+    /// validators). Returns the epoch of conflicting finalization.
+    pub fn conflicting_finalization_on(
+        beta0: f64,
+        p0: f64,
+        n: usize,
+        slashable: bool,
+        max_epochs: u64,
+        backend: BackendKind,
+    ) -> Option<u64> {
+        match backend {
+            BackendKind::Dense => {
+                two_branch_outcome::<DenseState>(beta0, p0, n, slashable, max_epochs)
+            }
+            BackendKind::Cohort => {
+                two_branch_outcome::<CohortState>(beta0, p0, n, slashable, max_epochs)
+            }
+        }
+    }
+
+    /// One Table 2/3 row measured on the dense two-branch simulator
+    /// (kept as the reference-path entry point).
+    pub fn conflicting_finalization_simulated(
+        beta0: f64,
+        p0: f64,
+        n: usize,
+        slashable: bool,
+        max_epochs: u64,
+    ) -> Option<u64> {
+        conflicting_finalization_on(beta0, p0, n, slashable, max_epochs, BackendKind::Dense)
+    }
+
+    /// Table 2 cross-check: analytic vs simulated rows (dense backend).
     pub fn table2_simulated(n: usize, betas: &[f64]) -> Table {
+        cross_check_table(n, betas, true, BackendKind::Dense)
+    }
+
+    /// Table 2 cross-check (Eq. 9 vs the discrete protocol) at registry
+    /// size `n` on the chosen backend, over the paper's β₀ rows that
+    /// finalize within the 5200-epoch horizon.
+    pub fn table2_cross_check(n: usize, backend: BackendKind) -> Table {
+        cross_check_table(n, &[0.33, 0.3, 0.25], true, backend)
+    }
+
+    /// Table 3 cross-check (Eq. 10 vs the discrete protocol) at registry
+    /// size `n` on the chosen backend.
+    pub fn table3_cross_check(n: usize, backend: BackendKind) -> Table {
+        cross_check_table(n, &[0.33, 0.3, 0.25], false, backend)
+    }
+
+    fn cross_check_table(n: usize, betas: &[f64], slashable: bool, backend: BackendKind) -> Table {
+        let (eq, strategy) = if slashable {
+            ("Eq. 9", "slashable")
+        } else {
+            ("Eq. 10", "non-slashable")
+        };
         let mut table = Table::new(
-            "Table 2 cross-check: Eq. 9 vs discrete simulation",
+            format!(
+                "Table {} cross-check: {eq} vs discrete simulation \
+                 (n = {n}, {} backend, {strategy})",
+                if slashable { 2 } else { 3 },
+                backend.id()
+            ),
             &["β0", "analytic t", "simulated t"],
         );
         for &beta0 in betas {
-            let analytic = slashing::conflicting_finalization_epoch(0.5, beta0);
-            let sim = conflicting_finalization_simulated(beta0, 0.5, n, true, 5200);
+            let analytic = if slashable {
+                slashing::conflicting_finalization_epoch(0.5, beta0)
+            } else {
+                semi_active::conflicting_finalization_epoch(0.5, beta0)
+            };
+            let sim = conflicting_finalization_on(beta0, 0.5, n, slashable, 5200, backend);
             table.push_row(vec![
                 format!("{beta0}"),
                 format!("{analytic:.0}"),

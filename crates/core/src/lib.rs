@@ -19,7 +19,10 @@
 //! [`experiments`] exposes a typed registry that regenerates **every**
 //! table and figure of the paper's evaluation. [`sweep`] generalizes the
 //! hard-coded paper parameters into grids (`β₀ × p0 × walkers ×
-//! semantics`) evaluated on the deterministic thread pool.
+//! semantics × validators`) evaluated on the deterministic thread pool.
+//! The discrete cross-checks run on either state backend
+//! ([`BackendKind`]): the cohort-compressed backend executes the paper's
+//! scenarios at their true million-validator population sizes.
 //!
 //! # Example
 //!
@@ -39,6 +42,7 @@ pub mod scenarios;
 pub mod stake_model;
 pub mod sweep;
 
+pub use ethpos_state::BackendKind;
 pub use experiments::{
     run_experiment, run_experiment_with, Experiment, ExperimentOutput, McConfig,
 };

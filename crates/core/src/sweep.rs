@@ -25,8 +25,10 @@
 use serde::Serialize;
 
 use ethpos_sim::{run_two_branch_walks, ChunkPool, TwoBranchWalkConfig};
+use ethpos_state::BackendKind;
 use ethpos_stats::SeedSequence;
 
+use crate::experiments::simulated::conflicting_finalization_on;
 use crate::report::Table;
 use crate::scenarios::{bouncing, semi_active, slashing};
 use crate::stake_model::PenaltySemantics;
@@ -65,6 +67,12 @@ pub struct SweepSpec {
     pub walkers: Vec<usize>,
     /// Penalty semantics to sweep (paper Eq. 2 and/or Bellatrix spec).
     pub semantics: Vec<PenaltySemantics>,
+    /// Registry sizes for the discrete §5.2.1 protocol cross-check; an
+    /// empty axis (the default) skips the discrete run. At spec scale
+    /// (10⁵–10⁶ validators) combine with [`BackendKind::Cohort`].
+    pub validators: Vec<usize>,
+    /// State backend of the discrete cross-check runs.
+    pub backend: BackendKind,
     /// Epoch horizon at which breach fractions are evaluated.
     pub epochs: u64,
     /// Root seed of the per-grid-point seed stream.
@@ -84,6 +92,8 @@ impl Default for SweepSpec {
             p0: vec![0.5],
             walkers: vec![20_000],
             semantics: vec![PenaltySemantics::Paper],
+            validators: vec![],
+            backend: BackendKind::Cohort,
             epochs: 3000,
             seed: 11,
             threads: 0,
@@ -100,6 +110,8 @@ impl SweepSpec {
             p0: vec![0.5],
             walkers: vec![2000],
             semantics: vec![PenaltySemantics::Paper],
+            validators: vec![],
+            backend: BackendKind::Cohort,
             epochs: 400,
             seed: 11,
             threads: 0,
@@ -108,9 +120,9 @@ impl SweepSpec {
 
     /// Applies one `--grid axis=v1,v2,…` directive.
     ///
-    /// Axes: `beta0`, `p0` (floats in (0, 1)), `walkers` (positive
-    /// integers), `semantics` (`paper` / `spec`). Later directives
-    /// replace the axis wholesale.
+    /// Axes: `beta0`, `p0` (floats in (0, 1)), `walkers`, `validators`
+    /// (positive integers), `semantics` (`paper` / `spec`). Later
+    /// directives replace the axis wholesale.
     ///
     /// ```
     /// use ethpos_core::stake_model::PenaltySemantics;
@@ -146,6 +158,16 @@ impl SweepSpec {
                     })
                     .collect::<Result<_, _>>()?
             }
+            "validators" => {
+                self.validators = values
+                    .iter()
+                    .map(|v| {
+                        v.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                            format!("validators value `{v}` is not a positive integer")
+                        })
+                    })
+                    .collect::<Result<_, _>>()?
+            }
             "semantics" => {
                 self.semantics = values
                     .iter()
@@ -157,7 +179,8 @@ impl SweepSpec {
             }
             other => {
                 return Err(format!(
-                    "unknown grid axis `{other}` (expected beta0, p0, walkers or semantics)"
+                    "unknown grid axis `{other}` \
+                     (expected beta0, p0, walkers, validators or semantics)"
                 ))
             }
         }
@@ -166,7 +189,11 @@ impl SweepSpec {
 
     /// Number of grid points.
     pub fn len(&self) -> usize {
-        self.beta0.len() * self.p0.len() * self.walkers.len() * self.semantics.len()
+        self.beta0.len()
+            * self.p0.len()
+            * self.walkers.len()
+            * self.semantics.len()
+            * self.validators.len().max(1)
     }
 
     /// True if any axis is empty.
@@ -175,19 +202,28 @@ impl SweepSpec {
     }
 
     /// Grid points in row order (semantics-major, then `p0`, `beta0`,
-    /// `walkers`).
+    /// `walkers`, `validators`). An empty `validators` axis enumerates a
+    /// single `None` pseudo-value.
     fn points(&self) -> Vec<SweepPoint> {
+        let validators: Vec<Option<usize>> = if self.validators.is_empty() {
+            vec![None]
+        } else {
+            self.validators.iter().copied().map(Some).collect()
+        };
         let mut points = Vec::with_capacity(self.len());
         for &semantics in &self.semantics {
             for &p0 in &self.p0 {
                 for &beta0 in &self.beta0 {
                     for &walkers in &self.walkers {
-                        points.push(SweepPoint {
-                            beta0,
-                            p0,
-                            walkers,
-                            semantics,
-                        });
+                        for &validators in &validators {
+                            points.push(SweepPoint {
+                                beta0,
+                                p0,
+                                walkers,
+                                semantics,
+                                validators,
+                            });
+                        }
                     }
                 }
             }
@@ -212,12 +248,39 @@ impl SweepSpec {
         let points = self.points();
         let seq = SeedSequence::new(self.seed);
         let pool = ChunkPool::new(self.threads);
+        // The discrete §5.2.1 run depends only on (β0, p0, n) — evaluate
+        // each unique combination once (fanned onto the pool, no RNG, so
+        // thread-invariant) instead of once per walkers/semantics point.
+        let combos: Vec<(f64, f64, usize)> = self
+            .p0
+            .iter()
+            .flat_map(|&p0| {
+                self.beta0
+                    .iter()
+                    .flat_map(move |&beta0| self.validators.iter().map(move |&n| (beta0, p0, n)))
+            })
+            .collect();
+        let discrete_epochs = pool.map(combos.len(), |i| {
+            let (beta0, p0, n) = combos[i];
+            conflicting_finalization_on(beta0, p0, n, true, self.epochs, self.backend)
+        });
+        let discrete: std::collections::HashMap<(u64, u64, usize), Option<u64>> = combos
+            .iter()
+            .zip(&discrete_epochs)
+            .map(|(&(beta0, p0, n), &t)| ((beta0.to_bits(), p0.to_bits(), n), t))
+            .collect();
         // Split the worker budget: across grid points first, and let each
         // point's Monte Carlo use the leftover parallelism when the grid
         // is narrower than the pool.
         let inner_threads = (pool.threads() / points.len().min(pool.threads())).max(1);
         let rows = pool.map(points.len(), |g| {
-            run_point(&points[g], self, seq.child_seed(g as u64), inner_threads)
+            run_point(
+                &points[g],
+                self,
+                seq.child_seed(g as u64),
+                inner_threads,
+                &discrete,
+            )
         });
         SweepResult {
             epochs: self.epochs,
@@ -234,6 +297,7 @@ struct SweepPoint {
     p0: f64,
     walkers: usize,
     semantics: PenaltySemantics,
+    validators: Option<usize>,
 }
 
 fn parse_unit_interval(axis: &str, values: &[&str]) -> Result<Vec<f64>, String> {
@@ -248,7 +312,13 @@ fn parse_unit_interval(axis: &str, values: &[&str]) -> Result<Vec<f64>, String> 
         .collect()
 }
 
-fn run_point(point: &SweepPoint, spec: &SweepSpec, seed: u64, threads: usize) -> SweepRow {
+fn run_point(
+    point: &SweepPoint,
+    spec: &SweepSpec,
+    seed: u64,
+    threads: usize,
+    discrete: &std::collections::HashMap<(u64, u64, usize), Option<u64>>,
+) -> SweepRow {
     let paper_semantics = point.semantics == PenaltySemantics::Paper;
     let mc = run_two_branch_walks(&TwoBranchWalkConfig {
         p0: point.p0,
@@ -264,11 +334,18 @@ fn run_point(point: &SweepPoint, spec: &SweepSpec, seed: u64, threads: usize) ->
     let analytic_prob = paper_semantics.then(|| {
         bouncing::BouncingLaw::new(point.p0).prob_exceed_third(point.beta0, spec.epochs as f64)
     });
+    // Discrete §5.2.1 protocol result, precomputed once per unique
+    // (β0, p0, n) by `SweepSpec::run`.
+    let discrete_finalization_epoch = point
+        .validators
+        .and_then(|n| discrete[&(point.beta0.to_bits(), point.p0.to_bits(), n)]);
     SweepRow {
         beta0: point.beta0,
         p0: point.p0,
         walkers: point.walkers,
         semantics: point.semantics,
+        validators: point.validators,
+        discrete_finalization_epoch,
         bouncing_viable: bouncing::is_viable(point.p0, point.beta0),
         analytic_prob,
         mc_single_branch: mc.single_branch_breach,
@@ -296,6 +373,13 @@ pub struct SweepRow {
     pub walkers: usize,
     /// Penalty semantics this row was evaluated under.
     pub semantics: PenaltySemantics,
+    /// Registry size of the discrete protocol cross-check (`None` when
+    /// the `validators` axis is empty).
+    pub validators: Option<usize>,
+    /// Conflicting-finalization epoch measured by the discrete §5.2.1
+    /// run at `validators` (`None` if disabled or not reached within the
+    /// horizon).
+    pub discrete_finalization_epoch: Option<u64>,
     /// Eq. 14: can the bouncing attack keep going at `(p0, β0)`?
     pub bouncing_viable: bool,
     /// Eq. 24 at the horizon (`None` under spec semantics, where the
@@ -339,6 +423,7 @@ impl SweepResult {
                 "p0",
                 "walkers",
                 "semantics",
+                "validators",
                 "viable",
                 "Eq.24 P",
                 "MC P (A)",
@@ -346,6 +431,7 @@ impl SweepResult {
                 "s_B (ETH)",
                 "t_slash (Eq.9)",
                 "t_semi (Eq.10)",
+                "t_disc (sim)",
             ],
         );
         for r in &self.rows {
@@ -354,6 +440,9 @@ impl SweepResult {
                 format!("{}", r.p0),
                 r.walkers.to_string(),
                 r.semantics.id().to_string(),
+                r.validators
+                    .map(|n| n.to_string())
+                    .unwrap_or_else(|| "—".into()),
                 if r.bouncing_viable { "yes" } else { "no" }.into(),
                 r.analytic_prob
                     .map(|p| format!("{p:.4}"))
@@ -363,6 +452,9 @@ impl SweepResult {
                 format!("{:.3}", r.byzantine_stake),
                 format!("{:.0}", r.slashable_finalization_epoch),
                 format!("{:.0}", r.non_slashable_finalization_epoch),
+                r.discrete_finalization_epoch
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "—".into()),
             ]);
         }
         table
@@ -389,6 +481,8 @@ mod tests {
             p0: vec![0.5],
             walkers: vec![512],
             semantics: vec![PenaltySemantics::Paper],
+            validators: vec![],
+            backend: BackendKind::Cohort,
             epochs: 200,
             seed: 7,
             threads: 1,
@@ -433,6 +527,48 @@ mod tests {
         assert_eq!(spec.walkers, vec![100, 200]);
         spec.apply_grid("p0=0.6").unwrap();
         assert_eq!(spec.p0, vec![0.6]);
+        spec.apply_grid("validators=1000,1000000").unwrap();
+        assert_eq!(spec.validators, vec![1000, 1_000_000]);
+    }
+
+    #[test]
+    fn validators_axis_runs_the_discrete_cross_check() {
+        let mut spec = tiny();
+        spec.beta0 = vec![0.33];
+        spec.walkers = vec![128];
+        spec.epochs = 600;
+        spec.validators = vec![600, 1200];
+        let result = spec.run();
+        assert_eq!(result.rows.len(), 2);
+        for r in &result.rows {
+            // β0 = 0.33 finalizes conflicting branches around epoch ~513
+            // in the discrete protocol (Table 2: 502).
+            let t = r.discrete_finalization_epoch.expect("must finalize");
+            assert!((480..560).contains(&t), "t = {t} at n = {:?}", r.validators);
+        }
+        // Without the axis the column stays empty.
+        let bare = tiny().run();
+        assert!(bare
+            .rows
+            .iter()
+            .all(|r| r.validators.is_none() && r.discrete_finalization_epoch.is_none()));
+    }
+
+    #[test]
+    fn validators_axis_is_thread_invariant() {
+        let run = |threads: usize| {
+            let mut spec = tiny();
+            spec.beta0 = vec![0.33];
+            spec.walkers = vec![256];
+            spec.epochs = 600;
+            spec.validators = vec![600, 1200];
+            spec.threads = threads;
+            spec.run().to_json()
+        };
+        let one = run(1);
+        for threads in [2, 8] {
+            assert_eq!(run(threads), one, "threads {threads}");
+        }
     }
 
     #[test]

@@ -1,11 +1,26 @@
-//! Two-branch epoch-level simulation.
+//! Two-branch epoch-level simulation, generic over the state backend.
 //!
 //! Emulates the paper's partition scenario: honest validators split into
 //! two branches (a proportion `p0` active on branch 0), Byzantine
 //! validators coordinated across both, each branch evolving its own
-//! [`BeaconState`] with the exact integer spec arithmetic. Byzantine
+//! [`StateBackend`] with the exact integer spec arithmetic. Byzantine
 //! participation per epoch is delegated to a
 //! [`ethpos_validator::ByzantineSchedule`].
+//!
+//! Validators are addressed by **behaviour class**, never individually:
+//! class 0 is the Byzantine cohort; under
+//! [`MembershipModel::FixedPartition`] classes 1 and 2 are the honest
+//! validators pinned to branch 0 / branch 1, while under
+//! [`MembershipModel::RandomEachEpoch`] class 1 is the whole honest set,
+//! re-sampled onto a branch every epoch. Class-level addressing is what
+//! lets the same driver run on the dense per-validator [`DenseState`]
+//! (the reference path) or the compressed
+//! [`CohortState`](ethpos_state::CohortState) — at a million validators
+//! the two produce identical results, and for the deterministic
+//! fixed-partition scenarios the cohort backend gets there orders of
+//! magnitude faster (O(#cohorts) per epoch). The random membership model
+//! draws one bit per honest validator per epoch on either backend, so
+//! there it trims constants, not the asymptotics.
 //!
 //! Branch checkpoint roots are synthetic but branch-distinct, so the
 //! states' own justification/finalization machinery runs unmodified and
@@ -16,13 +31,14 @@ use rand::Rng;
 use serde::Serialize;
 
 use ethpos_state::attestations::synthetic_branch_root;
-use ethpos_state::participation::{
-    TIMELY_HEAD_FLAG_INDEX, TIMELY_SOURCE_FLAG_INDEX, TIMELY_TARGET_FLAG_INDEX,
-};
-use ethpos_state::{BeaconState, ParticipationFlags};
+use ethpos_state::backend::{ClassSpec, StateBackend};
+use ethpos_state::{DenseState, ParticipationFlags};
 use ethpos_stats::seeded_rng;
-use ethpos_types::{ChainConfig, ValidatorIndex};
+use ethpos_types::{ChainConfig, Gwei};
 use ethpos_validator::{BranchStatus, ByzantineSchedule};
+
+/// Class index of the Byzantine cohort.
+const BYZANTINE_CLASS: usize = 0;
 
 /// How honest validators map to branches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,33 +148,47 @@ pub struct TwoBranchOutcome {
     pub epochs_run: u64,
 }
 
-/// The two-branch simulator.
+/// The two-branch simulator, generic over the state backend.
+///
+/// [`TwoBranchSim::new`] builds the dense reference simulator;
+/// [`TwoBranchSim::with_backend`] picks the backend explicitly — use
+/// [`ethpos_state::CohortState`] to run the paper's scenarios at their
+/// true Ethereum population sizes.
 ///
 /// # Example
 ///
 /// Run the paper's §5.2.1 scenario at β₀ = ⅓ (immediate conflicting
-/// finalization):
+/// finalization), once on each backend:
 ///
 /// ```
 /// use ethpos_sim::{TwoBranchConfig, TwoBranchSim};
+/// use ethpos_state::CohortState;
 /// use ethpos_validator::DualActive;
 ///
 /// let cfg = TwoBranchConfig::paper(120, 40, 0.5, 50); // β0 = 1/3
-/// let outcome = TwoBranchSim::new(cfg, Box::new(DualActive)).run();
-/// assert!(outcome.conflicting_finalization_epoch.unwrap() < 10);
+/// let dense = TwoBranchSim::new(cfg.clone(), Box::new(DualActive)).run();
+/// let cohort =
+///     TwoBranchSim::<CohortState>::with_backend(cfg, Box::new(DualActive)).run();
+/// assert_eq!(
+///     dense.conflicting_finalization_epoch,
+///     cohort.conflicting_finalization_epoch,
+/// );
+/// assert!(dense.conflicting_finalization_epoch.unwrap() < 10);
 /// ```
-pub struct TwoBranchSim {
+pub struct TwoBranchSim<B: StateBackend = DenseState> {
     config: TwoBranchConfig,
-    branches: [BeaconState; 2],
+    branches: [B; 2],
     schedule: Box<dyn ByzantineSchedule>,
     rng: rand::rngs::StdRng,
-    /// Fixed honest membership (branch id per honest validator) for
-    /// [`MembershipModel::FixedPartition`].
-    fixed_membership: Vec<u8>,
     flags: ParticipationFlags,
+    /// One membership bit per honest validator, drawn once per epoch and
+    /// reused across epochs ([`MembershipModel::RandomEachEpoch`] only):
+    /// branch 0 marks where the bit is set, branch 1 where it is clear,
+    /// so every honest validator attests on exactly one branch.
+    membership_scratch: Vec<bool>,
 }
 
-impl core::fmt::Debug for TwoBranchSim {
+impl<B: StateBackend> core::fmt::Debug for TwoBranchSim<B> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("TwoBranchSim")
             .field("n", &self.config.n)
@@ -168,45 +198,74 @@ impl core::fmt::Debug for TwoBranchSim {
     }
 }
 
-impl TwoBranchSim {
-    /// Creates a simulator with the given Byzantine schedule.
+impl TwoBranchSim<DenseState> {
+    /// Creates a simulator on the dense reference backend.
     ///
     /// # Panics
     ///
     /// Panics if `byzantine > n` or `p0 ∉ [0, 1]`.
     pub fn new(config: TwoBranchConfig, schedule: Box<dyn ByzantineSchedule>) -> Self {
+        TwoBranchSim::with_backend(config, schedule)
+    }
+}
+
+impl<B: StateBackend> TwoBranchSim<B> {
+    /// Creates a simulator with the given Byzantine schedule on backend
+    /// `B`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `byzantine > n` or `p0 ∉ [0, 1]`.
+    pub fn with_backend(config: TwoBranchConfig, schedule: Box<dyn ByzantineSchedule>) -> Self {
         assert!(config.byzantine <= config.n, "byzantine > n");
         assert!(
             (0.0..=1.0).contains(&config.p0),
             "p0 must be in [0,1], got {}",
             config.p0
         );
+        let n_honest = (config.n - config.byzantine) as u64;
+        let classes: Vec<ClassSpec> = match config.membership {
+            // Classes: [byzantine, honest-on-branch-0, honest-on-branch-1].
+            MembershipModel::FixedPartition => {
+                let on_branch0 = (config.p0 * n_honest as f64).round() as u64;
+                vec![
+                    ClassSpec::full_stake(config.byzantine as u64, &config.chain),
+                    ClassSpec::full_stake(on_branch0, &config.chain),
+                    ClassSpec::full_stake(n_honest - on_branch0, &config.chain),
+                ]
+            }
+            // Classes: [byzantine, honest] — branch membership is sampled
+            // per epoch, so there is a single honest class.
+            MembershipModel::RandomEachEpoch => vec![
+                ClassSpec::full_stake(config.byzantine as u64, &config.chain),
+                ClassSpec::full_stake(n_honest, &config.chain),
+            ],
+        };
         let branches = [
-            BeaconState::genesis(config.chain.clone(), config.n),
-            BeaconState::genesis(config.chain.clone(), config.n),
+            B::from_classes(config.chain.clone(), &classes),
+            B::from_classes(config.chain.clone(), &classes),
         ];
-        let n_honest = config.n - config.byzantine;
-        let on_branch0 = (config.p0 * n_honest as f64).round() as usize;
-        let fixed_membership: Vec<u8> = (0..n_honest)
-            .map(|h| if h < on_branch0 { 0u8 } else { 1u8 })
-            .collect();
         let mut flags = ParticipationFlags::EMPTY;
-        flags.set(TIMELY_SOURCE_FLAG_INDEX);
-        flags.set(TIMELY_TARGET_FLAG_INDEX);
-        flags.set(TIMELY_HEAD_FLAG_INDEX);
+        flags.set(ethpos_state::participation::TIMELY_SOURCE_FLAG_INDEX);
+        flags.set(ethpos_state::participation::TIMELY_TARGET_FLAG_INDEX);
+        flags.set(ethpos_state::participation::TIMELY_HEAD_FLAG_INDEX);
         let rng = seeded_rng(config.seed);
+        let membership_scratch = match config.membership {
+            MembershipModel::FixedPartition => Vec::new(),
+            MembershipModel::RandomEachEpoch => vec![false; n_honest as usize],
+        };
         TwoBranchSim {
             config,
             branches,
             schedule,
             rng,
-            fixed_membership,
             flags,
+            membership_scratch,
         }
     }
 
     /// Read access to a branch state (0 or 1).
-    pub fn branch(&self, b: usize) -> &BeaconState {
+    pub fn branch(&self, b: usize) -> &B {
         &self.branches[b]
     }
 
@@ -215,41 +274,21 @@ impl TwoBranchSim {
         self.config.byzantine
     }
 
-    fn branch_stake_breakdown(
-        &self,
-        b: usize,
-        honest_on_branch: &[bool],
-    ) -> (u64, u64, u64, usize, usize) {
-        let state = &self.branches[b];
-        let epoch = state.current_epoch();
-        let byz = self.config.byzantine;
-        let mut honest_active = 0u64;
-        let mut byz_stake = 0u64;
-        let mut ejected_honest = 0usize;
-        let mut ejected_byz = 0usize;
-        for (i, v) in state.validators().iter().enumerate() {
-            let active = v.is_active_at(epoch);
-            if i < byz {
-                if active {
-                    byz_stake += v.effective_balance.as_u64();
-                } else {
-                    ejected_byz += 1;
-                }
-            } else if active {
-                if honest_on_branch[i - byz] {
-                    honest_active += v.effective_balance.as_u64();
-                }
-            } else {
-                ejected_honest += 1;
-            }
-        }
-        let total = state.total_active_balance().as_u64();
-        (honest_active, byz_stake, total, ejected_honest, ejected_byz)
+    /// The honest classes attesting on branch `b` this epoch, for the
+    /// fixed-partition model.
+    fn fixed_honest_class(b: usize) -> usize {
+        1 + b
+    }
+
+    /// Honest ejection count on branch `b` (all honest classes).
+    fn ejected_honest(&self, b: usize) -> u64 {
+        (1..self.branches[b].num_classes())
+            .map(|c| self.branches[b].class_stats(c).exited)
+            .sum()
     }
 
     /// Runs the simulation.
     pub fn run(mut self) -> TwoBranchOutcome {
-        let n_honest = self.config.n - self.config.byzantine;
         let mut outcome = TwoBranchOutcome {
             conflicting_finalization_epoch: None,
             byzantine_exceeds_third_epoch: [None, None],
@@ -259,93 +298,81 @@ impl TwoBranchSim {
         };
 
         for epoch in 0..self.config.max_epochs {
-            // 1. Honest membership for this epoch.
-            let honest_on_branch0: Vec<bool> = match self.config.membership {
-                MembershipModel::FixedPartition => {
-                    self.fixed_membership.iter().map(|&g| g == 0).collect()
+            // 1. Mark honest participation for this epoch. Fixed
+            //    partitions address whole classes (no per-epoch buffers
+            //    at all); the random model draws one membership bit per
+            //    honest validator into the reused scratch buffer and
+            //    gives branch 1 the exact complement of branch 0, so the
+            //    partition invariant (each honest validator on exactly
+            //    one branch per epoch) holds like it does for the fixed
+            //    split.
+            if self.config.membership == MembershipModel::RandomEachEpoch {
+                let p0 = self.config.p0;
+                for bit in self.membership_scratch.iter_mut() {
+                    *bit = self.rng.random_bool(p0);
                 }
-                MembershipModel::RandomEachEpoch => (0..n_honest)
-                    .map(|_| self.rng.random_bool(self.config.p0))
-                    .collect(),
-            };
-            let honest_on_branch1: Vec<bool> = honest_on_branch0.iter().map(|&b| !b).collect();
+            }
+            let mut honest_attesting = [Gwei::ZERO; 2];
+            for (b, attesting) in honest_attesting.iter_mut().enumerate() {
+                match self.config.membership {
+                    MembershipModel::FixedPartition => {
+                        self.branches[b].mark_class(Self::fixed_honest_class(b), self.flags);
+                    }
+                    MembershipModel::RandomEachEpoch => {
+                        let membership = &self.membership_scratch;
+                        let mut i = 0;
+                        self.branches[b].mark_class_sampled(1, self.flags, &mut || {
+                            let on_branch0 = membership[i];
+                            i += 1;
+                            on_branch0 == (b == 0)
+                        });
+                    }
+                }
+                *attesting = self.branches[b].current_target_balance();
+            }
 
             // 2. Adversary observation & decision.
             let statuses = [0, 1].map(|b| {
-                let membership = if b == 0 {
-                    &honest_on_branch0
-                } else {
-                    &honest_on_branch1
-                };
-                let (honest_active, byz_stake, total, _, _) =
-                    self.branch_stake_breakdown(b, membership);
+                let state = &self.branches[b];
                 BranchStatus {
                     branch: b,
                     epoch,
-                    total_active_stake: total,
-                    honest_active_stake: honest_active,
-                    byzantine_stake: byz_stake,
-                    justified_epoch: self.branches[b]
-                        .current_justified_checkpoint()
-                        .epoch
-                        .as_u64(),
-                    finalized_epoch: self.branches[b].finalized_checkpoint().epoch.as_u64(),
+                    total_active_stake: state.total_active_balance().as_u64(),
+                    honest_active_stake: honest_attesting[b].as_u64(),
+                    byzantine_stake: state.class_stats(BYZANTINE_CLASS).active_stake.as_u64(),
+                    justified_epoch: state.current_justified_checkpoint().epoch.as_u64(),
+                    finalized_epoch: state.finalized_checkpoint().epoch.as_u64(),
                 }
             });
             let byz_participates = self.schedule.participate(&statuses);
 
-            // 3. Mark participation and advance each branch one epoch.
-            let mut stats: Vec<BranchEpochStats> = Vec::with_capacity(2);
-            #[allow(clippy::needless_range_loop)] // b indexes three parallel arrays
-            for b in 0..2 {
-                let membership = if b == 0 {
-                    &honest_on_branch0
-                } else {
-                    &honest_on_branch1
-                };
-                let byz = self.config.byzantine;
-                let flags = self.flags;
-                {
-                    let state = &mut self.branches[b];
-                    let cur = state.current_epoch();
-                    if byz_participates[b] {
-                        for i in 0..byz {
-                            if state.validators()[i].is_active_at(cur) {
-                                state.merge_current_participation(ValidatorIndex::from(i), flags);
-                            }
-                        }
-                    }
-                    for (h, &on) in membership.iter().enumerate() {
-                        if on {
-                            let i = byz + h;
-                            if state.validators()[i].is_active_at(cur) {
-                                state.merge_current_participation(ValidatorIndex::from(i), flags);
-                            }
-                        }
-                    }
+            // 3. Mark Byzantine participation and advance each branch one
+            //    epoch under its own synthetic checkpoint root.
+            let stats = [0, 1].map(|b| {
+                if byz_participates[b] {
+                    self.branches[b].mark_class(BYZANTINE_CLASS, self.flags);
                 }
-
-                // participating stake for the ratio metric, before advancing
-                let (honest_active, byz_stake, total, ejected_honest, ejected_byz) =
-                    self.branch_stake_breakdown(b, membership);
-                let attesting = honest_active + if byz_participates[b] { byz_stake } else { 0 };
+                let byz = self.branches[b].class_stats(BYZANTINE_CLASS);
+                let ejected_honest = self.ejected_honest(b) as usize;
+                let total = self.branches[b].total_active_balance().as_u64();
+                let attesting = honest_attesting[b].as_u64()
+                    + if byz_participates[b] {
+                        byz.active_stake.as_u64()
+                    } else {
+                        0
+                    };
 
                 let state = &mut self.branches[b];
-                let spe = state.config().slots_per_epoch;
-                let next_start = (state.current_epoch() + 1).start_slot(spe);
-                state.process_slots(next_start).expect("monotone epochs");
-                // Install this branch's synthetic checkpoint root for the
-                // new epoch so FFG targets differ across branches.
-                state.set_block_root(next_start, synthetic_branch_root(b as u64, epoch + 1));
+                state.advance_epoch(Some(synthetic_branch_root(b as u64, epoch + 1)));
 
-                stats.push(BranchEpochStats {
+                BranchEpochStats {
                     active_ratio: if total > 0 {
                         attesting as f64 / total as f64
                     } else {
                         0.0
                     },
                     byzantine_proportion: if total > 0 {
-                        byz_stake as f64 / total as f64
+                        byz.active_stake.as_u64() as f64 / total as f64
                     } else {
                         0.0
                     },
@@ -353,10 +380,9 @@ impl TwoBranchSim {
                     finalized_epoch: state.finalized_checkpoint().epoch.as_u64(),
                     total_active_stake: total,
                     ejected_honest,
-                    ejected_byzantine: ejected_byz,
-                });
-            }
-            let stats = [stats[0], stats[1]];
+                    ejected_byzantine: byz.exited as usize,
+                }
+            });
             outcome.epochs_run = epoch + 1;
 
             // 4. Safety monitors.
@@ -395,6 +421,7 @@ impl TwoBranchSim {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ethpos_state::CohortState;
     use ethpos_validator::{DualActive, SemiActive, ThresholdSeeker};
 
     /// §5.1 sanity at a reduced horizon: with p0 = 0.5 and no Byzantine
@@ -450,6 +477,27 @@ mod tests {
         assert!(
             (495..530).contains(&t),
             "conflicting finalization at {t}, paper: 502 for β₀ = 0.33"
+        );
+    }
+
+    /// The cohort backend reproduces the dense §5.2.1 run record-for-record
+    /// — same epochs, same stats, same conflict epoch.
+    #[test]
+    fn cohort_backend_matches_dense_run() {
+        let mk = || TwoBranchConfig {
+            record_every: 50,
+            ..TwoBranchConfig::paper(1200, 396, 0.5, 800)
+        };
+        let dense = TwoBranchSim::new(mk(), Box::new(DualActive)).run();
+        let cohort = TwoBranchSim::<CohortState>::with_backend(mk(), Box::new(DualActive)).run();
+        assert_eq!(
+            dense.conflicting_finalization_epoch,
+            cohort.conflicting_finalization_epoch
+        );
+        assert_eq!(dense.epochs_run, cohort.epochs_run);
+        assert_eq!(
+            serde_json::to_string(&dense.history).unwrap(),
+            serde_json::to_string(&cohort.history).unwrap()
         );
     }
 
@@ -534,6 +582,31 @@ mod tests {
         assert!(first < 0.32);
         assert!(last > first, "β must grow: {first} → {last}");
         // and no finalization happened anywhere
+        assert_eq!(out.conflicting_finalization_epoch, None);
+    }
+
+    /// The random membership model runs on the cohort backend through
+    /// per-member sampled cohort splits (one membership bit per honest
+    /// validator, branch 1 the complement of branch 0): totals are
+    /// conserved and the Byzantine proportion behaves like the dense
+    /// run's.
+    #[test]
+    fn random_membership_runs_on_cohort_backend() {
+        let cfg = TwoBranchConfig {
+            membership: MembershipModel::RandomEachEpoch,
+            stop_on_conflict: false,
+            seed: 9,
+            record_every: 100,
+            ..TwoBranchConfig::paper(300, 100, 0.5, 400) // β0 = 1/3
+        };
+        let out =
+            TwoBranchSim::<CohortState>::with_backend(cfg, Box::new(ThresholdSeeker::new())).run();
+        assert_eq!(out.epochs_run, 400);
+        let last = out.history.last().unwrap();
+        for b in 0..2 {
+            assert!(last.branch[b].byzantine_proportion > 0.25);
+            assert_eq!(last.branch[b].ejected_byzantine, 0);
+        }
         assert_eq!(out.conflicting_finalization_epoch, None);
     }
 }

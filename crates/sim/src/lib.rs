@@ -8,10 +8,13 @@
 //!   partition (plus the omniscient adversary). Used for healthy-chain
 //!   runs, short-horizon partition scenarios, and attack traces.
 //! * [`cohort`] — **epoch-level two-branch** simulation: drives one
-//!   [`ethpos_state::BeaconState`] per branch with cohort participation
-//!   patterns, using the exact integer spec arithmetic. Fast enough for
-//!   the paper's 10⁴-epoch horizons; regenerates Tables 2–3 and Figures
-//!   2, 3, 6, 7.
+//!   [`ethpos_state::backend::StateBackend`] per branch with class-level
+//!   participation patterns, using the exact integer spec arithmetic.
+//!   Generic over the backend: the dense reference handles the paper's
+//!   10⁴-epoch horizons at toy sizes, and the cohort-compressed
+//!   [`ethpos_state::CohortState`] runs the same scenarios bit-identically
+//!   at the true million-validator population. Regenerates Tables 2–3 and
+//!   Figures 2, 3, 6, 7.
 //! * [`walk_mc`] — **Monte-Carlo random walks** for the probabilistic
 //!   bouncing attack (§5.3): per-validator inactivity-score walks and
 //!   stake trajectories, regenerating Figures 9–10 empirically.
@@ -41,7 +44,9 @@ pub use cohort::{
 pub use engine::{run_slot_sims, SlotByzMode, SlotSim, SlotSimConfig, SlotSimReport};
 pub use monitor::SafetyMonitor;
 pub use pool::ChunkPool;
-pub use single_branch::{run_single_branch, Behavior, StakeTrajectory};
+pub use single_branch::{
+    run_single_branch, run_single_branch_on, Behavior, ClassTrajectory, StakeTrajectory,
+};
 pub use view::View;
 pub use walk_mc::{
     run_bouncing_walks, run_two_branch_walks, BouncingWalkConfig, BouncingWalkResult,

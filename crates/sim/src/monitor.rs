@@ -5,6 +5,7 @@
 //! on any two views, such that neither chain is a prefix of the other.
 
 use ethpos_forkchoice::ProtoArray;
+use ethpos_state::backend::StateBackend;
 use ethpos_types::{Checkpoint, Root, Slot};
 
 /// Records every block and each view's finalized checkpoint; reports the
@@ -57,6 +58,13 @@ impl SafetyMonitor {
                 }
             }
         }
+    }
+
+    /// Reads view `v`'s finalized checkpoint straight off a state backend
+    /// and re-checks Safety — works for any [`StateBackend`], so the
+    /// monitor watches dense and cohort branches alike.
+    pub fn observe_backend<B: StateBackend>(&mut self, view: usize, state: &B) {
+        self.observe_finalized(view, state.finalized_checkpoint());
     }
 
     /// The first Safety violation observed: `(view_a, view_b, checkpoint_a,

@@ -4,12 +4,20 @@
 //! the "active" cohort is inactive *from this chain's point of view*), the
 //! leak starts after 4 epochs, and each behaviour class traces its stake
 //! curve with the spec's exact integer arithmetic.
+//!
+//! [`run_single_branch_on`] is generic over the [`StateBackend`]: on the
+//! dense backend it is the O(n·epochs) reference; on
+//! [`ethpos_state::CohortState`] the same schedule costs O(#classes) per
+//! epoch, which is what lets the Figure 2 cross-check run at the paper's
+//! true million-validator population. [`run_single_branch`] keeps the
+//! original per-validator API on the dense backend.
 
+use ethpos_state::backend::{ClassSpec, StateBackend};
 use ethpos_state::participation::{
     TIMELY_HEAD_FLAG_INDEX, TIMELY_SOURCE_FLAG_INDEX, TIMELY_TARGET_FLAG_INDEX,
 };
-use ethpos_state::{BeaconState, ParticipationFlags};
-use ethpos_types::{ChainConfig, ValidatorIndex};
+use ethpos_state::{DenseState, ParticipationFlags};
+use ethpos_types::ChainConfig;
 
 /// Per-epoch participation behaviour of a validator class (paper §4.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,9 +54,101 @@ pub struct StakeTrajectory {
     pub ejected_at: Option<u64>,
 }
 
-/// Runs a single branch for `epochs` epochs with one validator per entry
-/// of `behaviors` (plus nothing else), never letting the branch finalize,
-/// and returns each validator's stake trajectory.
+/// The per-member stake trajectory of one behaviour class (every member
+/// of a class follows the same integer trajectory).
+#[derive(Debug, Clone)]
+pub struct ClassTrajectory {
+    /// The behaviour simulated.
+    pub behavior: Behavior,
+    /// Members in the class.
+    pub count: u64,
+    /// Per-member balance in Gwei at the start of each epoch.
+    pub balance_gwei: Vec<u64>,
+    /// Per-member inactivity score at the start of each epoch.
+    pub inactivity_score: Vec<u64>,
+    /// First epoch at which the class was ejected, if any.
+    pub ejected_at: Option<u64>,
+}
+
+/// Runs a single branch for `epochs` epochs with one behaviour class per
+/// entry of `classes` (`(behavior, member count)`), never letting the
+/// branch finalize as long as the active classes stay below ⅔ of the
+/// stake, and returns each class's per-member trajectory.
+///
+/// # Example
+///
+/// The Figure 2 mix at Ethereum scale on the cohort backend:
+///
+/// ```
+/// use ethpos_sim::{run_single_branch_on, Behavior};
+/// use ethpos_state::CohortState;
+/// use ethpos_types::ChainConfig;
+///
+/// let classes = [
+///     (Behavior::Active, 100_000),
+///     (Behavior::SemiActive, 100_000),
+///     (Behavior::Inactive, 800_000),
+/// ];
+/// let t = run_single_branch_on::<CohortState>(ChainConfig::paper(), &classes, 64);
+/// assert_eq!(t[0].count, 100_000);
+/// // The inactive class is already losing stake to the leak.
+/// assert!(t[2].balance_gwei.last() < t[2].balance_gwei.first());
+/// ```
+pub fn run_single_branch_on<B: StateBackend>(
+    config: ChainConfig,
+    classes: &[(Behavior, u64)],
+    epochs: u64,
+) -> Vec<ClassTrajectory> {
+    let specs: Vec<ClassSpec> = classes
+        .iter()
+        .map(|&(_, count)| ClassSpec::full_stake(count, &config))
+        .collect();
+    let mut state = B::from_classes(config, &specs);
+    let mut all_flags = ParticipationFlags::EMPTY;
+    all_flags.set(TIMELY_SOURCE_FLAG_INDEX);
+    all_flags.set(TIMELY_TARGET_FLAG_INDEX);
+    all_flags.set(TIMELY_HEAD_FLAG_INDEX);
+
+    let mut trajectories: Vec<ClassTrajectory> = classes
+        .iter()
+        .map(|&(behavior, count)| ClassTrajectory {
+            behavior,
+            count,
+            balance_gwei: Vec::with_capacity(epochs as usize + 1),
+            inactivity_score: Vec::with_capacity(epochs as usize + 1),
+            ejected_at: None,
+        })
+        .collect();
+
+    let record = |state: &B, trajectories: &mut Vec<ClassTrajectory>, epoch: u64| {
+        for (c, t) in trajectories.iter_mut().enumerate() {
+            let floor = state
+                .class_floor(c)
+                .expect("classes are non-empty for the whole run");
+            t.balance_gwei.push(floor.balance.as_u64());
+            t.inactivity_score.push(floor.inactivity_score);
+            if t.ejected_at.is_none() && floor.has_exited_by(state.current_epoch()) {
+                t.ejected_at = Some(epoch);
+            }
+        }
+    };
+
+    for epoch in 0..epochs {
+        record(&state, &mut trajectories, epoch);
+        for (c, &(behavior, _)) in classes.iter().enumerate() {
+            if behavior.participates(epoch) {
+                state.mark_class(c, all_flags);
+            }
+        }
+        state.advance_epoch(None);
+    }
+    record(&state, &mut trajectories, epochs);
+    trajectories
+}
+
+/// Runs a single branch with one validator per entry of `behaviors` on
+/// the dense reference backend and returns each validator's stake
+/// trajectory (the original per-validator API).
 ///
 /// Note: with mixed behaviours in one registry, justification stays
 /// unreachable as long as the active cohort is below ⅔ of the stake —
@@ -60,57 +160,22 @@ pub fn run_single_branch(
     behaviors: &[Behavior],
     epochs: u64,
 ) -> Vec<StakeTrajectory> {
-    let n = behaviors.len();
-    let mut state = BeaconState::genesis(config.clone(), n);
-    let mut all_flags = ParticipationFlags::EMPTY;
-    all_flags.set(TIMELY_SOURCE_FLAG_INDEX);
-    all_flags.set(TIMELY_TARGET_FLAG_INDEX);
-    all_flags.set(TIMELY_HEAD_FLAG_INDEX);
-
-    let mut trajectories: Vec<StakeTrajectory> = behaviors
-        .iter()
-        .map(|&b| StakeTrajectory {
-            behavior: b,
-            balance_gwei: Vec::with_capacity(epochs as usize + 1),
-            inactivity_score: Vec::with_capacity(epochs as usize + 1),
-            ejected_at: None,
+    let classes: Vec<(Behavior, u64)> = behaviors.iter().map(|&b| (b, 1)).collect();
+    run_single_branch_on::<DenseState>(config, &classes, epochs)
+        .into_iter()
+        .map(|t| StakeTrajectory {
+            behavior: t.behavior,
+            balance_gwei: t.balance_gwei,
+            inactivity_score: t.inactivity_score,
+            ejected_at: t.ejected_at,
         })
-        .collect();
-
-    for epoch in 0..epochs {
-        for (i, t) in trajectories.iter_mut().enumerate() {
-            let idx = ValidatorIndex::from(i);
-            t.balance_gwei.push(state.balance(idx).as_u64());
-            t.inactivity_score.push(state.inactivity_score(idx));
-            if t.ejected_at.is_none() && state.validators()[i].has_exited_by(state.current_epoch())
-            {
-                t.ejected_at = Some(epoch);
-            }
-        }
-        for (i, b) in behaviors.iter().enumerate() {
-            if b.participates(epoch) {
-                state.merge_current_participation(ValidatorIndex::from(i), all_flags);
-            }
-        }
-        let next = (state.current_epoch() + 1).start_slot(config.slots_per_epoch);
-        state
-            .process_slots(next)
-            .expect("monotone slot advancement");
-    }
-    for (i, t) in trajectories.iter_mut().enumerate() {
-        let idx = ValidatorIndex::from(i);
-        t.balance_gwei.push(state.balance(idx).as_u64());
-        t.inactivity_score.push(state.inactivity_score(idx));
-        if t.ejected_at.is_none() && state.validators()[i].has_exited_by(state.current_epoch()) {
-            t.ejected_at = Some(epochs);
-        }
-    }
-    trajectories
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ethpos_state::CohortState;
     use ethpos_types::Gwei;
 
     fn mainnet_mix() -> Vec<Behavior> {
@@ -193,5 +258,25 @@ mod tests {
         );
         // Semi-active must not be ejected yet at 4800 (paper: 7652).
         assert_eq!(t[1].ejected_at, None);
+    }
+
+    /// The generic class runner on both backends reproduces the
+    /// per-validator reference trajectories value-for-value.
+    #[test]
+    fn class_runner_matches_per_validator_reference() {
+        let reference = run_single_branch(ChainConfig::paper(), &mainnet_mix(), 300);
+        let classes = [
+            (Behavior::Active, 1),
+            (Behavior::SemiActive, 1),
+            (Behavior::Inactive, 8),
+        ];
+        let dense = run_single_branch_on::<DenseState>(ChainConfig::paper(), &classes, 300);
+        let cohort = run_single_branch_on::<CohortState>(ChainConfig::paper(), &classes, 300);
+        for (c, (d, k)) in dense.iter().zip(cohort.iter()).enumerate() {
+            assert_eq!(d.balance_gwei, k.balance_gwei, "class {c} balances");
+            assert_eq!(d.inactivity_score, k.inactivity_score, "class {c} scores");
+            assert_eq!(d.ejected_at, k.ejected_at, "class {c} ejection");
+            assert_eq!(d.balance_gwei, reference[c].balance_gwei, "class {c} ref");
+        }
     }
 }

@@ -1,0 +1,515 @@
+//! State backends: the epoch-transition surface the simulators drive.
+//!
+//! The paper's scenarios never address validators individually — they act
+//! on **behaviour classes** (Byzantine, honest-on-branch-A, inactive, …)
+//! whose members all receive the same participation flags every epoch and
+//! therefore follow bit-identical integer trajectories. [`StateBackend`]
+//! captures exactly that surface: genesis from class sizes, per-class
+//! participation marking, one-epoch advancement, and aggregate/class
+//! queries.
+//!
+//! Two implementations exist:
+//!
+//! * [`DenseState`] — wraps the reference [`BeaconState`] (one record per
+//!   validator, spec-ordered epoch processing). O(n) per epoch.
+//! * [`ethpos_state::CohortState`](crate::CohortState) — stores
+//!   `(class, per-validator state) → count` groups and processes an epoch
+//!   in O(#cohorts) with the **same integer arithmetic**, so it is exact,
+//!   not an approximation. O(1)-ish per epoch for deterministic schedules.
+//!
+//! [`StateSnapshot`] is the equivalence oracle: both backends can render
+//! their full per-validator state as sorted run-length-encoded runs per
+//! class, and two backends driven by the same schedule must produce equal
+//! snapshots after every epoch (enforced by the `backend_equivalence`
+//! property tests).
+
+use serde::Serialize;
+
+use ethpos_types::{ChainConfig, Checkpoint, Epoch, Gwei, Root, Slot, ValidatorIndex};
+
+use crate::beacon_state::BeaconState;
+use crate::participation::ParticipationFlags;
+
+/// Initial composition of one behaviour class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ClassSpec {
+    /// Number of validators in the class.
+    pub count: u64,
+    /// Genesis actual balance of every member (the effective balance is
+    /// derived by the spec's deposit snapping rule).
+    pub balance: Gwei,
+}
+
+impl ClassSpec {
+    /// A class of `count` validators at the 32-ETH maximum balance.
+    pub fn full_stake(count: u64, config: &ChainConfig) -> Self {
+        ClassSpec {
+            count,
+            balance: config.max_effective_balance,
+        }
+    }
+}
+
+/// Which state backend to run a simulation on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum BackendKind {
+    /// One record per validator ([`DenseState`], the reference path).
+    Dense,
+    /// Compressed `(class, state) → count` groups
+    /// ([`crate::CohortState`]); exact, O(#cohorts) per epoch.
+    Cohort,
+}
+
+impl BackendKind {
+    /// Short CLI identifier (`dense` / `cohort`).
+    pub fn id(&self) -> &'static str {
+        match self {
+            BackendKind::Dense => "dense",
+            BackendKind::Cohort => "cohort",
+        }
+    }
+
+    /// Parses a short identifier (the inverse of [`BackendKind::id`]).
+    pub fn from_id(id: &str) -> Option<BackendKind> {
+        match id {
+            "dense" => Some(BackendKind::Dense),
+            "cohort" => Some(BackendKind::Cohort),
+            _ => None,
+        }
+    }
+}
+
+/// Aggregate registry statistics for one class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClassStats {
+    /// Registered members.
+    pub total: u64,
+    /// Members active at the current epoch.
+    pub active: u64,
+    /// Members that have exited (ejected or slashed-and-exited).
+    pub exited: u64,
+    /// Sum of effective balances of the active members.
+    pub active_stake: Gwei,
+}
+
+/// The full per-validator state minus identity — the unit of cohort
+/// compression and the entry type of [`StateSnapshot`] runs.
+///
+/// Field order defines the canonical sort used when snapshotting, so the
+/// derived `Ord` is part of the equivalence contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MemberState {
+    /// Actual balance (the paper's `s_i(t)`).
+    pub balance: Gwei,
+    /// Effective balance (hysteresis-quantized).
+    pub effective_balance: Gwei,
+    /// Inactivity score (the paper's `I_i(t)`).
+    pub inactivity_score: u64,
+    /// Whether the validator has been slashed.
+    pub slashed: bool,
+    /// First epoch of activity.
+    pub activation_epoch: Epoch,
+    /// Exit epoch ([`crate::FAR_FUTURE_EPOCH`] if none scheduled).
+    pub exit_epoch: Epoch,
+    /// Withdrawable epoch.
+    pub withdrawable_epoch: Epoch,
+    /// Previous-epoch participation flags.
+    pub previous_flags: ParticipationFlags,
+    /// Current-epoch participation flags.
+    pub current_flags: ParticipationFlags,
+}
+
+impl MemberState {
+    /// True if the member is in the active set at `epoch`.
+    pub fn is_active_at(&self, epoch: Epoch) -> bool {
+        self.activation_epoch <= epoch && epoch < self.exit_epoch
+    }
+
+    /// True if the member has exited by `epoch`.
+    pub fn has_exited_by(&self, epoch: Epoch) -> bool {
+        self.exit_epoch <= epoch
+    }
+}
+
+/// A canonical, identity-free rendering of a backend's complete state:
+/// global finality bookkeeping plus, per class, the members as sorted
+/// run-length-encoded `(state, count)` runs.
+///
+/// Two backends driven through the same schedule are **equivalent** iff
+/// their snapshots are equal after every epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateSnapshot {
+    /// Current slot.
+    pub slot: Slot,
+    /// Justification bits (bit 0 = most recent epoch).
+    pub justification_bits: [bool; 4],
+    /// Previous justified checkpoint.
+    pub previous_justified: Checkpoint,
+    /// Current justified checkpoint.
+    pub current_justified: Checkpoint,
+    /// Finalized checkpoint.
+    pub finalized: Checkpoint,
+    /// Slashings ring buffer.
+    pub slashings: Vec<Gwei>,
+    /// Per class: sorted `(member state, count)` runs.
+    pub classes: Vec<Vec<(MemberState, u64)>>,
+}
+
+/// The epoch-transition surface shared by the dense and cohort state
+/// representations.
+///
+/// The contract mirrors how the simulators drive a branch: mark the
+/// classes that attest this epoch (behind the scenes this sets Altair
+/// participation flags on every *active* member), then
+/// [`advance_epoch`](StateBackend::advance_epoch) to run the full spec
+/// epoch processing and enter the next epoch.
+pub trait StateBackend: Sized {
+    /// Builds a genesis state from per-class sizes and balances. Class `c`
+    /// of the backend corresponds to `classes[c]`.
+    fn from_classes(config: ChainConfig, classes: &[ClassSpec]) -> Self;
+
+    /// Protocol constants in force.
+    fn config(&self) -> &ChainConfig;
+
+    /// Current epoch.
+    fn current_epoch(&self) -> Epoch;
+
+    /// Current justified checkpoint.
+    fn current_justified_checkpoint(&self) -> Checkpoint;
+
+    /// Finalized checkpoint.
+    fn finalized_checkpoint(&self) -> Checkpoint;
+
+    /// Total active effective balance (increment-floored, spec
+    /// `get_total_active_balance`).
+    fn total_active_balance(&self) -> Gwei;
+
+    /// Unslashed active stake already carrying the timely-target flag for
+    /// the **current** epoch — the FFG weight accumulated so far this
+    /// epoch by [`mark_class`](StateBackend::mark_class) calls.
+    fn current_target_balance(&self) -> Gwei;
+
+    /// Number of behaviour classes.
+    fn num_classes(&self) -> usize;
+
+    /// Aggregate statistics of one class.
+    fn class_stats(&self, class: usize) -> ClassStats;
+
+    /// The smallest member state of `class` under the canonical
+    /// [`MemberState`] ordering (`None` for an empty class). For a
+    /// homogeneous class this *is* the per-member state, which is how the
+    /// trajectory recorders read one representative without identity.
+    fn class_floor(&self, class: usize) -> Option<MemberState>;
+
+    /// Merges `flags` into the current-epoch participation of every
+    /// **active** member of `class`.
+    fn mark_class(&mut self, class: usize, flags: ParticipationFlags);
+
+    /// Merges `flags` into a sampled subset of the active members of
+    /// `class`: `draw` is called exactly once per **member** of the
+    /// class (active or exited, in backend order), and active members
+    /// whose draw returns `true` are marked.
+    ///
+    /// Drawing for exited members keeps the draw stream aligned with
+    /// the member count, so a caller can feed two partition branches the
+    /// same membership buffer (one branch the draws, the other their
+    /// complement) and — on the dense backend, where backend order is
+    /// index order on both branches — every member attests on exactly
+    /// one branch. The cohort backend consumes draws in cohort order,
+    /// which preserves the per-branch marginal law but (once the two
+    /// branches' cohort structures diverge) not the per-member joint
+    /// coupling; per-epoch cost is O(#members), not O(#cohorts).
+    fn mark_class_sampled(
+        &mut self,
+        class: usize,
+        flags: ParticipationFlags,
+        draw: &mut dyn FnMut() -> bool,
+    );
+
+    /// Runs full spec epoch processing and advances to the first slot of
+    /// the next epoch, recording `next_checkpoint_root` as the new
+    /// epoch's checkpoint root (carrying the previous root forward when
+    /// `None`, like missed-slot semantics).
+    fn advance_epoch(&mut self, next_checkpoint_root: Option<Root>);
+
+    /// Renders the canonical equivalence snapshot.
+    fn snapshot(&self) -> StateSnapshot;
+}
+
+/// The dense reference backend: a spec-shaped [`BeaconState`] plus the
+/// class layout (class `c` owns the contiguous index range
+/// `bounds[c]..bounds[c + 1]`).
+#[derive(Debug, Clone)]
+pub struct DenseState {
+    state: BeaconState,
+    bounds: Vec<usize>,
+}
+
+impl DenseState {
+    /// Read access to the wrapped [`BeaconState`].
+    pub fn beacon_state(&self) -> &BeaconState {
+        &self.state
+    }
+
+    /// Mutable access to the wrapped [`BeaconState`] (escape hatch for
+    /// drivers needing the full per-validator surface).
+    pub fn beacon_state_mut(&mut self) -> &mut BeaconState {
+        &mut self.state
+    }
+
+    /// The index range owned by `class`.
+    pub fn class_range(&self, class: usize) -> core::ops::Range<usize> {
+        self.bounds[class]..self.bounds[class + 1]
+    }
+
+    fn member(&self, i: usize) -> MemberState {
+        let v = &self.state.validators()[i];
+        MemberState {
+            balance: self.state.balances()[i],
+            effective_balance: v.effective_balance,
+            inactivity_score: self.state.inactivity_scores()[i],
+            slashed: v.slashed,
+            activation_epoch: v.activation_epoch,
+            exit_epoch: v.exit_epoch,
+            withdrawable_epoch: v.withdrawable_epoch,
+            previous_flags: self.state.previous_participation(ValidatorIndex::from(i)),
+            current_flags: self.state.current_participation(ValidatorIndex::from(i)),
+        }
+    }
+}
+
+impl StateBackend for DenseState {
+    fn from_classes(config: ChainConfig, classes: &[ClassSpec]) -> Self {
+        let mut balances = Vec::new();
+        let mut bounds = vec![0usize];
+        for spec in classes {
+            balances.extend(std::iter::repeat_n(spec.balance, spec.count as usize));
+            bounds.push(balances.len());
+        }
+        DenseState {
+            state: BeaconState::genesis_with_balances(config, &balances),
+            bounds,
+        }
+    }
+
+    fn config(&self) -> &ChainConfig {
+        self.state.config()
+    }
+
+    fn current_epoch(&self) -> Epoch {
+        self.state.current_epoch()
+    }
+
+    fn current_justified_checkpoint(&self) -> Checkpoint {
+        self.state.current_justified_checkpoint()
+    }
+
+    fn finalized_checkpoint(&self) -> Checkpoint {
+        self.state.finalized_checkpoint()
+    }
+
+    fn total_active_balance(&self) -> Gwei {
+        self.state.total_active_balance()
+    }
+
+    fn current_target_balance(&self) -> Gwei {
+        self.state
+            .unslashed_participating_target_balance(self.state.current_epoch())
+    }
+
+    fn num_classes(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    fn class_stats(&self, class: usize) -> ClassStats {
+        let epoch = self.state.current_epoch();
+        let mut stats = ClassStats::default();
+        for i in self.class_range(class) {
+            let v = &self.state.validators()[i];
+            stats.total += 1;
+            if v.is_active_at(epoch) {
+                stats.active += 1;
+                stats.active_stake += v.effective_balance;
+            } else {
+                stats.exited += 1;
+            }
+        }
+        stats
+    }
+
+    fn class_floor(&self, class: usize) -> Option<MemberState> {
+        self.class_range(class).map(|i| self.member(i)).min()
+    }
+
+    fn mark_class(&mut self, class: usize, flags: ParticipationFlags) {
+        let epoch = self.state.current_epoch();
+        for i in self.class_range(class) {
+            if self.state.validators()[i].is_active_at(epoch) {
+                self.state
+                    .merge_current_participation(ValidatorIndex::from(i), flags);
+            }
+        }
+    }
+
+    fn mark_class_sampled(
+        &mut self,
+        class: usize,
+        flags: ParticipationFlags,
+        draw: &mut dyn FnMut() -> bool,
+    ) {
+        let epoch = self.state.current_epoch();
+        for i in self.class_range(class) {
+            // One draw per member, exited members included (trait
+            // contract: the stream is aligned with the member count).
+            let take = draw();
+            if take && self.state.validators()[i].is_active_at(epoch) {
+                self.state
+                    .merge_current_participation(ValidatorIndex::from(i), flags);
+            }
+        }
+    }
+
+    fn advance_epoch(&mut self, next_checkpoint_root: Option<Root>) {
+        let spe = self.state.config().slots_per_epoch;
+        let next_start = (self.state.current_epoch() + 1).start_slot(spe);
+        self.state
+            .process_slots(next_start)
+            .expect("monotone epoch advancement");
+        if let Some(root) = next_checkpoint_root {
+            self.state.set_block_root(next_start, root);
+        }
+    }
+
+    fn snapshot(&self) -> StateSnapshot {
+        let classes = (0..self.num_classes())
+            .map(|c| {
+                let mut members: Vec<MemberState> =
+                    self.class_range(c).map(|i| self.member(i)).collect();
+                members.sort_unstable();
+                let mut runs: Vec<(MemberState, u64)> = Vec::new();
+                for m in members {
+                    match runs.last_mut() {
+                        Some((last, count)) if *last == m => *count += 1,
+                        _ => runs.push((m, 1)),
+                    }
+                }
+                runs
+            })
+            .collect();
+        StateSnapshot {
+            slot: self.state.slot(),
+            justification_bits: self.state.justification_bits(),
+            previous_justified: self.state.previous_justified_checkpoint(),
+            current_justified: self.state.current_justified_checkpoint(),
+            finalized: self.state.finalized_checkpoint(),
+            slashings: self.state.slashings().to_vec(),
+            classes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::participation::TIMELY_TARGET_FLAG_INDEX;
+
+    fn flags() -> ParticipationFlags {
+        let mut f = ParticipationFlags::EMPTY;
+        f.set(TIMELY_TARGET_FLAG_INDEX);
+        f
+    }
+
+    fn classes(sizes: &[u64]) -> Vec<ClassSpec> {
+        let config = ChainConfig::minimal();
+        sizes
+            .iter()
+            .map(|&count| ClassSpec::full_stake(count, &config))
+            .collect()
+    }
+
+    #[test]
+    fn dense_from_classes_matches_plain_genesis() {
+        let dense = DenseState::from_classes(ChainConfig::minimal(), &classes(&[3, 5]));
+        let plain = BeaconState::genesis(ChainConfig::minimal(), 8);
+        assert_eq!(dense.beacon_state(), &plain);
+        assert_eq!(dense.num_classes(), 2);
+        assert_eq!(dense.class_range(1), 3..8);
+    }
+
+    #[test]
+    fn genesis_balance_snapping_follows_deposit_rule() {
+        let spec = [ClassSpec {
+            count: 2,
+            balance: Gwei::from_eth_f64(16.8),
+        }];
+        let dense = DenseState::from_classes(ChainConfig::minimal(), &spec);
+        // 16.8 snaps down to 16 ETH effective.
+        assert_eq!(
+            dense.beacon_state().validators()[0].effective_balance,
+            Gwei::from_eth_u64(16)
+        );
+        assert_eq!(dense.beacon_state().balances()[0], Gwei::from_eth_f64(16.8));
+    }
+
+    #[test]
+    fn mark_class_sets_target_balance() {
+        let mut dense = DenseState::from_classes(ChainConfig::minimal(), &classes(&[4, 4]));
+        assert_eq!(dense.current_target_balance(), Gwei::ZERO);
+        dense.mark_class(0, flags());
+        assert_eq!(dense.current_target_balance(), Gwei::from_eth_u64(4 * 32));
+        let stats = dense.class_stats(1);
+        assert_eq!(stats.active, 4);
+        assert_eq!(stats.active_stake, Gwei::from_eth_u64(4 * 32));
+    }
+
+    #[test]
+    fn mark_class_sampled_marks_only_drawn_members() {
+        let mut dense = DenseState::from_classes(ChainConfig::minimal(), &classes(&[6]));
+        let mut toggle = false;
+        dense.mark_class_sampled(0, flags(), &mut || {
+            toggle = !toggle;
+            toggle
+        });
+        assert_eq!(dense.current_target_balance(), Gwei::from_eth_u64(3 * 32));
+    }
+
+    #[test]
+    fn advance_epoch_records_checkpoint_root() {
+        let mut dense = DenseState::from_classes(ChainConfig::minimal(), &classes(&[4]));
+        let root = Root::from_u64(77);
+        dense.advance_epoch(Some(root));
+        assert_eq!(dense.current_epoch(), Epoch::new(1));
+        assert_eq!(
+            dense
+                .beacon_state()
+                .block_root_at_epoch_start(Epoch::new(1)),
+            root
+        );
+        // None carries the previous root forward (missed-slot semantics).
+        dense.advance_epoch(None);
+        assert_eq!(
+            dense
+                .beacon_state()
+                .block_root_at_epoch_start(Epoch::new(2)),
+            root
+        );
+    }
+
+    #[test]
+    fn snapshot_run_length_encodes_equal_members() {
+        let dense = DenseState::from_classes(ChainConfig::minimal(), &classes(&[5, 2]));
+        let snap = dense.snapshot();
+        assert_eq!(snap.classes.len(), 2);
+        assert_eq!(snap.classes[0].len(), 1); // all identical at genesis
+        assert_eq!(snap.classes[0][0].1, 5);
+        assert_eq!(snap.classes[1][0].1, 2);
+    }
+
+    #[test]
+    fn backend_kind_ids_round_trip() {
+        for kind in [BackendKind::Dense, BackendKind::Cohort] {
+            assert_eq!(BackendKind::from_id(kind.id()), Some(kind));
+        }
+        assert_eq!(BackendKind::from_id("sparse"), None);
+    }
+}

@@ -44,11 +44,27 @@ impl BeaconState {
     /// Creates a genesis state with `n` validators at the maximum
     /// effective balance, all active from epoch 0.
     pub fn genesis(config: ChainConfig, n: usize) -> Self {
+        let balance = config.max_effective_balance;
+        BeaconState::genesis_with_balances(config, &vec![balance; n])
+    }
+
+    /// Creates a genesis state with one validator per entry of `balances`,
+    /// all active from epoch 0. Each effective balance follows the spec's
+    /// deposit rule: the actual balance snapped down to a whole
+    /// effective-balance increment, capped at the maximum.
+    pub fn genesis_with_balances(config: ChainConfig, balances: &[Gwei]) -> Self {
+        let n = balances.len();
         let genesis_root = hash_u64(&[0x67_656e_6573_6973, n as u64]); // "genesis"
-        let validators: Vec<Validator> = (0..n)
-            .map(|i| Validator::genesis(i as u64, config.max_effective_balance))
+        let validators: Vec<Validator> = balances
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let mut v = Validator::genesis(i as u64, config.max_effective_balance);
+                v.effective_balance = config.snapped_effective_balance(*b);
+                v
+            })
             .collect();
-        let balances = vec![config.max_effective_balance; n];
+        let balances = balances.to_vec();
         let genesis_checkpoint = Checkpoint::genesis(genesis_root);
         let slashings = vec![Gwei::ZERO; config.epochs_per_slashings_vector as usize];
         BeaconState {
@@ -144,6 +160,11 @@ impl BeaconState {
     /// Genesis block root.
     pub fn genesis_root(&self) -> Root {
         self.genesis_root
+    }
+
+    /// The slashings ring buffer (slashed effective balance per epoch).
+    pub fn slashings(&self) -> &[Gwei] {
+        &self.slashings
     }
 
     /// Participation flags of `index` for the previous epoch.
@@ -275,13 +296,7 @@ impl BeaconState {
         flags: ParticipationFlags,
     ) {
         let f = &mut self.current_epoch_participation[index.as_usize()];
-        let mut merged = *f;
-        for bit in 0..3 {
-            if flags.has(bit) {
-                merged.set(bit);
-            }
-        }
-        *f = merged;
+        *f = f.union(flags);
     }
 
     /// Marks `index` with `flags` for the previous epoch (merging).
@@ -291,13 +306,7 @@ impl BeaconState {
         flags: ParticipationFlags,
     ) {
         let f = &mut self.previous_epoch_participation[index.as_usize()];
-        let mut merged = *f;
-        for bit in 0..3 {
-            if flags.has(bit) {
-                merged.set(bit);
-            }
-        }
-        *f = merged;
+        *f = f.union(flags);
     }
 
     // ── slot advancement ─────────────────────────────────────────────────

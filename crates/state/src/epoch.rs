@@ -185,14 +185,13 @@ impl BeaconState {
             Gwei::new(hysteresis_increment.as_u64() * self.config().hysteresis_downward_multiplier);
         let upward =
             Gwei::new(hysteresis_increment.as_u64() * self.config().hysteresis_upward_multiplier);
-        let max_eff = self.config().max_effective_balance;
 
+        let config = self.config().clone();
         let balances: Vec<Gwei> = self.balances().to_vec();
         for (v, balance) in self.validators_mut().iter_mut().zip(balances) {
             let eff = v.effective_balance;
             if balance + downward < eff || eff + upward < balance {
-                let snapped = Gwei::new(balance.as_u64() - balance.as_u64() % increment.as_u64());
-                v.effective_balance = snapped.min(max_eff);
+                v.effective_balance = config.snapped_effective_balance(balance);
             }
         }
     }

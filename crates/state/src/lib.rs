@@ -14,7 +14,11 @@
 //!   leak), **inactivity penalties** (paper Eq. 2, `I·s / 2²⁶`), registry
 //!   updates (ejection at 16 ETH effective balance), correlation slashing
 //!   penalties, and effective-balance hysteresis;
-//! * attester-slashing processing (Casper double/surround vote evidence).
+//! * attester-slashing processing (Casper double/surround vote evidence);
+//! * the [`backend`] abstraction over the epoch-transition surface, with
+//!   the dense per-validator reference ([`DenseState`]) and the exact
+//!   cohort-compressed representation ([`CohortState`]) that makes
+//!   million-validator simulations O(#cohorts) per epoch.
 //!
 //! Deliberate simplifications (documented in `DESIGN.md` §4): deposits,
 //! voluntary exits, exit-queue churn, sync committees and execution
@@ -37,7 +41,9 @@
 #![warn(missing_debug_implementations)]
 
 pub mod attestations;
+pub mod backend;
 pub mod beacon_state;
+pub mod cohort_state;
 pub mod epoch;
 pub mod error;
 pub mod participation;
@@ -45,7 +51,11 @@ pub mod rewards;
 pub mod slashings;
 pub mod validator;
 
+pub use backend::{
+    BackendKind, ClassSpec, ClassStats, DenseState, MemberState, StateBackend, StateSnapshot,
+};
 pub use beacon_state::BeaconState;
+pub use cohort_state::CohortState;
 pub use error::StateError;
 pub use participation::ParticipationFlags;
 pub use validator::{Validator, FAR_FUTURE_EPOCH};

@@ -9,7 +9,9 @@
 use serde::{Deserialize, Serialize};
 
 /// Bitset of Altair participation flags for one validator and one epoch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct ParticipationFlags(u8);
 
@@ -37,6 +39,12 @@ impl ParticipationFlags {
     pub fn set(&mut self, index: u8) {
         debug_assert!(index < 3);
         self.0 |= 1 << index;
+    }
+
+    /// The union of two flag sets (spec `add_flag` over every set flag —
+    /// the merge applied when an attestation earns flags).
+    pub fn union(self, other: ParticipationFlags) -> ParticipationFlags {
+        ParticipationFlags(self.0 | other.0)
     }
 
     /// Tests flag `index`.

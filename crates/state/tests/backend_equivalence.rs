@@ -1,0 +1,230 @@
+//! Property tests: the cohort-compressed backend is **bit-identical** to
+//! the dense reference backend.
+//!
+//! Random class compositions (counts, genesis balances spanning the
+//! 16.75-ETH ejection edge), random per-class participation schedules and
+//! both penalty-semantics configurations are driven through
+//! [`DenseState`] and [`CohortState`] in lockstep, asserting equal
+//! [`StateSnapshot`]s after **every** epoch — including across ejection
+//! boundaries and justification/finalization flips.
+
+use proptest::prelude::*;
+
+use ethpos_state::backend::{ClassSpec, StateBackend};
+use ethpos_state::{CohortState, DenseState, ParticipationFlags};
+use ethpos_types::{ChainConfig, Gwei};
+
+/// Builds the two backends from the same class specs.
+fn pair(config: &ChainConfig, classes: &[ClassSpec]) -> (DenseState, CohortState) {
+    (
+        DenseState::from_classes(config.clone(), classes),
+        CohortState::from_classes(config.clone(), classes),
+    )
+}
+
+/// Decodes one strategy draw into class specs: counts in 1..6, balances
+/// in [16.0, 33.0) ETH — straddling the ejection threshold (16.75) and
+/// the 32-ETH cap.
+fn decode_classes(raw: &[(u64, f64)]) -> Vec<ClassSpec> {
+    raw.iter()
+        .map(|&(count, eth)| ClassSpec {
+            count: 1 + count % 5,
+            balance: Gwei::from_eth_f64(eth),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Deterministic random schedules: class `c` participates at epoch
+    /// `e` iff bit `e` of its schedule word is set. Snapshots must agree
+    /// after every one of the 24 epochs, under both penalty semantics.
+    #[test]
+    fn cohort_matches_dense_under_random_schedules(
+        raw in proptest::collection::vec((0u64..1 << 16, 16.0f64..33.0), 1..4),
+        schedules in proptest::collection::vec(0u64..u64::MAX, 3..4),
+        paper in any::<bool>(),
+    ) {
+        let config = if paper { ChainConfig::paper() } else { ChainConfig::minimal() };
+        let classes = decode_classes(&raw);
+        let (mut dense, mut cohort) = pair(&config, &classes);
+        prop_assert_eq!(dense.snapshot(), cohort.snapshot());
+        for epoch in 0..24u64 {
+            for (c, _) in classes.iter().enumerate() {
+                if schedules[c % schedules.len()] >> (epoch % 64) & 1 == 1 {
+                    dense.mark_class(c, ParticipationFlags::all());
+                    cohort.mark_class(c, ParticipationFlags::all());
+                }
+            }
+            dense.advance_epoch(None);
+            cohort.advance_epoch(None);
+            prop_assert_eq!(dense.snapshot(), cohort.snapshot(), "epoch {}", epoch);
+        }
+    }
+
+    /// Sampled (split-inducing) marking: at genesis each class is one
+    /// uniform cohort, so feeding both backends the same draw sequence
+    /// marks the same *number* per class — and snapshots are
+    /// identity-free, so they must stay equal through the following
+    /// epochs as the split halves diverge and eventually remerge.
+    #[test]
+    fn cohort_matches_dense_after_sampled_splits(
+        raw in proptest::collection::vec((0u64..1 << 16, 16.0f64..33.0), 1..3),
+        pattern in 0u64..u64::MAX,
+        epochs in 4u64..16,
+    ) {
+        let config = ChainConfig::paper();
+        let classes = decode_classes(&raw);
+        let (mut dense, mut cohort) = pair(&config, &classes);
+        for (c, _) in classes.iter().enumerate() {
+            let mut i = 0u64;
+            let mut dense_draw = || { i += 1; pattern >> (i % 64) & 1 == 1 };
+            dense.mark_class_sampled(c, ParticipationFlags::all(), &mut dense_draw);
+            let mut j = 0u64;
+            let mut cohort_draw = || { j += 1; pattern >> (j % 64) & 1 == 1 };
+            cohort.mark_class_sampled(c, ParticipationFlags::all(), &mut cohort_draw);
+        }
+        for epoch in 0..epochs {
+            dense.advance_epoch(None);
+            cohort.advance_epoch(None);
+            prop_assert_eq!(dense.snapshot(), cohort.snapshot(), "epoch {}", epoch);
+        }
+    }
+
+    /// β₀/p0-shaped two-class partitions (the §5.2 sim layout) with the
+    /// idle side leaking to ejection at genesis-edge balances.
+    #[test]
+    fn partition_layouts_agree_across_ejection(
+        beta0 in 0.05f64..0.45,
+        p0 in 0.2f64..0.8,
+        idle_eth in 16.0f64..18.0,
+    ) {
+        let config = ChainConfig::paper();
+        let n = 30u64;
+        let byz = ((beta0 * n as f64).round() as u64).max(1);
+        let on_a = ((p0 * (n - byz) as f64).round() as u64).max(1);
+        let classes = [
+            ClassSpec::full_stake(byz, &config),
+            ClassSpec::full_stake(on_a, &config),
+            ClassSpec { count: (n - byz).saturating_sub(on_a).max(1), balance: Gwei::from_eth_f64(idle_eth) },
+        ];
+        let (mut dense, mut cohort) = pair(&config, &classes);
+        for epoch in 0..32u64 {
+            // Byzantine + branch-A honest attest; the low-balance idle
+            // class leaks (and, below 16.75 ETH genesis balances, ejects
+            // in the very first registry update).
+            for c in [0usize, 1] {
+                dense.mark_class(c, ParticipationFlags::all());
+                cohort.mark_class(c, ParticipationFlags::all());
+            }
+            dense.advance_epoch(None);
+            cohort.advance_epoch(None);
+            prop_assert_eq!(dense.snapshot(), cohort.snapshot(), "epoch {}", epoch);
+            prop_assert_eq!(dense.class_stats(2), cohort.class_stats(2));
+        }
+    }
+}
+
+/// Mid-run ejection at the hysteresis edge: a 17-ETH idle class crosses
+/// the 16.75-ETH actual-balance threshold around epoch ~700 of a leak,
+/// its effective balance snaps to 16 ETH and the registry update ejects
+/// it — on both backends at the same epoch, with equal snapshots
+/// throughout.
+#[test]
+fn mid_run_ejection_is_bit_identical() {
+    let config = ChainConfig::paper();
+    let classes = [
+        ClassSpec::full_stake(2, &config),
+        ClassSpec {
+            count: 8,
+            balance: Gwei::from_eth_u64(17),
+        },
+    ];
+    let (mut dense, mut cohort) = pair(&config, &classes);
+    let mut ejected_at = None;
+    for epoch in 0..800u64 {
+        dense.mark_class(0, ParticipationFlags::all());
+        cohort.mark_class(0, ParticipationFlags::all());
+        dense.advance_epoch(None);
+        cohort.advance_epoch(None);
+        assert_eq!(dense.snapshot(), cohort.snapshot(), "epoch {epoch}");
+        let stats = cohort.class_stats(1);
+        if ejected_at.is_none() && stats.exited > 0 {
+            // The whole cohort crosses the hysteresis edge together.
+            assert_eq!(stats.exited, 8, "partial ejection at {epoch}");
+            ejected_at = Some(epoch);
+        }
+    }
+    let e = ejected_at.expect("the 17-ETH class must be ejected");
+    assert!(
+        (600..790).contains(&e),
+        "ejected at {e}, expected ≈700 (0.25 ETH of I·s/2²⁶ decay)"
+    );
+}
+
+/// The cohort backend *splits* a cohort sitting at the hysteresis edge
+/// when a sampled participation pattern differentiates its members:
+/// idle members keep accumulating inactivity penalties and are ejected
+/// at 16.75 ETH, while the sampled half recovers — totals conserved,
+/// every ejected member's effective balance at the 16-ETH ejection
+/// threshold. Spec penalty semantics (penalties only in missed epochs)
+/// make the recovery sharp; `base_reward_factor: 0` keeps the flat flag
+/// penalties out of the arithmetic like the paper preset does.
+#[test]
+fn sampled_split_at_the_hysteresis_edge_ejects_only_the_idle_half() {
+    let config = ChainConfig {
+        paper_inactivity_penalties: false,
+        ..ChainConfig::paper()
+    };
+    let classes = [
+        ClassSpec::full_stake(2, &config),
+        ClassSpec {
+            count: 10,
+            balance: Gwei::from_eth_u64(17),
+        },
+    ];
+    let mut cohort = CohortState::from_classes(config, &classes);
+    for _ in 0..800u64 {
+        cohort.mark_class(0, ParticipationFlags::all());
+        // Half of the 17-ETH class attests every epoch. The first sampled
+        // call splits the cohort; afterwards the idle sub-cohort sorts
+        // first in the canonical member order (lower balance/flags), so
+        // marking draws `5..10` keeps the same half attesting — the
+        // membership is sticky and only the idle sub-cohort decays
+        // toward the 16.75-ETH edge.
+        if cohort.class_stats(1).active == 10 {
+            let mut i = 0u32;
+            cohort.mark_class_sampled(1, ParticipationFlags::all(), &mut || {
+                i += 1;
+                i > 5
+            });
+        } else {
+            // The idle sub-cohort has been ejected: keep the survivors
+            // attesting.
+            cohort.mark_class(1, ParticipationFlags::all());
+        }
+        cohort.advance_epoch(None);
+    }
+    let stats = cohort.class_stats(1);
+    assert_eq!(stats.total, 10);
+    assert_eq!(
+        stats.exited, 5,
+        "exactly the idle half must cross the ejection edge"
+    );
+    assert_eq!(stats.active, 5);
+    // The split is visible as distinct cohorts within one class.
+    assert!(cohort.num_cohorts() >= 3, "got {}", cohort.num_cohorts());
+    // Survivors hold their full 17 ETH (always timely, spec semantics);
+    // everyone ejected snapped to the 16-ETH effective ejection
+    // threshold.
+    let snap = cohort.snapshot();
+    assert!(snap.classes[1].len() >= 2);
+    for (m, _) in &snap.classes[1] {
+        if m.has_exited_by(cohort.current_epoch()) {
+            assert_eq!(m.effective_balance, Gwei::from_eth_u64(16));
+        } else {
+            assert!(m.balance > Gwei::from_eth_f64(16.75), "{:?}", m.balance);
+        }
+    }
+}

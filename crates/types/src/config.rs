@@ -171,6 +171,15 @@ impl ChainConfig {
         self.inactivity_score_bias * self.inactivity_penalty_quotient
     }
 
+    /// Snaps an actual balance to an effective balance: floored to a whole
+    /// effective-balance increment and capped at the maximum — the rule
+    /// shared by deposit processing (spec `apply_deposit`) and the
+    /// hysteresis update (spec `process_effective_balance_updates`).
+    pub fn snapped_effective_balance(&self, balance: Gwei) -> Gwei {
+        let increment = self.effective_balance_increment.as_u64();
+        Gwei::new(balance.as_u64() - balance.as_u64() % increment).min(self.max_effective_balance)
+    }
+
     /// Actual-balance threshold below which a validator's effective balance
     /// has decayed to `ejection_balance` under downward hysteresis:
     /// `ejection_balance + increment − increment × downward / quotient`,
