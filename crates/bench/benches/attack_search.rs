@@ -1,0 +1,64 @@
+//! Candidate-evaluation throughput of the attack-search subsystem.
+//!
+//! Like `mc_throughput` and `state_backend`, the bench is
+//! **equality-gated**: before timing anything it asserts that a small
+//! search produces byte-identical frontier JSON at 1 and 2 threads (the
+//! determinism contract), and that the full-scale horizon evaluation of
+//! the alternation corner lands on the paper's Table 3 / Fig. 2
+//! semi-active horizon (≈ 7652; discrete ≈ 7657).
+//!
+//! Timed units:
+//!
+//! * `evaluate/conflict_dual_1m` — one dual-active candidate at
+//!   n = 10⁶ on the cohort backend (early-stops at conflict ≈ 1576);
+//! * `evaluate/horizon_alternation_1m` — the most expensive candidate
+//!   kind: the full 8192-epoch delay-horizon run;
+//! * `search/smoke_grid` — the whole 24-candidate smoke search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ethpos_search::{Genome, Objective, SearchSpec};
+use std::hint::black_box;
+
+fn gates() {
+    // Gate 1: thread-count invariance of a full search.
+    let json = |threads: usize| {
+        let mut spec = SearchSpec::smoke();
+        spec.threads = threads;
+        spec.run().to_json()
+    };
+    assert_eq!(json(1), json(2), "search frontier diverged across threads");
+
+    // Gate 2: the alternation corner's full-scale horizon sits next to
+    // the paper's 7652 (the discrete staircase lands at 7657).
+    let spec = SearchSpec::new(Objective::NonSlashableHorizon);
+    let e = spec.evaluate(Genome::THRESHOLD_SEEKER);
+    let horizon = e.horizon.expect("honest branches finalize after ejection");
+    assert!(
+        (7645..=7670).contains(&horizon),
+        "alternation horizon {horizon}, expected ≈ 7652 (paper) / 7657 (discrete)"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    gates();
+
+    let conflict = SearchSpec::new(Objective::Conflict);
+    c.bench_function("attack_search/evaluate/conflict_dual_1m", |b| {
+        b.iter(|| black_box(conflict.evaluate(Genome::DUAL_ACTIVE)))
+    });
+
+    let horizon = SearchSpec::new(Objective::NonSlashableHorizon);
+    c.bench_function("attack_search/evaluate/horizon_alternation_1m", |b| {
+        b.iter(|| black_box(horizon.evaluate(Genome::THRESHOLD_SEEKER)))
+    });
+
+    let mut g = c.benchmark_group("attack_search/search");
+    g.sample_size(10);
+    g.bench_function("smoke_grid", |b| {
+        b.iter(|| black_box(SearchSpec::smoke().run()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

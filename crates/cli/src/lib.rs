@@ -21,12 +21,22 @@
 //! sweep's `t_disc` column), and `--backend dense|cohort` picks the
 //! state representation they run on — the cohort-compressed backend
 //! makes `N = 1000000` interactive.
+//!
+//! The `search` subcommand runs the [`ethpos_search`] adversary-strategy
+//! search: `--objective` picks the damage metric, `--budget` the number
+//! of candidate evaluations, and the frontier report comes back as text
+//! or JSON — byte-identical for any `--threads` value, like everything
+//! else.
+//!
+//! `--out <path>` (any mode) writes the document to a file instead of
+//! stdout, so CI jobs collect artifacts without shell redirection.
 
 #![warn(missing_docs)]
 
 use ethpos_core::experiments::{run_experiment_with, Experiment, McConfig};
 use ethpos_core::sweep::SweepSpec;
 use ethpos_core::BackendKind;
+use ethpos_search::{Objective, SearchSpec};
 
 /// Usage text printed on `--help` and argument errors.
 pub const USAGE: &str = "\
@@ -36,16 +46,22 @@ ethpos-cli — reproduce the tables and figures of
 USAGE:
     ethpos-cli [EXPERIMENT]... [OPTIONS]
     ethpos-cli sweep [--grid AXIS=V1,V2,...]... [OPTIONS]
+    ethpos-cli search [--objective ID] [--budget N] [OPTIONS]
     ethpos-cli --list
 
 ARGS:
-    EXPERIMENT    fig2 fig3 fig6 fig7 fig8 fig9 fig10 table1 table2 table3,
-                  or `all` for every experiment in paper order
+    EXPERIMENT    fig2 fig3 fig6 fig7 fig8 fig9 fig10 table1 table2 table3
+                  frontier, or `all` for every experiment in paper order
     sweep         run a parameter grid (β0 × p0 × walkers × semantics)
                   over the §5.3 Monte Carlo and the §5.2 closed forms
+    search        search the adversary strategy space (duty-cycle genomes
+                  over both branches) for the worst-case damage-vs-cost
+                  Pareto frontier, evaluated on the exact discrete
+                  protocol
 
 OPTIONS:
     --format <text|json>    Output format [default: text]
+    --out <path>            Write the document to a file instead of stdout
     --threads <N>           Worker threads, 0 = all hardware threads
                             [default: 0]; never changes the output bytes
     --walkers <N>           Monte-Carlo walkers [default: 20000]
@@ -62,6 +78,14 @@ OPTIONS:
     --grid <AXIS=V1,V2,..>  (sweep only, repeatable) replace a sweep axis:
                             beta0, p0, walkers, validators,
                             semantics (paper|spec)
+    --objective <ID>        (search) damage metric: conflict, proportion,
+                            non-slashable-horizon [default: conflict]
+    --budget <N>            (search) candidate evaluations [default: 256]
+    --beta0 <X>             (search) initial Byzantine proportion
+                            [default: objective-specific, 0.3 or 0.33]
+    --p0 <X>                (search) honest split [default: 0.5]
+    --max-period <N>        (search) duty-period bound of the exhaustive
+                            grid [default: 3]
     --list                  List experiment ids with their paper reference
     --help                  Show this help";
 
@@ -86,6 +110,8 @@ pub enum Cli {
         /// Monte-Carlo sizing/seeding/threading for the simulation-backed
         /// cross-checks (currently: the fig10 walker Monte Carlo).
         mc: McConfig,
+        /// `--out` destination (stdout when absent).
+        out: Option<String>,
     },
     /// Run a parameter sweep (`sweep`).
     Sweep {
@@ -93,11 +119,34 @@ pub enum Cli {
         spec: SweepSpec,
         /// Selected output format.
         format: Format,
+        /// `--out` destination (stdout when absent).
+        out: Option<String>,
+    },
+    /// Run an adversary strategy search (`search`).
+    Search {
+        /// The search to run.
+        spec: SearchSpec,
+        /// Selected output format.
+        format: Format,
+        /// `--out` destination (stdout when absent).
+        out: Option<String>,
     },
     /// Print the experiment table (`--list`).
     List,
     /// Print [`USAGE`] (`--help`).
     Help,
+}
+
+impl Cli {
+    /// The `--out` destination, if one was given.
+    pub fn out(&self) -> Option<&str> {
+        match self {
+            Cli::Run { out, .. } | Cli::Sweep { out, .. } | Cli::Search { out, .. } => {
+                out.as_deref()
+            }
+            Cli::List | Cli::Help => None,
+        }
+    }
 }
 
 /// A failed parse: the message to print before [`USAGE`].
@@ -108,7 +157,7 @@ pub enum CliError {
 }
 
 /// Flag values accumulated by the first parsing pass, before the mode
-/// (experiments vs sweep) is known.
+/// (experiments vs sweep vs search) is known.
 #[derive(Debug, Default)]
 struct RawFlags {
     format: Option<Format>,
@@ -119,12 +168,19 @@ struct RawFlags {
     validators: Option<usize>,
     backend: Option<BackendKind>,
     grids: Vec<String>,
+    objective: Option<Objective>,
+    budget: Option<usize>,
+    beta0: Option<f64>,
+    p0: Option<f64>,
+    max_period: Option<u8>,
+    out: Option<String>,
 }
 
 /// Parses command-line arguments (without the program name).
 pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliError> {
     let mut experiments = Vec::new();
     let mut sweep = false;
+    let mut search = false;
     let mut flags = RawFlags::default();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -165,6 +221,30 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliErr
             })?);
         } else if let Some(value) = flag_value("--grid")? {
             flags.grids.push(value);
+        } else if let Some(value) = flag_value("--objective")? {
+            flags.objective = Some(Objective::from_id(&value).ok_or_else(|| {
+                CliError::Usage(format!(
+                    "unknown objective `{value}` (expected conflict, proportion \
+                     or non-slashable-horizon)"
+                ))
+            })?);
+        } else if let Some(value) = flag_value("--budget")? {
+            flags.budget = Some(parse_count("--budget", &value, false)?);
+        } else if let Some(value) = flag_value("--beta0")? {
+            flags.beta0 = Some(parse_unit("--beta0", &value)?);
+        } else if let Some(value) = flag_value("--p0")? {
+            flags.p0 = Some(parse_unit("--p0", &value)?);
+        } else if let Some(value) = flag_value("--max-period")? {
+            let n = parse_count("--max-period", &value, false)?;
+            if n > 8 {
+                return Err(CliError::Usage(format!(
+                    "--max-period `{n}` is too fine (the exhaustive grid \
+                     grows combinatorially; use ≤ 8)"
+                )));
+            }
+            flags.max_period = Some(n as u8);
+        } else if let Some(value) = flag_value("--out")? {
+            flags.out = Some(value);
         } else {
             match arg.as_str() {
                 "--help" | "-h" => return Ok(Cli::Help),
@@ -173,6 +253,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliErr
                     return Err(CliError::Usage(format!("unknown option `{other}`")));
                 }
                 "sweep" => sweep = true,
+                "search" => search = true,
                 "all" => experiments.extend(Experiment::all()),
                 id => {
                     let experiment = Experiment::from_id(id).ok_or_else(|| {
@@ -185,10 +266,37 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliErr
             }
         }
     }
+    if sweep && search {
+        return Err(CliError::Usage(
+            "`sweep` and `search` are different subcommands".into(),
+        ));
+    }
     if sweep {
         return build_sweep(&experiments, flags);
     }
+    if search {
+        return build_search(&experiments, flags);
+    }
     build_run(experiments, flags)
+}
+
+/// Rejects the search-only flags in non-`search` modes (`hint` is
+/// appended to the error when the mode has an equivalent of its own).
+fn reject_search_flags(flags: &RawFlags, hint: &str) -> Result<(), CliError> {
+    for (name, set) in [
+        ("--objective", flags.objective.is_some()),
+        ("--budget", flags.budget.is_some()),
+        ("--beta0", flags.beta0.is_some()),
+        ("--p0", flags.p0.is_some()),
+        ("--max-period", flags.max_period.is_some()),
+    ] {
+        if set {
+            return Err(CliError::Usage(format!(
+                "{name} is only valid with the `search` subcommand{hint}"
+            )));
+        }
+    }
+    Ok(())
 }
 
 fn build_run(mut experiments: Vec<Experiment>, flags: RawFlags) -> Result<Cli, CliError> {
@@ -197,6 +305,7 @@ fn build_run(mut experiments: Vec<Experiment>, flags: RawFlags) -> Result<Cli, C
             "--grid {grid} is only valid with the `sweep` subcommand"
         )));
     }
+    reject_search_flags(&flags, "")?;
     if experiments.is_empty() {
         return Err(CliError::Usage("no experiment selected".into()));
     }
@@ -219,6 +328,59 @@ fn build_run(mut experiments: Vec<Experiment>, flags: RawFlags) -> Result<Cli, C
             validators: flags.validators,
             backend: flags.backend.unwrap_or(defaults.backend),
         },
+        out: flags.out,
+    })
+}
+
+fn build_search(experiments: &[Experiment], flags: RawFlags) -> Result<Cli, CliError> {
+    if let Some(extra) = experiments.first() {
+        return Err(CliError::Usage(format!(
+            "`search` cannot be combined with experiment ids (got `{}`)",
+            extra.id()
+        )));
+    }
+    if let Some(grid) = flags.grids.first() {
+        return Err(CliError::Usage(format!(
+            "--grid {grid} is only valid with the `sweep` subcommand"
+        )));
+    }
+    if flags.walkers.is_some() {
+        return Err(CliError::Usage(
+            "--walkers is a Monte-Carlo knob; `search` sizes itself with --budget".into(),
+        ));
+    }
+    let mut spec = SearchSpec::new(flags.objective.unwrap_or(Objective::Conflict));
+    if let Some(beta0) = flags.beta0 {
+        spec.beta0 = beta0;
+    }
+    if let Some(p0) = flags.p0 {
+        spec.p0 = p0;
+    }
+    if let Some(n) = flags.validators {
+        spec.n = n;
+    }
+    if let Some(backend) = flags.backend {
+        spec.backend = backend;
+    }
+    if let Some(epochs) = flags.epochs {
+        spec.epochs = epochs;
+    }
+    if let Some(budget) = flags.budget {
+        spec.budget = budget;
+    }
+    if let Some(max_period) = flags.max_period {
+        spec.max_period = max_period;
+    }
+    if let Some(seed) = flags.seed {
+        spec.seed = seed;
+    }
+    if let Some(threads) = flags.threads {
+        spec.threads = threads;
+    }
+    Ok(Cli::Search {
+        spec,
+        format: flags.format.unwrap_or(Format::Text),
+        out: flags.out,
     })
 }
 
@@ -229,6 +391,7 @@ fn build_sweep(experiments: &[Experiment], flags: RawFlags) -> Result<Cli, CliEr
             extra.id()
         )));
     }
+    reject_search_flags(&flags, " (sweep replaces axes with --grid axis=…)")?;
     let mut spec = SweepSpec::default();
     if let Some(threads) = flags.threads {
         spec.threads = threads;
@@ -256,6 +419,7 @@ fn build_sweep(experiments: &[Experiment], flags: RawFlags) -> Result<Cli, CliEr
     Ok(Cli::Sweep {
         spec,
         format: flags.format.unwrap_or(Format::Text),
+        out: flags.out,
     })
 }
 
@@ -267,6 +431,14 @@ fn parse_format(value: &str) -> Result<Format, CliError> {
             "unknown format `{other}` (expected `text` or `json`)"
         ))),
     }
+}
+
+fn parse_unit(name: &str, value: &str) -> Result<f64, CliError> {
+    value
+        .parse::<f64>()
+        .ok()
+        .filter(|x| *x > 0.0 && *x < 1.0)
+        .ok_or_else(|| CliError::Usage(format!("{name} `{value}` is not a float in (0, 1)")))
 }
 
 fn parse_count(name: &str, value: &str, zero_ok: bool) -> Result<usize, CliError> {
@@ -287,9 +459,9 @@ pub fn run(cli: &Cli) -> String {
     match cli {
         Cli::Help => format!("{USAGE}\n"),
         Cli::List => {
-            let mut out = String::from("id      paper reference\n");
+            let mut out = String::from("id       paper reference\n");
             for e in Experiment::all() {
-                out.push_str(&format!("{:<7} {}\n", e.id(), e.title()));
+                out.push_str(&format!("{:<8} {}\n", e.id(), e.title()));
             }
             out
         }
@@ -297,6 +469,7 @@ pub fn run(cli: &Cli) -> String {
             experiments,
             format: Format::Text,
             mc,
+            ..
         } => {
             let mut out = String::new();
             for e in experiments {
@@ -309,6 +482,7 @@ pub fn run(cli: &Cli) -> String {
             experiments,
             format: Format::Json,
             mc,
+            ..
         } => {
             let outputs: Vec<String> = experiments
                 .iter()
@@ -319,11 +493,18 @@ pub fn run(cli: &Cli) -> String {
                 many => format!("[{}]\n", many.join(",\n")),
             }
         }
-        Cli::Sweep { spec, format } => {
+        Cli::Sweep { spec, format, .. } => {
             let result = spec.run();
             match format {
                 Format::Text => result.render_text(),
                 Format::Json => format!("{}\n", result.to_json()),
+            }
+        }
+        Cli::Search { spec, format, .. } => {
+            let frontier = spec.run();
+            match format {
+                Format::Text => frontier.render_text(),
+                Format::Json => format!("{}\n", frontier.to_json()),
             }
         }
     }
@@ -346,8 +527,10 @@ mod tests {
                     experiments,
                     format,
                     mc,
+                    out,
                 }) => {
                     assert_eq!(experiments, vec![e]);
+                    assert_eq!(out, None);
                     assert_eq!(format, Format::Text);
                     assert_eq!(mc, McConfig::default());
                 }
@@ -534,7 +717,7 @@ mod tests {
             "--seed=9",
         ]))
         .unwrap();
-        let Cli::Sweep { spec, format } = cli else {
+        let Cli::Sweep { spec, format, .. } = cli else {
             panic!("not a sweep: {cli:?}");
         };
         assert_eq!(format, Format::Text);
@@ -584,6 +767,133 @@ mod tests {
             parse_args(args(&["sweep", "--grid", "beta0=2"])),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn search_parses_with_objective_defaults() {
+        let Ok(Cli::Search { spec, format, out }) = parse_args(args(&["search"])) else {
+            panic!("bare search did not parse");
+        };
+        assert_eq!(format, Format::Text);
+        assert_eq!(out, None);
+        assert_eq!(spec, SearchSpec::new(Objective::Conflict));
+        // the delay objective switches β0 and the horizon
+        let Ok(Cli::Search { spec, .. }) =
+            parse_args(args(&["search", "--objective", "non-slashable-horizon"]))
+        else {
+            panic!("search did not parse");
+        };
+        assert_eq!(spec.objective, Objective::NonSlashableHorizon);
+        assert_eq!(spec.beta0, 0.33);
+        assert_eq!(spec.epochs, 8192);
+    }
+
+    #[test]
+    fn search_knobs_reach_the_spec() {
+        let Ok(Cli::Search { spec, .. }) = parse_args(args(&[
+            "search",
+            "--objective=conflict",
+            "--budget",
+            "64",
+            "--beta0=0.25",
+            "--p0",
+            "0.6",
+            "--validators",
+            "1200",
+            "--backend=dense",
+            "--epochs",
+            "700",
+            "--max-period",
+            "2",
+            "--seed=5",
+            "--threads",
+            "3",
+        ])) else {
+            panic!("search did not parse");
+        };
+        assert_eq!(spec.budget, 64);
+        assert_eq!(spec.beta0, 0.25);
+        assert_eq!(spec.p0, 0.6);
+        assert_eq!(spec.n, 1200);
+        assert_eq!(spec.backend, BackendKind::Dense);
+        assert_eq!(spec.epochs, 700);
+        assert_eq!(spec.max_period, 2);
+        assert_eq!(spec.seed, 5);
+        assert_eq!(spec.threads, 3);
+    }
+
+    #[test]
+    fn search_misuse_is_a_usage_error() {
+        for bad in [
+            &["search", "fig2"] as &[&str],
+            &["search", "--objective", "mayhem"],
+            &["search", "--budget", "0"],
+            &["search", "--beta0", "1.5"],
+            &["search", "--max-period", "40"],
+            &["search", "--grid", "beta0=0.3"],
+            &["search", "--walkers", "100"],
+            &["search", "sweep"],
+            &["fig2", "--objective", "conflict"],
+            &["fig2", "--budget", "9"],
+            &["sweep", "--beta0", "0.3"],
+        ] {
+            assert!(
+                matches!(parse_args(args(bad)), Err(CliError::Usage(_))),
+                "{bad:?} was accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn out_flag_is_captured_in_every_mode() {
+        let cli = parse_args(args(&["fig2", "--out", "a.json"])).unwrap();
+        assert_eq!(cli.out(), Some("a.json"));
+        let cli = parse_args(args(&["sweep", "--out=b.json"])).unwrap();
+        assert_eq!(cli.out(), Some("b.json"));
+        let cli = parse_args(args(&["search", "--out", "c.json"])).unwrap();
+        assert_eq!(cli.out(), Some("c.json"));
+        assert_eq!(parse_args(args(&["--list"])).unwrap().out(), None);
+        assert!(parse_args(args(&["fig2", "--out"])).is_err());
+    }
+
+    #[test]
+    fn frontier_experiment_is_listed_and_runs_in_all() {
+        assert_eq!(
+            Experiment::from_id("frontier"),
+            Some(Experiment::AttackFrontier)
+        );
+        let Ok(Cli::Run { experiments, .. }) = parse_args(args(&["all"])) else {
+            panic!("`all` did not parse");
+        };
+        assert!(experiments.contains(&Experiment::AttackFrontier));
+    }
+
+    #[test]
+    fn search_run_emits_valid_json() {
+        let cli = parse_args(args(&[
+            "search",
+            "--validators",
+            "120",
+            "--beta0=0.34",
+            "--epochs",
+            "60",
+            "--budget",
+            "10",
+            "--max-period=2",
+            "--threads",
+            "1",
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        let value: serde_json::Value = serde_json::from_str(&run(&cli)).unwrap();
+        assert_eq!(
+            value.get("objective").and_then(|v| v.as_str()),
+            Some("conflict")
+        );
+        let rows = value.get("rows").and_then(|v| v.as_array()).unwrap();
+        assert!(!rows.is_empty());
+        assert!(value.get("best").is_some());
     }
 
     #[test]

@@ -20,6 +20,12 @@
 //! # at a million validators):
 //! cargo run --release -p ethpos-cli -- fig2 table2 --validators 1000000 \
 //!     --backend cohort
+//!
+//! # Beyond the paper: search the adversary strategy space for the
+//! # worst-case damage-vs-cost frontier (rediscovers the paper's
+//! # dual-active and semi-active strategies as the frontier's ends):
+//! cargo run --release -p ethpos-cli -- search \
+//!     --objective non-slashable-horizon --out frontier.json --format json
 //! ```
 
 use std::process::ExitCode;
@@ -29,7 +35,31 @@ use ethpos_cli::{parse_args, run, CliError, USAGE};
 fn main() -> ExitCode {
     match parse_args(std::env::args().skip(1)) {
         Ok(cli) => {
-            print!("{}", run(&cli));
+            // Probe the destination up front so a typo'd path fails in
+            // milliseconds, not after a long simulation — without
+            // truncating a pre-existing artifact (an interrupted run
+            // must not destroy the previous good output).
+            if let Some(path) = cli.out() {
+                let probe = std::fs::OpenOptions::new()
+                    .append(true)
+                    .create(true)
+                    .open(path);
+                if let Err(err) = probe {
+                    eprintln!("error: cannot write `{path}`: {err}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            let document = run(&cli);
+            match cli.out() {
+                None => print!("{document}"),
+                Some(path) => {
+                    if let Err(err) = std::fs::write(path, &document) {
+                        eprintln!("error: cannot write `{path}`: {err}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("wrote {path}");
+                }
+            }
             ExitCode::SUCCESS
         }
         Err(CliError::Usage(msg)) => {

@@ -159,3 +159,89 @@ fn sweep_rejects_bad_grid_axis() {
     let err = String::from_utf8(out.stderr).unwrap();
     assert!(err.contains("unknown grid axis"), "stderr: {err}");
 }
+
+/// `--out` writes exactly the document that would have gone to stdout,
+/// and keeps stdout empty (the confirmation goes to stderr).
+#[test]
+fn out_flag_writes_the_stdout_document_to_a_file() {
+    let path = std::env::temp_dir().join(format!("ethpos-out-{}.json", std::process::id()));
+    let path_str = path.to_str().unwrap();
+    let stdout = stdout_bytes(&["table2", "--format", "json"]);
+    let out = ethpos_cli(&["table2", "--format", "json", "--out", path_str]);
+    assert!(out.status.success());
+    assert!(out.stdout.is_empty(), "stdout must stay clean with --out");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("wrote"), "stderr: {err}");
+    let written = std::fs::read(&path).expect("file written");
+    assert_eq!(written, stdout, "--out bytes differ from stdout bytes");
+    std::fs::remove_file(&path).ok();
+}
+
+/// Writing to an impossible path fails loudly with a non-zero exit.
+#[test]
+fn out_flag_to_bad_path_fails() {
+    let out = ethpos_cli(&["table1", "--out", "/nonexistent-dir/x/y.json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("cannot write"), "stderr: {err}");
+}
+
+/// A tiny end-to-end search: the subcommand runs, reports a frontier,
+/// and the winner at β0 > ⅓ is the paper's dual-active strategy.
+#[test]
+fn search_subcommand_end_to_end() {
+    let out = stdout_bytes(&[
+        "search",
+        "--validators",
+        "120",
+        "--beta0",
+        "0.34",
+        "--epochs",
+        "60",
+        "--budget",
+        "12",
+        "--max-period",
+        "2",
+        "--threads",
+        "2",
+    ]);
+    let text = String::from_utf8(out).unwrap();
+    assert!(text.contains("Attack search"), "{text}");
+    assert!(text.contains("dual-active"), "{text}");
+}
+
+/// The search frontier honours the workspace determinism model at the
+/// process boundary: byte-identical JSON for any `--threads` value.
+#[test]
+fn search_json_is_byte_identical_across_thread_counts() {
+    let run = |threads: &str| {
+        stdout_bytes(&[
+            "search",
+            "--validators",
+            "120",
+            "--beta0",
+            "0.34",
+            "--epochs",
+            "80",
+            "--budget",
+            "16",
+            "--max-period",
+            "2",
+            "--seed",
+            "3",
+            "--format",
+            "json",
+            "--threads",
+            threads,
+        ])
+    };
+    let one = run("1");
+    assert!(!one.is_empty());
+    for threads in ["2", "8"] {
+        assert_eq!(
+            run(threads),
+            one,
+            "--threads {threads} changed the frontier"
+        );
+    }
+}

@@ -38,11 +38,16 @@ pub enum Experiment {
     Fig9StakeDistribution,
     /// Figure 10 — `P[β > 1/3]` over time for the β0 grid.
     Fig10ThresholdProbability,
+    /// Beyond the paper: a smoke run of the `ethpos_search` attack
+    /// frontier (Pareto set of damage vs. adversary cost).
+    AttackFrontier,
 }
 
 impl Experiment {
-    /// All experiments in paper order.
-    pub fn all() -> [Experiment; 10] {
+    /// All experiments in paper order (plus the beyond-the-paper attack
+    /// frontier last, so `ethpos-cli all` exercises the search
+    /// subsystem).
+    pub fn all() -> [Experiment; 11] {
         [
             Experiment::Fig2StakeTrajectories,
             Experiment::Fig3ActiveRatio,
@@ -54,6 +59,7 @@ impl Experiment {
             Experiment::Fig8MarkovTransitions,
             Experiment::Fig9StakeDistribution,
             Experiment::Fig10ThresholdProbability,
+            Experiment::AttackFrontier,
         ]
     }
 
@@ -70,6 +76,7 @@ impl Experiment {
             Experiment::Fig8MarkovTransitions => "fig8",
             Experiment::Fig9StakeDistribution => "fig9",
             Experiment::Fig10ThresholdProbability => "fig10",
+            Experiment::AttackFrontier => "frontier",
         }
     }
 
@@ -100,6 +107,9 @@ impl Experiment {
             }
             Experiment::Fig10ThresholdProbability => {
                 "Figure 10 — probability of exceeding the 1/3 threshold (Eq. 24)"
+            }
+            Experiment::AttackFrontier => {
+                "Attack frontier (beyond the paper) — smoke strategy search"
             }
         }
     }
@@ -205,6 +215,7 @@ pub fn run_experiment(experiment: Experiment) -> ExperimentOutput {
         Experiment::Fig8MarkovTransitions => fig8(),
         Experiment::Fig9StakeDistribution => fig9(),
         Experiment::Fig10ThresholdProbability => fig10(),
+        Experiment::AttackFrontier => frontier_smoke(&McConfig::default()),
     }
 }
 
@@ -237,6 +248,13 @@ pub fn run_experiment(experiment: Experiment) -> ExperimentOutput {
 /// assert_eq!(out.tables.len(), 2); // analytic table + MC cross-check
 /// ```
 pub fn run_experiment_with(experiment: Experiment, mc: &McConfig) -> ExperimentOutput {
+    if experiment == Experiment::AttackFrontier {
+        // The smoke search honours the worker budget and, like the
+        // discrete cross-checks, `--validators`/`--backend`; the search
+        // budget and horizon stay smoke-sized (the full-size knobs live
+        // on `ethpos-cli search`). Bit-identical for any thread count.
+        return frontier_smoke(mc);
+    }
     let mut out = run_experiment(experiment);
     match experiment {
         Experiment::Fig10ThresholdProbability => {
@@ -525,6 +543,61 @@ fn fig10() -> ExperimentOutput {
     }
 }
 
+/// The `frontier` experiment: [`ethpos_search::SearchSpec::smoke`] —
+/// a budgeted grid-plus-refine search over the attack-strategy space at
+/// β₀ just above ⅓, rendered as one damage-vs-cost table. Honours
+/// `mc.threads`, `mc.validators` and `mc.backend` (on the cohort
+/// backend the registry size is essentially free); the budget and
+/// horizon stay smoke-sized. Deterministic and thread-count invariant
+/// like every other experiment.
+fn frontier_smoke(mc: &McConfig) -> ExperimentOutput {
+    let mut spec = ethpos_search::SearchSpec::smoke();
+    spec.threads = mc.threads;
+    if let Some(n) = mc.validators {
+        spec.n = n;
+        spec.backend = mc.backend;
+    }
+    let frontier = spec.run();
+    let mut table = Table::new(
+        format!(
+            "Pareto frontier: {} (β0 = {}, p0 = {}, n = {}, {} backend, \
+             {} candidates evaluated)",
+            frontier.objective.title(),
+            frontier.beta0,
+            frontier.p0,
+            frontier.validators,
+            frontier.backend,
+            frontier.evaluated,
+        ),
+        &[
+            "genome",
+            "≡ paper",
+            "damage",
+            "cost (ETH)",
+            "slashable",
+            "conflict epoch",
+        ],
+    );
+    for r in &frontier.rows {
+        table.push_row(vec![
+            r.label.clone(),
+            r.paper_strategy.clone().unwrap_or_else(|| "—".into()),
+            format!("{:.0}", r.damage),
+            format!("{:.1}", r.cost_eth),
+            if r.slashable { "yes" } else { "no" }.into(),
+            r.conflict_epoch
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "none".into()),
+        ]);
+    }
+    ExperimentOutput {
+        experiment: Experiment::AttackFrontier,
+        title: Experiment::AttackFrontier.title().into(),
+        tables: vec![table],
+        series: vec![],
+    }
+}
+
 /// Simulation-backed regenerations (slower; exercised by the bench
 /// harness and integration tests).
 pub mod simulated {
@@ -787,6 +860,16 @@ mod tests {
         let mut ids: Vec<&str> = Experiment::all().iter().map(|e| e.id()).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 10);
+        assert_eq!(ids.len(), 11);
+    }
+
+    #[test]
+    fn frontier_smoke_renders_the_pareto_set() {
+        let out = run_experiment(Experiment::AttackFrontier);
+        let text = out.render_text();
+        // the slashable optimum and at least one cheaper non-slashable
+        // row survive the Pareto filter
+        assert!(text.contains("dual-active"), "{text}");
+        assert!(text.contains("Pareto frontier"), "{text}");
     }
 }

@@ -72,6 +72,10 @@ pub struct TwoBranchConfig {
     /// Stop as soon as both branches have finalized conflicting
     /// checkpoints.
     pub stop_on_conflict: bool,
+    /// Stop as soon as **any** branch finalizes a checkpoint beyond
+    /// genesis — the natural horizon of finalization-*delay* objectives
+    /// (the attack-search drivers set this; the paper scenarios don't).
+    pub stop_on_finalization: bool,
     /// Record a full [`EpochRecord`] every `record_every` epochs (1 =
     /// every epoch).
     pub record_every: u64,
@@ -90,6 +94,7 @@ impl TwoBranchConfig {
             max_epochs,
             seed: 0,
             stop_on_conflict: true,
+            stop_on_finalization: false,
             record_every: 1,
         }
     }
@@ -142,6 +147,19 @@ pub struct TwoBranchOutcome {
     pub byzantine_exceeds_third_epoch: [Option<u64>; 2],
     /// Maximum Byzantine proportion observed per branch.
     pub max_byzantine_proportion: [f64; 2],
+    /// First epoch at which branch 0 / branch 1 finalized a checkpoint
+    /// beyond genesis — the end of that branch's finalization delay.
+    pub first_finalization_epoch: [Option<u64>; 2],
+    /// First epoch at which the **whole** Byzantine class had exited
+    /// (been ejected) on branch 0 / branch 1.
+    pub byzantine_exit_epoch: [Option<u64>; 2],
+    /// Total actual balance (Gwei) held by the Byzantine class on each
+    /// branch at the end of the run — what the inactivity leak left the
+    /// adversary with. Exited members keep their residual balance.
+    pub final_byzantine_balance_gwei: [u64; 2],
+    /// Number of epochs in which the schedule attested on **both**
+    /// branches — each one is a slashable double vote (§5.2.1).
+    pub double_vote_epochs: u64,
     /// Per-epoch records (thinned by `record_every`).
     pub history: Vec<EpochRecord>,
     /// Number of epochs simulated.
@@ -293,6 +311,10 @@ impl<B: StateBackend> TwoBranchSim<B> {
             conflicting_finalization_epoch: None,
             byzantine_exceeds_third_epoch: [None, None],
             max_byzantine_proportion: [0.0, 0.0],
+            first_finalization_epoch: [None, None],
+            byzantine_exit_epoch: [None, None],
+            final_byzantine_balance_gwei: [0, 0],
+            double_vote_epochs: 0,
             history: Vec::new(),
             epochs_run: 0,
         };
@@ -384,6 +406,9 @@ impl<B: StateBackend> TwoBranchSim<B> {
                 }
             });
             outcome.epochs_run = epoch + 1;
+            if byz_participates == [true, true] {
+                outcome.double_vote_epochs += 1;
+            }
 
             // 4. Safety monitors.
             for (b, stat) in stats.iter().enumerate() {
@@ -393,6 +418,15 @@ impl<B: StateBackend> TwoBranchSim<B> {
                     && stat.byzantine_proportion > 1.0 / 3.0
                 {
                     outcome.byzantine_exceeds_third_epoch[b] = Some(epoch);
+                }
+                if outcome.first_finalization_epoch[b].is_none() && stat.finalized_epoch > 0 {
+                    outcome.first_finalization_epoch[b] = Some(epoch);
+                }
+                if outcome.byzantine_exit_epoch[b].is_none() {
+                    let byz = self.branches[b].class_stats(BYZANTINE_CLASS);
+                    if byz.total > 0 && byz.exited == byz.total {
+                        outcome.byzantine_exit_epoch[b] = Some(epoch);
+                    }
                 }
             }
             if outcome.conflicting_finalization_epoch.is_none()
@@ -413,8 +447,25 @@ impl<B: StateBackend> TwoBranchSim<B> {
             if self.config.stop_on_conflict && outcome.conflicting_finalization_epoch.is_some() {
                 break;
             }
+            if self.config.stop_on_finalization
+                && outcome.first_finalization_epoch.iter().any(Option::is_some)
+            {
+                break;
+            }
+        }
+        for (b, balance) in outcome.final_byzantine_balance_gwei.iter_mut().enumerate() {
+            *balance = self.byzantine_balance(b);
         }
         outcome
+    }
+
+    /// Total actual balance (Gwei) of the Byzantine class on branch `b`,
+    /// exited members included (exact via the equivalence snapshot).
+    fn byzantine_balance(&self, b: usize) -> u64 {
+        self.branches[b].snapshot().classes[BYZANTINE_CLASS]
+            .iter()
+            .map(|(member, count)| member.balance.as_u64() * count)
+            .sum()
     }
 }
 

@@ -1,0 +1,176 @@
+//! Property tests for the Byzantine participation schedules:
+//! replay determinism for every [`ByzantineSchedule`] implementation,
+//! [`BranchStatus`] observation invariants, and the structural
+//! slashability guarantees of each strategy.
+
+use proptest::prelude::*;
+
+use ethpos_types::Epoch;
+use ethpos_validator::{
+    Bouncing, BranchStatus, ByzantineSchedule, DualActive, SemiActive, ThresholdSeeker,
+};
+
+/// Decodes a raw tuple stream into a plausible per-epoch status
+/// sequence: epochs strictly increasing, stakes bounded, per-branch
+/// finality derived deterministically from the raw words so replays see
+/// the same observations.
+fn decode_statuses(raw: &[(u64, u64, u64)]) -> Vec<[BranchStatus; 2]> {
+    let mut out = Vec::with_capacity(raw.len());
+    for (epoch, &(a, b, c)) in raw.iter().enumerate() {
+        let epoch = epoch as u64;
+        let status = |branch: usize, x: u64, y: u64| {
+            let total = 1 + x % 1_000_000;
+            let honest = y % (total + 1);
+            let byz = (x ^ y) % (total + 1);
+            let justified = if c & (1 << (branch + 2)) != 0 && epoch > 0 {
+                epoch - 1
+            } else {
+                0
+            };
+            BranchStatus {
+                branch,
+                epoch,
+                total_active_stake: total,
+                honest_active_stake: honest,
+                byzantine_stake: byz,
+                justified_epoch: justified,
+                finalized_epoch: justified.saturating_sub(1),
+            }
+        };
+        out.push([status(0, a, b), status(1, b.rotate_left(7), c)]);
+    }
+    out
+}
+
+/// Runs a schedule over the sequence and collects the decisions.
+fn replay<S: ByzantineSchedule>(mut schedule: S, statuses: &[[BranchStatus; 2]]) -> Vec<[bool; 2]> {
+    statuses.iter().map(|st| schedule.participate(st)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every schedule is a deterministic function of the observation
+    /// stream: replaying the same statuses on a fresh instance yields
+    /// the same decisions.
+    #[test]
+    fn schedules_are_deterministic_under_replay(
+        raw in proptest::collection::vec((any::<u64>(), any::<u64>(), any::<u64>()), 1..64),
+        seed in any::<u64>(),
+    ) {
+        let statuses = decode_statuses(&raw);
+        prop_assert_eq!(
+            replay(DualActive, &statuses),
+            replay(DualActive, &statuses)
+        );
+        prop_assert_eq!(
+            replay(SemiActive::new(), &statuses),
+            replay(SemiActive::new(), &statuses)
+        );
+        prop_assert_eq!(
+            replay(ThresholdSeeker::new(), &statuses),
+            replay(ThresholdSeeker::new(), &statuses)
+        );
+        let bouncing = || Bouncing::new(seed, 100, 34, 8, 32);
+        prop_assert_eq!(
+            replay(bouncing(), &statuses),
+            replay(bouncing(), &statuses)
+        );
+    }
+
+    /// `BranchStatus` observation invariants: Byzantine help never
+    /// lowers the active ratio, ratios stay in [0, 1 + β], and
+    /// `two_thirds_reachable` is consistent with the exact integer
+    /// inequality and (away from the boundary) with the float ratio.
+    #[test]
+    fn branch_status_invariants(
+        total in 0u64..2_000_000,
+        honest_raw in any::<u64>(),
+        byz_raw in any::<u64>(),
+        epoch in any::<u64>(),
+    ) {
+        let honest = honest_raw % (total + 1);
+        let byz = byz_raw % (total + 1);
+        let st = BranchStatus {
+            branch: 0,
+            epoch,
+            total_active_stake: total,
+            honest_active_stake: honest,
+            byzantine_stake: byz,
+            justified_epoch: 0,
+            finalized_epoch: 0,
+        };
+        prop_assert!(st.ratio_honest_only() <= st.ratio_with_byzantine() + 1e-12);
+        prop_assert!(st.ratio_honest_only() >= 0.0);
+        // exact integer definition
+        let reachable = 3 * (u128::from(honest) + u128::from(byz)) >= 2 * u128::from(total);
+        prop_assert_eq!(st.two_thirds_reachable(), reachable);
+        // float consistency away from the boundary
+        let ratio = st.ratio_with_byzantine();
+        if ratio > 2.0 / 3.0 + 1e-9 {
+            prop_assert!(st.two_thirds_reachable());
+        }
+        if ratio < 2.0 / 3.0 - 1e-9 {
+            prop_assert!(!st.two_thirds_reachable());
+        }
+        // the zero-stake degenerate branch reports zero ratios
+        if total == 0 {
+            prop_assert_eq!(st.ratio_with_byzantine(), 0.0);
+            prop_assert!(st.two_thirds_reachable());
+        }
+    }
+
+    /// Structural slashability: `DualActive` double-votes every epoch;
+    /// `SemiActive` and `ThresholdSeeker` vote **exactly one** branch
+    /// every epoch (never a same-epoch double vote ⇒ not slashable).
+    #[test]
+    fn slashability_structure_holds(
+        raw in proptest::collection::vec((any::<u64>(), any::<u64>(), any::<u64>()), 1..64),
+    ) {
+        let statuses = decode_statuses(&raw);
+        for decision in replay(DualActive, &statuses) {
+            prop_assert_eq!(decision, [true, true]);
+        }
+        for schedule in [
+            replay(SemiActive::new(), &statuses),
+            replay(ThresholdSeeker::new(), &statuses),
+        ] {
+            for (e, decision) in schedule.iter().enumerate() {
+                prop_assert!(
+                    decision[0] ^ decision[1],
+                    "epoch {}: voted {:?}",
+                    e,
+                    decision
+                );
+            }
+        }
+    }
+
+    /// The bouncing schedule never double-votes either, and once its
+    /// continuation lottery fails it converges on branch 0 forever.
+    #[test]
+    fn bouncing_converges_after_failure(
+        raw in proptest::collection::vec((any::<u64>(), any::<u64>(), any::<u64>()), 8..64),
+        seed in any::<u64>(),
+        byz in 0u64..50,
+    ) {
+        let statuses = decode_statuses(&raw);
+        let mut schedule = Bouncing::new(seed, 100, byz, 8, 32);
+        let decisions: Vec<[bool; 2]> = statuses
+            .iter()
+            .map(|st| schedule.participate(st))
+            .collect();
+        for decision in &decisions {
+            prop_assert!(decision[0] ^ decision[1]);
+        }
+        if let Some(failed) = schedule.failed_at {
+            for (e, decision) in decisions.iter().enumerate() {
+                if e as u64 >= failed {
+                    prop_assert_eq!(*decision, [true, false], "epoch {}", e);
+                }
+            }
+            // the recorded failure epoch is the lottery's first miss
+            prop_assert!(!schedule.continues_at(Epoch::new(failed)));
+        }
+    }
+}

@@ -16,7 +16,10 @@
 //! * [`sim`] — slot-level and cohort epoch-level simulators;
 //! * [`core`] — the paper's analytical model and the five attack
 //!   scenarios, plus the experiment registry regenerating every table and
-//!   figure.
+//!   figure;
+//! * [`search`] — adversary strategy search: duty-cycle genomes over the
+//!   paper's attack space, damage objectives, and worst-case
+//!   damage-vs-cost Pareto frontiers.
 //!
 //! # Quickstart
 //!
@@ -33,6 +36,7 @@ pub use ethpos_core as core;
 pub use ethpos_crypto as crypto;
 pub use ethpos_forkchoice as forkchoice;
 pub use ethpos_network as network;
+pub use ethpos_search as search;
 pub use ethpos_sim as sim;
 pub use ethpos_state as state;
 pub use ethpos_stats as stats;
