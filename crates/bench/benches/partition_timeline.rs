@@ -1,0 +1,47 @@
+//! Throughput of the k-branch partition engine on the headline
+//! scenarios.
+//!
+//! Gates on dense/cohort report equality at an overlapping size (the
+//! exhaustive per-epoch snapshot equality lives in the
+//! `backend_equivalence` property tests), then times the full preset
+//! suite — a 3-branch semi-active run to the ejection wave plus a
+//! heal-then-resplit bounce — at small and spec-scale populations on
+//! the cohort backend.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ethpos_core::partition::PartitionSpec;
+use ethpos_state::BackendKind;
+use std::hint::black_box;
+
+fn suite(n: usize, backend: BackendKind) -> String {
+    PartitionSpec {
+        n,
+        backend,
+        threads: 1,
+        ..PartitionSpec::default()
+    }
+    .run()
+    .to_json()
+}
+
+fn bench(c: &mut Criterion) {
+    // Equality gate at an overlapping size.
+    let dense = suite(3000, BackendKind::Dense).replace("\"Dense\"", "\"*\"");
+    let cohort = suite(3000, BackendKind::Cohort).replace("\"Cohort\"", "\"*\"");
+    assert_eq!(dense, cohort, "backends diverged on the preset suite");
+    // Sanity gate: both headline scenarios must actually conflict.
+    assert_eq!(cohort.matches("\"conflict_epoch\": null").count(), 0);
+
+    for n in [3_000usize, 1_000_000] {
+        let name = format!("partition_timeline/presets_n{n}");
+        let mut g = c.benchmark_group(&name);
+        g.sample_size(10);
+        g.bench_function("cohort", |b| {
+            b.iter(|| black_box(suite(n, BackendKind::Cohort)))
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -28,12 +28,24 @@
 //! or JSON — byte-identical for any `--threads` value, like everything
 //! else.
 //!
+//! The `partition` subcommand runs k-branch partition timelines
+//! ([`ethpos_core::partition`]): `--timeline` selects a preset
+//! (`three-branch`, `heal-resplit`) or a raw spec
+//! (`split@0:0=0.34,0.33,0.33; heal@400:0<-1`, repeatable for a batch),
+//! `--strategy`/`--beta0`/`--epochs` override the adversary and sizing,
+//! and the batch fans over the worker pool — byte-identical for any
+//! `--threads`.
+//!
 //! `--out <path>` (any mode) writes the document to a file instead of
 //! stdout, so CI jobs collect artifacts without shell redirection.
+//! `--regen-golden <dir>` rewrites the golden-snapshot corpus under
+//! `<dir>` (normally `tests/golden`) after an intentional behaviour
+//! change.
 
 #![warn(missing_docs)]
 
 use ethpos_core::experiments::{run_experiment_with, Experiment, McConfig};
+use ethpos_core::partition::{self, PartitionSpec, StrategyKind};
 use ethpos_core::sweep::SweepSpec;
 use ethpos_core::BackendKind;
 use ethpos_search::{Objective, SearchSpec};
@@ -47,17 +59,23 @@ USAGE:
     ethpos-cli [EXPERIMENT]... [OPTIONS]
     ethpos-cli sweep [--grid AXIS=V1,V2,...]... [OPTIONS]
     ethpos-cli search [--objective ID] [--budget N] [OPTIONS]
+    ethpos-cli partition [--timeline SPEC]... [OPTIONS]
+    ethpos-cli --regen-golden <dir>
     ethpos-cli --list
 
 ARGS:
     EXPERIMENT    fig2 fig3 fig6 fig7 fig8 fig9 fig10 table1 table2 table3
-                  frontier, or `all` for every experiment in paper order
+                  frontier partition, or `all` for every experiment in
+                  paper order
     sweep         run a parameter grid (β0 × p0 × walkers × semantics)
                   over the §5.3 Monte Carlo and the §5.2 closed forms
     search        search the adversary strategy space (duty-cycle genomes
                   over both branches) for the worst-case damage-vs-cost
                   Pareto frontier, evaluated on the exact discrete
                   protocol
+    partition     run k-branch partition timelines (splits, heals, churn)
+                  the paper cannot express, at paper-true population
+                  sizes on the cohort backend
 
 OPTIONS:
     --format <text|json>    Output format [default: text]
@@ -81,11 +99,21 @@ OPTIONS:
     --objective <ID>        (search) damage metric: conflict, proportion,
                             non-slashable-horizon [default: conflict]
     --budget <N>            (search) candidate evaluations [default: 256]
-    --beta0 <X>             (search) initial Byzantine proportion
-                            [default: objective-specific, 0.3 or 0.33]
+    --beta0 <X>             (search, partition) initial Byzantine
+                            proportion [default: mode-specific]
     --p0 <X>                (search) honest split [default: 0.5]
     --max-period <N>        (search) duty-period bound of the exhaustive
                             grid [default: 3]
+    --timeline <SPEC>       (partition, repeatable) a preset name
+                            (three-branch, heal-resplit) or a raw spec:
+                            `;`-separated split@E:B=W1,W2,…
+                            churn@E:B=W1,W2,… heal@E:S<-B1+B2 events
+                            [default: both presets]
+    --strategy <ID>         (partition) adversary strategy for raw specs:
+                            dual-active, semi-active, threshold-seeker,
+                            rotate, rotate-dwell [default: rotate-dwell]
+    --regen-golden <dir>    Rewrite the golden-snapshot corpus fixtures
+                            (the five paper scenarios) into <dir>
     --list                  List experiment ids with their paper reference
     --help                  Show this help";
 
@@ -131,6 +159,20 @@ pub enum Cli {
         /// `--out` destination (stdout when absent).
         out: Option<String>,
     },
+    /// Run partition timelines (`partition`).
+    Partition {
+        /// The scenario batch to run.
+        spec: PartitionSpec,
+        /// Selected output format.
+        format: Format,
+        /// `--out` destination (stdout when absent).
+        out: Option<String>,
+    },
+    /// Rewrite the golden-snapshot corpus (`--regen-golden <dir>`).
+    RegenGolden {
+        /// Destination directory (normally `tests/golden`).
+        dir: String,
+    },
     /// Print the experiment table (`--list`).
     List,
     /// Print [`USAGE`] (`--help`).
@@ -141,10 +183,11 @@ impl Cli {
     /// The `--out` destination, if one was given.
     pub fn out(&self) -> Option<&str> {
         match self {
-            Cli::Run { out, .. } | Cli::Sweep { out, .. } | Cli::Search { out, .. } => {
-                out.as_deref()
-            }
-            Cli::List | Cli::Help => None,
+            Cli::Run { out, .. }
+            | Cli::Sweep { out, .. }
+            | Cli::Search { out, .. }
+            | Cli::Partition { out, .. } => out.as_deref(),
+            Cli::RegenGolden { .. } | Cli::List | Cli::Help => None,
         }
     }
 }
@@ -173,6 +216,9 @@ struct RawFlags {
     beta0: Option<f64>,
     p0: Option<f64>,
     max_period: Option<u8>,
+    timelines: Vec<String>,
+    strategy: Option<StrategyKind>,
+    regen_golden: Option<String>,
     out: Option<String>,
 }
 
@@ -181,6 +227,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliErr
     let mut experiments = Vec::new();
     let mut sweep = false;
     let mut search = false;
+    let mut partition = false;
     let mut flags = RawFlags::default();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -243,6 +290,17 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliErr
                 )));
             }
             flags.max_period = Some(n as u8);
+        } else if let Some(value) = flag_value("--timeline")? {
+            flags.timelines.push(value);
+        } else if let Some(value) = flag_value("--strategy")? {
+            flags.strategy = Some(StrategyKind::from_id(&value).ok_or_else(|| {
+                CliError::Usage(format!(
+                    "unknown strategy `{value}` (expected dual-active, semi-active, \
+                     threshold-seeker, rotate or rotate-dwell)"
+                ))
+            })?);
+        } else if let Some(value) = flag_value("--regen-golden")? {
+            flags.regen_golden = Some(value);
         } else if let Some(value) = flag_value("--out")? {
             flags.out = Some(value);
         } else {
@@ -254,6 +312,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliErr
                 }
                 "sweep" => sweep = true,
                 "search" => search = true,
+                "partition" => partition = true,
                 "all" => experiments.extend(Experiment::all()),
                 id => {
                     let experiment = Experiment::from_id(id).ok_or_else(|| {
@@ -266,10 +325,18 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliErr
             }
         }
     }
-    if sweep && search {
+    if [sweep, search, partition].iter().filter(|&&m| m).count() > 1 {
         return Err(CliError::Usage(
-            "`sweep` and `search` are different subcommands".into(),
+            "`sweep`, `search` and `partition` are different subcommands".into(),
         ));
+    }
+    if let Some(dir) = flags.regen_golden {
+        if sweep || search || partition || !experiments.is_empty() {
+            return Err(CliError::Usage(
+                "--regen-golden stands alone (it rewrites the fixture corpus)".into(),
+            ));
+        }
+        return Ok(Cli::RegenGolden { dir });
     }
     if sweep {
         return build_sweep(&experiments, flags);
@@ -277,22 +344,123 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliErr
     if search {
         return build_search(&experiments, flags);
     }
+    if partition {
+        return build_partition(&experiments, flags);
+    }
     build_run(experiments, flags)
 }
 
-/// Rejects the search-only flags in non-`search` modes (`hint` is
-/// appended to the error when the mode has an equivalent of its own).
-fn reject_search_flags(flags: &RawFlags, hint: &str) -> Result<(), CliError> {
+/// Default epoch horizon and β₀ of a raw `--timeline` spec (presets
+/// carry their own).
+const PARTITION_DEFAULT_EPOCHS: u64 = 6000;
+const PARTITION_DEFAULT_BETA0: f64 = 0.33;
+
+fn build_partition(experiments: &[Experiment], flags: RawFlags) -> Result<Cli, CliError> {
+    if let Some(extra) = experiments.first() {
+        return Err(CliError::Usage(format!(
+            "`partition` cannot be combined with experiment ids (got `{}`)",
+            extra.id()
+        )));
+    }
+    if let Some(grid) = flags.grids.first() {
+        return Err(CliError::Usage(format!(
+            "--grid {grid} is only valid with the `sweep` subcommand"
+        )));
+    }
+    if flags.walkers.is_some() {
+        return Err(CliError::Usage(
+            "--walkers is a Monte-Carlo knob; `partition` runs one exact \
+             simulation per timeline"
+                .into(),
+        ));
+    }
     for (name, set) in [
         ("--objective", flags.objective.is_some()),
         ("--budget", flags.budget.is_some()),
-        ("--beta0", flags.beta0.is_some()),
-        ("--p0", flags.p0.is_some()),
         ("--max-period", flags.max_period.is_some()),
+        ("--p0", flags.p0.is_some()),
     ] {
         if set {
             return Err(CliError::Usage(format!(
-                "{name} is only valid with the `search` subcommand{hint}"
+                "{name} is only valid with the `search` subcommand \
+                 (partition splits are set by the timeline weights)"
+            )));
+        }
+    }
+    let strategy = flags.strategy.unwrap_or(StrategyKind::RotateDwell);
+    let beta0 = flags.beta0.unwrap_or(PARTITION_DEFAULT_BETA0);
+    let epochs = flags.epochs.unwrap_or(PARTITION_DEFAULT_EPOCHS);
+    let mut scenarios = if flags.timelines.is_empty() {
+        partition::preset_scenarios()
+    } else {
+        flags
+            .timelines
+            .iter()
+            .map(|arg| {
+                partition::resolve_scenario(arg, strategy, beta0, epochs)
+                    .map_err(|err| CliError::Usage(err.to_string()))
+            })
+            .collect::<Result<Vec<_>, CliError>>()?
+    };
+    // Explicit flags override preset-carried knobs too, so
+    // `partition --timeline three-branch --beta0 0.3` means what it says.
+    for scenario in &mut scenarios {
+        if let Some(beta0) = flags.beta0 {
+            scenario.beta0 = beta0;
+        }
+        if let Some(epochs) = flags.epochs {
+            scenario.epochs = epochs;
+        }
+        if let Some(strategy) = flags.strategy {
+            scenario.strategy = strategy;
+        }
+        // After overrides: a strategy that cannot observe this timeline
+        // is a usage error, not a mid-run panic.
+        partition::validate_scenario(scenario).map_err(|err| CliError::Usage(err.to_string()))?;
+    }
+    let defaults = PartitionSpec::default();
+    Ok(Cli::Partition {
+        spec: PartitionSpec {
+            scenarios,
+            n: flags.validators.unwrap_or(defaults.n),
+            backend: flags.backend.unwrap_or(defaults.backend),
+            seed: flags.seed.unwrap_or(defaults.seed),
+            threads: flags.threads.unwrap_or(defaults.threads),
+        },
+        format: flags.format.unwrap_or(Format::Text),
+        out: flags.out,
+    })
+}
+
+/// Rejects the search-only flags (and the search/partition-shared
+/// `--beta0`) in plain-run and `sweep` modes (`hint` is appended to the
+/// error when the mode has an equivalent of its own).
+fn reject_search_flags(flags: &RawFlags, hint: &str) -> Result<(), CliError> {
+    for (name, valid_with, set) in [
+        ("--objective", "`search`", flags.objective.is_some()),
+        ("--budget", "`search`", flags.budget.is_some()),
+        ("--beta0", "`search` and `partition`", flags.beta0.is_some()),
+        ("--p0", "`search`", flags.p0.is_some()),
+        ("--max-period", "`search`", flags.max_period.is_some()),
+    ] {
+        if set {
+            return Err(CliError::Usage(format!(
+                "{name} is only valid with the {valid_with} subcommand(s){hint}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Rejects the partition-only flags in non-`partition` modes.
+fn reject_partition_flags(flags: &RawFlags) -> Result<(), CliError> {
+    for (name, set) in [
+        ("--timeline", !flags.timelines.is_empty()),
+        ("--strategy", flags.strategy.is_some()),
+    ] {
+        if set {
+            return Err(CliError::Usage(format!(
+                "{name} is only valid with the `partition` subcommand"
             )));
         }
     }
@@ -306,6 +474,7 @@ fn build_run(mut experiments: Vec<Experiment>, flags: RawFlags) -> Result<Cli, C
         )));
     }
     reject_search_flags(&flags, "")?;
+    reject_partition_flags(&flags)?;
     if experiments.is_empty() {
         return Err(CliError::Usage("no experiment selected".into()));
     }
@@ -349,6 +518,7 @@ fn build_search(experiments: &[Experiment], flags: RawFlags) -> Result<Cli, CliE
             "--walkers is a Monte-Carlo knob; `search` sizes itself with --budget".into(),
         ));
     }
+    reject_partition_flags(&flags)?;
     let mut spec = SearchSpec::new(flags.objective.unwrap_or(Objective::Conflict));
     if let Some(beta0) = flags.beta0 {
         spec.beta0 = beta0;
@@ -392,6 +562,7 @@ fn build_sweep(experiments: &[Experiment], flags: RawFlags) -> Result<Cli, CliEr
         )));
     }
     reject_search_flags(&flags, " (sweep replaces axes with --grid axis=…)")?;
+    reject_partition_flags(&flags)?;
     let mut spec = SweepSpec::default();
     if let Some(threads) = flags.threads {
         spec.threads = threads;
@@ -507,6 +678,37 @@ pub fn run(cli: &Cli) -> String {
                 Format::Json => format!("{}\n", frontier.to_json()),
             }
         }
+        Cli::Partition { spec, format, .. } => {
+            let report = spec.run();
+            match format {
+                Format::Text => report.render_text(),
+                Format::Json => format!("{}\n", report.to_json()),
+            }
+        }
+        Cli::RegenGolden { dir } => {
+            // The binary routes this variant through [`regen_golden`] so
+            // a failure exits non-zero; this arm keeps `run` total for
+            // library callers.
+            regen_golden(dir).unwrap_or_else(|err| format!("error: {err}\n"))
+        }
+    }
+}
+
+/// Rewrites the golden-snapshot corpus into `dir` and returns the
+/// confirmation message (one line per fixture).
+///
+/// # Errors
+///
+/// Returns a rendered error when the corpus cannot be written — the
+/// binary prints it to stderr and exits non-zero, so a scripted
+/// `--regen-golden && git diff` cannot silently keep stale fixtures.
+pub fn regen_golden(dir: &str) -> Result<String, String> {
+    match ethpos_core::golden::regenerate(std::path::Path::new(dir)) {
+        Ok(written) => Ok(written
+            .into_iter()
+            .map(|file| format!("regenerated {dir}/{file}\n"))
+            .collect()),
+        Err(err) => Err(format!("cannot write the golden corpus to `{dir}`: {err}")),
     }
 }
 
@@ -522,6 +724,15 @@ mod tests {
     #[test]
     fn every_id_parses_to_its_experiment() {
         for e in Experiment::all() {
+            if e == Experiment::PartitionTimelines {
+                // The word `partition` is the full-size subcommand; the
+                // smoke experiment still runs through `all`.
+                assert!(matches!(
+                    parse_args(args(&["partition"])),
+                    Ok(Cli::Partition { .. })
+                ));
+                continue;
+            }
             match parse_args(args(&[e.id()])) {
                 Ok(Cli::Run {
                     experiments,
@@ -911,6 +1122,156 @@ mod tests {
         let value: serde_json::Value = serde_json::from_str(&run(&cli)).unwrap();
         let items = value.as_array().expect("array for multiple experiments");
         assert_eq!(items.len(), 2);
+    }
+
+    #[test]
+    fn partition_parses_with_preset_defaults() {
+        let Ok(Cli::Partition { spec, format, out }) = parse_args(args(&["partition"])) else {
+            panic!("bare partition did not parse");
+        };
+        assert_eq!(format, Format::Text);
+        assert_eq!(out, None);
+        assert_eq!(spec, PartitionSpec::default());
+        assert_eq!(spec.n, 1_000_000);
+        assert_eq!(spec.backend, BackendKind::Cohort);
+        assert_eq!(spec.scenarios.len(), 2);
+    }
+
+    #[test]
+    fn partition_knobs_reach_the_spec() {
+        let Ok(Cli::Partition { spec, .. }) = parse_args(args(&[
+            "partition",
+            "--timeline",
+            "three-branch",
+            "--timeline=split@0:0=0.5,0.5",
+            "--strategy",
+            "dual-active",
+            "--beta0=0.3",
+            "--epochs",
+            "700",
+            "--validators",
+            "3000",
+            "--backend=dense",
+            "--seed=4",
+            "--threads",
+            "2",
+        ])) else {
+            panic!("partition did not parse");
+        };
+        assert_eq!(spec.scenarios.len(), 2);
+        // explicit flags override the preset's own knobs too
+        for scenario in &spec.scenarios {
+            assert_eq!(scenario.strategy, StrategyKind::DualActive);
+            assert_eq!(scenario.beta0, 0.3);
+            assert_eq!(scenario.epochs, 700);
+        }
+        assert_eq!(spec.n, 3000);
+        assert_eq!(spec.backend, BackendKind::Dense);
+        assert_eq!(spec.seed, 4);
+        assert_eq!(spec.threads, 2);
+    }
+
+    #[test]
+    fn partition_misuse_is_a_usage_error() {
+        for bad in [
+            &["partition", "fig2"] as &[&str],
+            &["partition", "sweep"],
+            &["partition", "--timeline", "gibberish"],
+            &["partition", "--timeline", "split@0:0=0.5"],
+            &["partition", "--strategy", "mayhem"],
+            &["partition", "--walkers", "100"],
+            &["partition", "--objective", "conflict"],
+            &["partition", "--p0", "0.5"],
+            &["partition", "--grid", "beta0=0.3"],
+            &["fig2", "--timeline", "three-branch"],
+            &["sweep", "--strategy", "rotate"],
+            &["search", "--timeline", "three-branch"],
+            &["--regen-golden", "dir", "fig2"],
+            &["partition", "--regen-golden", "dir"],
+            // the paper's two-branch machine cannot observe k ≠ 2
+            &[
+                "partition",
+                "--timeline",
+                "split@0:0=0.4,0.3,0.3",
+                "--strategy",
+                "semi-active",
+            ],
+            &[
+                "partition",
+                "--timeline",
+                "three-branch",
+                "--strategy",
+                "semi-active",
+            ],
+            &[
+                "partition",
+                "--timeline",
+                "heal-resplit",
+                "--strategy",
+                "semi-active",
+            ],
+        ] {
+            assert!(
+                matches!(parse_args(args(bad)), Err(CliError::Usage(_))),
+                "{bad:?} was accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn semi_active_is_accepted_on_two_branch_timelines() {
+        let Ok(Cli::Partition { spec, .. }) = parse_args(args(&[
+            "partition",
+            "--timeline",
+            "split@0:0=0.5,0.5",
+            "--strategy",
+            "semi-active",
+        ])) else {
+            panic!("two-branch semi-active did not parse");
+        };
+        assert_eq!(spec.scenarios[0].strategy, StrategyKind::SemiActive);
+    }
+
+    #[test]
+    fn partition_run_emits_valid_json() {
+        let cli = parse_args(args(&[
+            "partition",
+            "--validators",
+            "3000",
+            "--threads",
+            "1",
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        let value: serde_json::Value = serde_json::from_str(&run(&cli)).unwrap();
+        assert_eq!(value.get("n").and_then(|v| v.as_u64()), Some(3000));
+        let rows = value.get("rows").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[0].get("scenario").and_then(|v| v.as_str()),
+            Some("three-branch")
+        );
+        assert!(rows[0].get("conflict_epoch").is_some());
+    }
+
+    #[test]
+    fn regen_golden_writes_the_five_fixtures() {
+        let dir = std::env::temp_dir().join(format!("ethpos-golden-{}", std::process::id()));
+        let cli = parse_args(args(&["--regen-golden", dir.to_str().unwrap()])).unwrap();
+        assert_eq!(
+            cli,
+            Cli::RegenGolden {
+                dir: dir.to_str().unwrap().into()
+            }
+        );
+        let message = run(&cli);
+        assert_eq!(message.lines().count(), 5, "{message}");
+        for scenario in ethpos_core::golden::scenarios() {
+            let path = dir.join(scenario.file_name());
+            assert!(path.exists(), "{path:?} missing");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -30,10 +30,22 @@
 
 use std::process::ExitCode;
 
-use ethpos_cli::{parse_args, run, CliError, USAGE};
+use ethpos_cli::{parse_args, regen_golden, run, Cli, CliError, USAGE};
 
 fn main() -> ExitCode {
     match parse_args(std::env::args().skip(1)) {
+        // Fixture regeneration is a write with its own failure mode: a
+        // bad destination must exit non-zero, never report success.
+        Ok(Cli::RegenGolden { dir }) => match regen_golden(&dir) {
+            Ok(message) => {
+                print!("{message}");
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!("error: {err}");
+                ExitCode::FAILURE
+            }
+        },
         Ok(cli) => {
             // Probe the destination up front so a typo'd path fails in
             // milliseconds, not after a long simulation — without

@@ -210,6 +210,92 @@ fn search_subcommand_end_to_end() {
     assert!(text.contains("dual-active"), "{text}");
 }
 
+/// A small end-to-end partition run: both preset timelines execute and
+/// report conflicting finalization with the conflicting branch pair.
+#[test]
+fn partition_subcommand_end_to_end() {
+    let out = stdout_bytes(&["partition", "--validators", "3000", "--threads", "2"]);
+    let text = String::from_utf8(out).unwrap();
+    assert!(text.contains("Partition timelines"), "{text}");
+    assert!(text.contains("three-branch"), "{text}");
+    assert!(text.contains("heal-resplit"), "{text}");
+    assert!(text.contains("split@0:0=0.5,0.5; heal@300:0<-1"), "{text}");
+}
+
+/// The partition report honours the workspace determinism model at the
+/// process boundary: byte-identical JSON for any `--threads` value.
+#[test]
+fn partition_json_is_byte_identical_across_thread_counts() {
+    let run = |threads: &str| {
+        stdout_bytes(&[
+            "partition",
+            "--validators",
+            "3000",
+            "--format",
+            "json",
+            "--threads",
+            threads,
+        ])
+    };
+    let one = run("1");
+    assert!(!one.is_empty());
+    for threads in ["2", "8"] {
+        assert_eq!(run(threads), one, "--threads {threads} changed the report");
+    }
+    let text = String::from_utf8(one).expect("utf-8");
+    let value: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+    let rows = value.get("rows").and_then(|v| v.as_array()).unwrap();
+    assert_eq!(rows.len(), 2);
+    assert!(rows.iter().all(|r| r
+        .get("conflict_epoch")
+        .map(|t| !t.is_null())
+        .unwrap_or(false)));
+}
+
+/// A raw `--timeline` spec runs end-to-end, and a malformed one fails
+/// with a usage error naming the problem.
+#[test]
+fn partition_timeline_spec_end_to_end() {
+    let out = stdout_bytes(&[
+        "partition",
+        "--timeline",
+        "split@0:0=0.5,0.5",
+        "--strategy",
+        "dual-active",
+        "--beta0",
+        "0.34",
+        "--epochs",
+        "60",
+        "--validators",
+        "300",
+        "--threads",
+        "1",
+    ]);
+    let text = String::from_utf8(out).unwrap();
+    assert!(text.contains("dual-active"), "{text}");
+    let bad = ethpos_cli(&["partition", "--timeline", "split@0:7=0.5,0.5"]);
+    assert_eq!(bad.status.code(), Some(2));
+    let err = String::from_utf8(bad.stderr).unwrap();
+    assert!(err.contains("not live"), "stderr: {err}");
+}
+
+/// A `--regen-golden` that cannot write must exit non-zero with the
+/// error on stderr — a scripted `--regen-golden && git diff` must never
+/// proceed on stale fixtures.
+#[test]
+fn regen_golden_to_bad_path_fails() {
+    // Under /dev/null the directory creation fails (ENOTDIR) even for
+    // privileged test environments.
+    let out = ethpos_cli(&["--regen-golden", "/dev/null/golden"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(out.stdout.is_empty(), "no success output on failure");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("cannot write the golden corpus"),
+        "stderr: {err}"
+    );
+}
+
 /// The search frontier honours the workspace determinism model at the
 /// process boundary: byte-identical JSON for any `--threads` value.
 #[test]

@@ -41,13 +41,16 @@ pub enum Experiment {
     /// Beyond the paper: a smoke run of the `ethpos_search` attack
     /// frontier (Pareto set of damage vs. adversary cost).
     AttackFrontier,
+    /// Beyond the paper: the k-branch partition-timeline scenario suite
+    /// (3-branch semi-active, heal-then-resplit).
+    PartitionTimelines,
 }
 
 impl Experiment {
     /// All experiments in paper order (plus the beyond-the-paper attack
-    /// frontier last, so `ethpos-cli all` exercises the search
-    /// subsystem).
-    pub fn all() -> [Experiment; 11] {
+    /// frontier and partition timelines last, so `ethpos-cli all`
+    /// exercises the search and partition subsystems).
+    pub fn all() -> [Experiment; 12] {
         [
             Experiment::Fig2StakeTrajectories,
             Experiment::Fig3ActiveRatio,
@@ -60,6 +63,7 @@ impl Experiment {
             Experiment::Fig9StakeDistribution,
             Experiment::Fig10ThresholdProbability,
             Experiment::AttackFrontier,
+            Experiment::PartitionTimelines,
         ]
     }
 
@@ -77,6 +81,7 @@ impl Experiment {
             Experiment::Fig9StakeDistribution => "fig9",
             Experiment::Fig10ThresholdProbability => "fig10",
             Experiment::AttackFrontier => "frontier",
+            Experiment::PartitionTimelines => "partition",
         }
     }
 
@@ -110,6 +115,9 @@ impl Experiment {
             }
             Experiment::AttackFrontier => {
                 "Attack frontier (beyond the paper) — smoke strategy search"
+            }
+            Experiment::PartitionTimelines => {
+                "Partition timelines (beyond the paper) — k-branch scenario suite"
             }
         }
     }
@@ -216,6 +224,7 @@ pub fn run_experiment(experiment: Experiment) -> ExperimentOutput {
         Experiment::Fig9StakeDistribution => fig9(),
         Experiment::Fig10ThresholdProbability => fig10(),
         Experiment::AttackFrontier => frontier_smoke(&McConfig::default()),
+        Experiment::PartitionTimelines => partition_smoke(&McConfig::default()),
     }
 }
 
@@ -254,6 +263,12 @@ pub fn run_experiment_with(experiment: Experiment, mc: &McConfig) -> ExperimentO
         // budget and horizon stay smoke-sized (the full-size knobs live
         // on `ethpos-cli search`). Bit-identical for any thread count.
         return frontier_smoke(mc);
+    }
+    if experiment == Experiment::PartitionTimelines {
+        // Same contract: `--validators`/`--backend`/`--threads` are
+        // honoured, the scenario suite stays the smoke presets (the
+        // full-size knobs live on `ethpos-cli partition`).
+        return partition_smoke(mc);
     }
     let mut out = run_experiment(experiment);
     match experiment {
@@ -598,6 +613,26 @@ fn frontier_smoke(mc: &McConfig) -> ExperimentOutput {
     }
 }
 
+/// The `partition` experiment: the preset k-branch timeline suite at
+/// smoke size ([`crate::partition::PartitionSpec::smoke`]), honouring
+/// `mc.threads` and, when set, `mc.validators`/`mc.backend`.
+/// Deterministic and thread-count invariant like every other experiment.
+fn partition_smoke(mc: &McConfig) -> ExperimentOutput {
+    let mut spec = crate::partition::PartitionSpec::smoke();
+    spec.threads = mc.threads;
+    if let Some(n) = mc.validators {
+        spec.n = n;
+        spec.backend = mc.backend;
+    }
+    let report = spec.run();
+    ExperimentOutput {
+        experiment: Experiment::PartitionTimelines,
+        title: Experiment::PartitionTimelines.title().into(),
+        tables: vec![report.table()],
+        series: vec![],
+    }
+}
+
 /// Simulation-backed regenerations (slower; exercised by the bench
 /// harness and integration tests).
 pub mod simulated {
@@ -860,7 +895,15 @@ mod tests {
         let mut ids: Vec<&str> = Experiment::all().iter().map(|e| e.id()).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 11);
+        assert_eq!(ids.len(), 12);
+    }
+
+    #[test]
+    fn partition_smoke_reports_both_presets() {
+        let out = run_experiment(Experiment::PartitionTimelines);
+        let text = out.render_text();
+        assert!(text.contains("three-branch"), "{text}");
+        assert!(text.contains("heal-resplit"), "{text}");
     }
 
     #[test]

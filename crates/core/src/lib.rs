@@ -20,9 +20,13 @@
 //! table and figure of the paper's evaluation. [`sweep`] generalizes the
 //! hard-coded paper parameters into grids (`β₀ × p0 × walkers ×
 //! semantics × validators`) evaluated on the deterministic thread pool.
-//! The discrete cross-checks run on either state backend
-//! ([`BackendKind`]): the cohort-compressed backend executes the paper's
-//! scenarios at their true million-validator population sizes.
+//! [`partition`] opens the scenario families the paper cannot express —
+//! k-branch partition timelines with splits, heals and churn —
+//! and [`golden`] pins the five paper scenarios as byte-exact state
+//! fixtures under `tests/golden/`. The discrete cross-checks run on
+//! either state backend ([`BackendKind`]): the cohort-compressed backend
+//! executes the paper's scenarios at their true million-validator
+//! population sizes.
 //!
 //! # Example
 //!
@@ -37,6 +41,8 @@
 #![warn(missing_debug_implementations)]
 
 pub mod experiments;
+pub mod golden;
+pub mod partition;
 pub mod report;
 pub mod scenarios;
 pub mod stake_model;
@@ -46,4 +52,5 @@ pub use ethpos_state::BackendKind;
 pub use experiments::{
     run_experiment, run_experiment_with, Experiment, ExperimentOutput, McConfig,
 };
+pub use partition::{PartitionReport, PartitionScenario, PartitionSpec, StrategyKind};
 pub use sweep::{SweepResult, SweepRow, SweepSpec};

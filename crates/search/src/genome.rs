@@ -20,7 +20,7 @@
 
 use serde::Serialize;
 
-use ethpos_validator::{BranchStatus, ByzantineSchedule};
+use ethpos_validator::{BranchChoice, BranchStatus, ByzantineSchedule};
 
 /// Largest duty period a mutation may reach (the exhaustive grid usually
 /// stays coarser; see [`Genome::grid`]).
@@ -348,16 +348,22 @@ impl ParamSchedule {
         self.genome
     }
 
-    fn duty(&self, epoch: u64) -> [bool; 2] {
-        [
+    fn duty(&self, epoch: u64) -> BranchChoice {
+        BranchChoice::from([
             self.genome.duty[0].active(epoch),
             self.genome.duty[1].active(epoch),
-        ]
+        ])
     }
 }
 
 impl ByzantineSchedule for ParamSchedule {
-    fn participate(&mut self, status: &[BranchStatus; 2]) -> [bool; 2] {
+    fn participate(&mut self, status: &[BranchStatus]) -> BranchChoice {
+        assert_eq!(
+            status.len(),
+            2,
+            "ParamSchedule genomes carry one duty gene per branch of the \
+             two-branch search space"
+        );
         let e = status[0].epoch;
         if self.genome.dwell == 0 {
             return self.duty(e);
@@ -370,15 +376,14 @@ impl ByzantineSchedule for ParamSchedule {
                         branch: 0,
                         since: e,
                     };
-                    [true, false]
+                    BranchChoice::only(0)
                 } else {
                     self.duty(e)
                 }
             }
             DwellState::Dwell { branch, since } => {
-                let only = |b: usize| [b == 0, b == 1];
                 if e < since + dwell {
-                    only(branch)
+                    BranchChoice::only(branch)
                 } else if status[branch].finalized_epoch + dwell >= since {
                     // this branch finalized (or will momentarily): move on
                     if branch == 0 {
@@ -386,14 +391,14 @@ impl ByzantineSchedule for ParamSchedule {
                             branch: 1,
                             since: e,
                         };
-                        only(1)
+                        BranchChoice::only(1)
                     } else {
                         self.state = DwellState::Done;
-                        [true, false]
+                        BranchChoice::only(0)
                     }
                 } else {
                     // keep dwelling until finalization shows up
-                    only(branch)
+                    BranchChoice::only(branch)
                 }
             }
             DwellState::Done => self.duty(e),
@@ -409,9 +414,9 @@ impl ByzantineSchedule for ParamSchedule {
 mod tests {
     use super::*;
 
-    fn status(branch: usize, epoch: u64, honest: u64, byz: u64, total: u64) -> BranchStatus {
+    fn status(branch: u32, epoch: u64, honest: u64, byz: u64, total: u64) -> BranchStatus {
         BranchStatus {
-            branch,
+            branch: ethpos_types::BranchId::new(branch),
             epoch,
             total_active_stake: total,
             honest_active_stake: honest,

@@ -6,7 +6,10 @@
 use proptest::prelude::*;
 
 use ethpos_search::{DutyGene, Genome, ParamSchedule};
-use ethpos_validator::{BranchStatus, ByzantineSchedule, DualActive, SemiActive, ThresholdSeeker};
+use ethpos_types::BranchId;
+use ethpos_validator::{
+    BranchChoice, BranchStatus, ByzantineSchedule, DualActive, SemiActive, ThresholdSeeker,
+};
 
 /// Decodes raw words into a plausible status stream (epochs increasing;
 /// stakes, justification and finality derived from the words so both
@@ -25,7 +28,7 @@ fn decode_statuses(raw: &[(u64, u64, u64)]) -> Vec<[BranchStatus; 2]> {
         let status = |branch: usize, x: u64| {
             let total = 1 + x % 1_000_000;
             BranchStatus {
-                branch,
+                branch: BranchId::new(branch as u32),
                 epoch,
                 total_active_stake: total,
                 honest_active_stake: (x >> 7) % (total + 1),
@@ -39,7 +42,10 @@ fn decode_statuses(raw: &[(u64, u64, u64)]) -> Vec<[BranchStatus; 2]> {
     out
 }
 
-fn replay<S: ByzantineSchedule>(mut schedule: S, statuses: &[[BranchStatus; 2]]) -> Vec<[bool; 2]> {
+fn replay<S: ByzantineSchedule>(
+    mut schedule: S,
+    statuses: &[[BranchStatus; 2]],
+) -> Vec<BranchChoice> {
     statuses.iter().map(|st| schedule.participate(st)).collect()
 }
 
@@ -95,7 +101,7 @@ proptest! {
         if !genome.statically_slashable() && genome.dwell == 0 {
             for (e, decision) in first.iter().enumerate() {
                 prop_assert!(
-                    !(decision[0] && decision[1]),
+                    !decision.is_double_vote(),
                     "epoch {}: double vote from {:?}",
                     e,
                     genome

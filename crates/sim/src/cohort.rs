@@ -1,4 +1,5 @@
-//! Two-branch epoch-level simulation, generic over the state backend.
+//! Two-branch epoch-level simulation — a thin two-branch timeline over
+//! the k-branch [`PartitionSim`] engine.
 //!
 //! Emulates the paper's partition scenario: honest validators split into
 //! two branches (a proportion `p0` active on branch 0), Byzantine
@@ -6,6 +7,17 @@
 //! [`StateBackend`] with the exact integer spec arithmetic. Byzantine
 //! participation per epoch is delegated to a
 //! [`ethpos_validator::ByzantineSchedule`].
+//!
+//! [`TwoBranchSim`] predates the partition engine; it is kept as the
+//! two-branch API every paper scenario, search objective and test drives
+//! — its configuration compiles to the obvious timeline (a fixed or
+//! churn split of the genesis branch at epoch 0) and its
+//! [`TwoBranchOutcome`] is assembled from the engine's per-branch
+//! outcome. The translation is **byte-exact**: the engine marks, draws,
+//! advances and records in the same order the historical two-branch loop
+//! did, so every experiment JSON and search frontier produced before the
+//! refactor is reproduced bit-for-bit (pinned by the golden-snapshot
+//! corpus under `tests/golden/`).
 //!
 //! Validators are addressed by **behaviour class**, never individually:
 //! class 0 is the Byzantine cohort; under
@@ -27,18 +39,16 @@
 //! *conflicting finalization* (the paper's Safety loss №1) is observable
 //! by comparing finalized checkpoints.
 
-use rand::Rng;
 use serde::Serialize;
 
-use ethpos_state::attestations::synthetic_branch_root;
-use ethpos_state::backend::{ClassSpec, StateBackend};
-use ethpos_state::{DenseState, ParticipationFlags};
-use ethpos_stats::seeded_rng;
-use ethpos_types::{ChainConfig, Gwei};
-use ethpos_validator::{BranchStatus, ByzantineSchedule};
+use ethpos_state::backend::{StateBackend, StateSnapshot};
+use ethpos_state::DenseState;
+use ethpos_types::{BranchId, ChainConfig};
+use ethpos_validator::ByzantineSchedule;
 
-/// Class index of the Byzantine cohort.
-const BYZANTINE_CLASS: usize = 0;
+use crate::partition::{PartitionConfig, PartitionSim, PartitionTimeline};
+
+pub use crate::partition::BranchEpochStats;
 
 /// How honest validators map to branches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,28 +108,15 @@ impl TwoBranchConfig {
             record_every: 1,
         }
     }
-}
 
-/// Per-branch metrics captured at the end of an epoch.
-#[derive(Debug, Clone, Copy, Serialize)]
-pub struct BranchEpochStats {
-    /// Active-stake ratio of this epoch's attesters (honest + Byzantine if
-    /// they attested) over the total active stake — the paper's Eq. 5/8/10
-    /// ratio.
-    pub active_ratio: f64,
-    /// Byzantine proportion of the total active stake — the paper's
-    /// Eq. 11 β(t).
-    pub byzantine_proportion: f64,
-    /// Justified epoch of the branch state.
-    pub justified_epoch: u64,
-    /// Finalized epoch of the branch state.
-    pub finalized_epoch: u64,
-    /// Total active effective stake (Gwei).
-    pub total_active_stake: u64,
-    /// Number of ejected (exited) honest validators.
-    pub ejected_honest: usize,
-    /// Number of ejected (exited) Byzantine validators.
-    pub ejected_byzantine: usize,
+    /// The equivalent partition timeline: a fixed or churn split of the
+    /// genesis branch at epoch 0.
+    pub fn timeline(&self) -> PartitionTimeline {
+        match self.membership {
+            MembershipModel::FixedPartition => PartitionTimeline::two_branch(self.p0),
+            MembershipModel::RandomEachEpoch => PartitionTimeline::two_branch_churn(self.p0),
+        }
+    }
 }
 
 /// One recorded epoch.
@@ -166,7 +163,8 @@ pub struct TwoBranchOutcome {
     pub epochs_run: u64,
 }
 
-/// The two-branch simulator, generic over the state backend.
+/// The two-branch simulator: the paper's partition scenarios, executed
+/// by the k-branch partition engine over a two-branch timeline.
 ///
 /// [`TwoBranchSim::new`] builds the dense reference simulator;
 /// [`TwoBranchSim::with_backend`] picks the backend explicitly — use
@@ -194,25 +192,14 @@ pub struct TwoBranchOutcome {
 /// assert!(dense.conflicting_finalization_epoch.unwrap() < 10);
 /// ```
 pub struct TwoBranchSim<B: StateBackend = DenseState> {
-    config: TwoBranchConfig,
-    branches: [B; 2],
-    schedule: Box<dyn ByzantineSchedule>,
-    rng: rand::rngs::StdRng,
-    flags: ParticipationFlags,
-    /// One membership bit per honest validator, drawn once per epoch and
-    /// reused across epochs ([`MembershipModel::RandomEachEpoch`] only):
-    /// branch 0 marks where the bit is set, branch 1 where it is clear,
-    /// so every honest validator attests on exactly one branch.
-    membership_scratch: Vec<bool>,
+    inner: PartitionSim<B>,
 }
 
 impl<B: StateBackend> core::fmt::Debug for TwoBranchSim<B> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("TwoBranchSim")
-            .field("n", &self.config.n)
-            .field("byzantine", &self.config.byzantine)
-            .field("p0", &self.config.p0)
-            .finish_non_exhaustive()
+            .field("inner", &self.inner)
+            .finish()
     }
 }
 
@@ -241,231 +228,82 @@ impl<B: StateBackend> TwoBranchSim<B> {
             "p0 must be in [0,1], got {}",
             config.p0
         );
-        let n_honest = (config.n - config.byzantine) as u64;
-        let classes: Vec<ClassSpec> = match config.membership {
-            // Classes: [byzantine, honest-on-branch-0, honest-on-branch-1].
-            MembershipModel::FixedPartition => {
-                let on_branch0 = (config.p0 * n_honest as f64).round() as u64;
-                vec![
-                    ClassSpec::full_stake(config.byzantine as u64, &config.chain),
-                    ClassSpec::full_stake(on_branch0, &config.chain),
-                    ClassSpec::full_stake(n_honest - on_branch0, &config.chain),
-                ]
-            }
-            // Classes: [byzantine, honest] — branch membership is sampled
-            // per epoch, so there is a single honest class.
-            MembershipModel::RandomEachEpoch => vec![
-                ClassSpec::full_stake(config.byzantine as u64, &config.chain),
-                ClassSpec::full_stake(n_honest, &config.chain),
-            ],
+        let timeline = config.timeline();
+        let partition = PartitionConfig {
+            chain: config.chain,
+            n: config.n,
+            byzantine: config.byzantine,
+            timeline,
+            max_epochs: config.max_epochs,
+            seed: config.seed,
+            stop_on_conflict: config.stop_on_conflict,
+            stop_on_finalization: config.stop_on_finalization,
+            record_every: config.record_every,
         };
-        let branches = [
-            B::from_classes(config.chain.clone(), &classes),
-            B::from_classes(config.chain.clone(), &classes),
-        ];
-        let mut flags = ParticipationFlags::EMPTY;
-        flags.set(ethpos_state::participation::TIMELY_SOURCE_FLAG_INDEX);
-        flags.set(ethpos_state::participation::TIMELY_TARGET_FLAG_INDEX);
-        flags.set(ethpos_state::participation::TIMELY_HEAD_FLAG_INDEX);
-        let rng = seeded_rng(config.seed);
-        let membership_scratch = match config.membership {
-            MembershipModel::FixedPartition => Vec::new(),
-            MembershipModel::RandomEachEpoch => vec![false; n_honest as usize],
-        };
-        TwoBranchSim {
-            config,
-            branches,
-            schedule,
-            rng,
-            flags,
-            membership_scratch,
-        }
+        let inner = PartitionSim::with_backend(partition, schedule)
+            .expect("the two-branch timeline always compiles");
+        TwoBranchSim { inner }
     }
 
     /// Read access to a branch state (0 or 1).
     pub fn branch(&self, b: usize) -> &B {
-        &self.branches[b]
+        self.inner.branch(BranchId::new(b as u32))
     }
 
     /// The configured Byzantine count.
     pub fn byzantine_count(&self) -> usize {
-        self.config.byzantine
-    }
-
-    /// The honest classes attesting on branch `b` this epoch, for the
-    /// fixed-partition model.
-    fn fixed_honest_class(b: usize) -> usize {
-        1 + b
-    }
-
-    /// Honest ejection count on branch `b` (all honest classes).
-    fn ejected_honest(&self, b: usize) -> u64 {
-        (1..self.branches[b].num_classes())
-            .map(|c| self.branches[b].class_stats(c).exited)
-            .sum()
+        self.inner.byzantine_count()
     }
 
     /// Runs the simulation.
-    pub fn run(mut self) -> TwoBranchOutcome {
-        let mut outcome = TwoBranchOutcome {
-            conflicting_finalization_epoch: None,
-            byzantine_exceeds_third_epoch: [None, None],
-            max_byzantine_proportion: [0.0, 0.0],
-            first_finalization_epoch: [None, None],
-            byzantine_exit_epoch: [None, None],
-            final_byzantine_balance_gwei: [0, 0],
-            double_vote_epochs: 0,
-            history: Vec::new(),
-            epochs_run: 0,
-        };
-
-        for epoch in 0..self.config.max_epochs {
-            // 1. Mark honest participation for this epoch. Fixed
-            //    partitions address whole classes (no per-epoch buffers
-            //    at all); the random model draws one membership bit per
-            //    honest validator into the reused scratch buffer and
-            //    gives branch 1 the exact complement of branch 0, so the
-            //    partition invariant (each honest validator on exactly
-            //    one branch per epoch) holds like it does for the fixed
-            //    split.
-            if self.config.membership == MembershipModel::RandomEachEpoch {
-                let p0 = self.config.p0;
-                for bit in self.membership_scratch.iter_mut() {
-                    *bit = self.rng.random_bool(p0);
-                }
-            }
-            let mut honest_attesting = [Gwei::ZERO; 2];
-            for (b, attesting) in honest_attesting.iter_mut().enumerate() {
-                match self.config.membership {
-                    MembershipModel::FixedPartition => {
-                        self.branches[b].mark_class(Self::fixed_honest_class(b), self.flags);
-                    }
-                    MembershipModel::RandomEachEpoch => {
-                        let membership = &self.membership_scratch;
-                        let mut i = 0;
-                        self.branches[b].mark_class_sampled(1, self.flags, &mut || {
-                            let on_branch0 = membership[i];
-                            i += 1;
-                            on_branch0 == (b == 0)
-                        });
-                    }
-                }
-                *attesting = self.branches[b].current_target_balance();
-            }
-
-            // 2. Adversary observation & decision.
-            let statuses = [0, 1].map(|b| {
-                let state = &self.branches[b];
-                BranchStatus {
-                    branch: b,
-                    epoch,
-                    total_active_stake: state.total_active_balance().as_u64(),
-                    honest_active_stake: honest_attesting[b].as_u64(),
-                    byzantine_stake: state.class_stats(BYZANTINE_CLASS).active_stake.as_u64(),
-                    justified_epoch: state.current_justified_checkpoint().epoch.as_u64(),
-                    finalized_epoch: state.finalized_checkpoint().epoch.as_u64(),
-                }
-            });
-            let byz_participates = self.schedule.participate(&statuses);
-
-            // 3. Mark Byzantine participation and advance each branch one
-            //    epoch under its own synthetic checkpoint root.
-            let stats = [0, 1].map(|b| {
-                if byz_participates[b] {
-                    self.branches[b].mark_class(BYZANTINE_CLASS, self.flags);
-                }
-                let byz = self.branches[b].class_stats(BYZANTINE_CLASS);
-                let ejected_honest = self.ejected_honest(b) as usize;
-                let total = self.branches[b].total_active_balance().as_u64();
-                let attesting = honest_attesting[b].as_u64()
-                    + if byz_participates[b] {
-                        byz.active_stake.as_u64()
-                    } else {
-                        0
-                    };
-
-                let state = &mut self.branches[b];
-                state.advance_epoch(Some(synthetic_branch_root(b as u64, epoch + 1)));
-
-                BranchEpochStats {
-                    active_ratio: if total > 0 {
-                        attesting as f64 / total as f64
-                    } else {
-                        0.0
-                    },
-                    byzantine_proportion: if total > 0 {
-                        byz.active_stake.as_u64() as f64 / total as f64
-                    } else {
-                        0.0
-                    },
-                    justified_epoch: state.current_justified_checkpoint().epoch.as_u64(),
-                    finalized_epoch: state.finalized_checkpoint().epoch.as_u64(),
-                    total_active_stake: total,
-                    ejected_honest,
-                    ejected_byzantine: byz.exited as usize,
-                }
-            });
-            outcome.epochs_run = epoch + 1;
-            if byz_participates == [true, true] {
-                outcome.double_vote_epochs += 1;
-            }
-
-            // 4. Safety monitors.
-            for (b, stat) in stats.iter().enumerate() {
-                outcome.max_byzantine_proportion[b] =
-                    outcome.max_byzantine_proportion[b].max(stat.byzantine_proportion);
-                if outcome.byzantine_exceeds_third_epoch[b].is_none()
-                    && stat.byzantine_proportion > 1.0 / 3.0
-                {
-                    outcome.byzantine_exceeds_third_epoch[b] = Some(epoch);
-                }
-                if outcome.first_finalization_epoch[b].is_none() && stat.finalized_epoch > 0 {
-                    outcome.first_finalization_epoch[b] = Some(epoch);
-                }
-                if outcome.byzantine_exit_epoch[b].is_none() {
-                    let byz = self.branches[b].class_stats(BYZANTINE_CLASS);
-                    if byz.total > 0 && byz.exited == byz.total {
-                        outcome.byzantine_exit_epoch[b] = Some(epoch);
-                    }
-                }
-            }
-            if outcome.conflicting_finalization_epoch.is_none()
-                && stats[0].finalized_epoch > 0
-                && stats[1].finalized_epoch > 0
-            {
-                outcome.conflicting_finalization_epoch = Some(epoch);
-            }
-
-            if epoch % self.config.record_every == 0 {
-                outcome.history.push(EpochRecord {
-                    epoch,
-                    branch: stats,
-                    byzantine_active: byz_participates,
-                });
-            }
-
-            if self.config.stop_on_conflict && outcome.conflicting_finalization_epoch.is_some() {
-                break;
-            }
-            if self.config.stop_on_finalization
-                && outcome.first_finalization_epoch.iter().any(Option::is_some)
-            {
-                break;
-            }
-        }
-        for (b, balance) in outcome.final_byzantine_balance_gwei.iter_mut().enumerate() {
-            *balance = self.byzantine_balance(b);
-        }
-        outcome
+    pub fn run(self) -> TwoBranchOutcome {
+        Self::convert(self.inner.run())
     }
 
-    /// Total actual balance (Gwei) of the Byzantine class on branch `b`,
-    /// exited members included (exact via the equivalence snapshot).
-    fn byzantine_balance(&self, b: usize) -> u64 {
-        self.branches[b].snapshot().classes[BYZANTINE_CLASS]
-            .iter()
-            .map(|(member, count)| member.balance.as_u64() * count)
-            .sum()
+    /// Runs the simulation and additionally captures the final
+    /// [`StateSnapshot`] of both branches — the fixtures of the
+    /// golden-snapshot corpus.
+    pub fn run_with_snapshots(mut self) -> (TwoBranchOutcome, [StateSnapshot; 2]) {
+        while self.inner.step() {}
+        let snapshots = [
+            self.inner.branch(BranchId::new(0)).snapshot(),
+            self.inner.branch(BranchId::new(1)).snapshot(),
+        ];
+        (Self::convert(self.inner.finish()), snapshots)
+    }
+
+    /// Projects the engine's k-branch outcome onto the historical
+    /// two-branch shape (branch ids 0 and 1 are the only branches a
+    /// two-branch timeline ever creates).
+    fn convert(outcome: crate::partition::PartitionOutcome) -> TwoBranchOutcome {
+        let per_branch = |f: &dyn Fn(&crate::partition::BranchOutcome) -> Option<u64>| {
+            [f(&outcome.branches[0]), f(&outcome.branches[1])]
+        };
+        TwoBranchOutcome {
+            conflicting_finalization_epoch: outcome.conflicting_finalization_epoch,
+            byzantine_exceeds_third_epoch: per_branch(&|b| b.byzantine_exceeds_third_epoch),
+            max_byzantine_proportion: [
+                outcome.branches[0].max_byzantine_proportion,
+                outcome.branches[1].max_byzantine_proportion,
+            ],
+            first_finalization_epoch: per_branch(&|b| b.first_finalization_epoch),
+            byzantine_exit_epoch: per_branch(&|b| b.byzantine_exit_epoch),
+            final_byzantine_balance_gwei: [
+                outcome.branches[0].final_byzantine_balance_gwei,
+                outcome.branches[1].final_byzantine_balance_gwei,
+            ],
+            double_vote_epochs: outcome.double_vote_epochs,
+            history: outcome
+                .history
+                .into_iter()
+                .map(|r| EpochRecord {
+                    epoch: r.epoch,
+                    branch: [r.stats[0], r.stats[1]],
+                    byzantine_active: [r.byzantine_active[0], r.byzantine_active[1]],
+                })
+                .collect(),
+            epochs_run: outcome.epochs_run,
+        }
     }
 }
 

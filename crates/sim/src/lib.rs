@@ -7,14 +7,18 @@
 //!   and attestations over the simulated network, one fork-choice view per
 //!   partition (plus the omniscient adversary). Used for healthy-chain
 //!   runs, short-horizon partition scenarios, and attack traces.
-//! * [`cohort`] — **epoch-level two-branch** simulation: drives one
-//!   [`ethpos_state::backend::StateBackend`] per branch with class-level
-//!   participation patterns, using the exact integer spec arithmetic.
-//!   Generic over the backend: the dense reference handles the paper's
-//!   10⁴-epoch horizons at toy sizes, and the cohort-compressed
-//!   [`ethpos_state::CohortState`] runs the same scenarios bit-identically
-//!   at the true million-validator population. Regenerates Tables 2–3 and
-//!   Figures 2, 3, 6, 7.
+//! * [`partition`] — **epoch-level k-branch** simulation: drives one
+//!   [`ethpos_state::backend::StateBackend`] per live branch of a
+//!   declarative [`PartitionTimeline`] (splits, heals, churn hooks) with
+//!   class-level participation patterns, using the exact integer spec
+//!   arithmetic. Generic over the backend: the dense reference handles
+//!   the paper's 10⁴-epoch horizons at toy sizes, and the
+//!   cohort-compressed [`ethpos_state::CohortState`] runs the same
+//!   timelines bit-identically at the true million-validator population.
+//! * [`cohort`] — the **two-branch** view over the partition engine
+//!   ([`TwoBranchSim`] is a thin two-branch timeline): the paper's
+//!   partition scenarios, regenerating Tables 2–3 and Figures 2, 3, 6,
+//!   7 byte-for-byte.
 //! * [`walk_mc`] — **Monte-Carlo random walks** for the probabilistic
 //!   bouncing attack (§5.3): per-validator inactivity-score walks and
 //!   stake trajectories, regenerating Figures 9–10 empirically.
@@ -33,6 +37,7 @@
 pub mod cohort;
 pub mod engine;
 pub mod monitor;
+pub mod partition;
 pub mod pool;
 pub mod single_branch;
 pub mod view;
@@ -43,6 +48,10 @@ pub use cohort::{
 };
 pub use engine::{run_slot_sims, SlotByzMode, SlotSim, SlotSimConfig, SlotSimReport};
 pub use monitor::SafetyMonitor;
+pub use partition::{
+    BranchOutcome, PartitionConfig, PartitionEpochRecord, PartitionOutcome, PartitionSim,
+    PartitionTimeline, SafetyViolation, TimelineAction, TimelineError, TimelineEvent,
+};
 pub use pool::ChunkPool;
 pub use single_branch::{
     run_single_branch, run_single_branch_on, Behavior, ClassTrajectory, StakeTrajectory,

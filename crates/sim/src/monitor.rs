@@ -3,16 +3,85 @@
 //! The monitor is an omniscient observer keeping the union block tree. A
 //! **Safety violation** (paper Property 4) is two finalized checkpoints,
 //! on any two views, such that neither chain is a prefix of the other.
+//!
+//! Views can be added while the system runs ([`SafetyMonitor::add_view`])
+//! — the partition-timeline engine registers a view per branch a `Split`
+//! creates — and a retired view's last finalized checkpoint keeps
+//! participating in the pairwise check, so a branch that finalized
+//! before being healed away still convicts a later incompatible
+//! finalization (post-heal ancestry).
+//!
+//! Compatibility rules, in order:
+//!
+//! 1. equal roots never conflict;
+//! 2. a genesis-epoch checkpoint is a prefix of every chain and never
+//!    conflicts (the anchor needs no block evidence);
+//! 3. otherwise the checkpoints must be ancestry-related in the observed
+//!    block tree — two roots the tree cannot relate (including roots the
+//!    monitor never saw a block for) are conflicting.
 
-use ethpos_forkchoice::ProtoArray;
+use std::collections::HashMap;
+
 use ethpos_state::backend::StateBackend;
-use ethpos_types::{Checkpoint, Root, Slot};
+use ethpos_types::{Checkpoint, Epoch, Root, Slot};
+
+/// A minimal append-only ancestry index: parent links plus depths, no
+/// weights or best-child bookkeeping. The monitor only ever asks "is
+/// this root on that root's chain?", and a full fork-choice proto-array
+/// pays O(depth) *per insert* to maintain head links the monitor never
+/// reads — on the partition engine's unpruned multi-thousand-epoch
+/// chains that turned block observation quadratic. Here an insert is
+/// one hash-map write, and an ancestry query walks exactly the depth
+/// difference.
+#[derive(Debug, Default)]
+struct AncestryIndex {
+    indices: HashMap<Root, u32>,
+    parents: Vec<u32>,
+    depths: Vec<u32>,
+}
+
+impl AncestryIndex {
+    /// Inserts a block; the anchor passes `parent: None`. Duplicates and
+    /// blocks with unknown parents are ignored (the monitor is an
+    /// observer, not a validator).
+    fn insert(&mut self, root: Root, parent: Option<Root>) {
+        if self.indices.contains_key(&root) {
+            return;
+        }
+        let index = self.parents.len() as u32;
+        let (parent_index, depth) = match parent {
+            None => (index, 0),
+            Some(p) => match self.indices.get(&p) {
+                Some(&pi) => (pi, self.depths[pi as usize] + 1),
+                None => return,
+            },
+        };
+        self.indices.insert(root, index);
+        self.parents.push(parent_index);
+        self.depths.push(depth);
+    }
+
+    /// True if `descendant` has `ancestor` on its root-ward path
+    /// (inclusive). Unknown roots are related to nothing.
+    fn is_descendant(&self, ancestor: &Root, descendant: &Root) -> bool {
+        let (Some(&a), Some(&start)) = (self.indices.get(ancestor), self.indices.get(descendant))
+        else {
+            return false;
+        };
+        let target = self.depths[a as usize];
+        let mut d = start;
+        while self.depths[d as usize] > target {
+            d = self.parents[d as usize];
+        }
+        d == a
+    }
+}
 
 /// Records every block and each view's finalized checkpoint; reports the
 /// first conflicting finalization.
 #[derive(Debug)]
 pub struct SafetyMonitor {
-    tree: ProtoArray,
+    tree: AncestryIndex,
     finalized: Vec<Checkpoint>,
     violation: Option<(usize, usize, Checkpoint, Checkpoint)>,
 }
@@ -20,9 +89,8 @@ pub struct SafetyMonitor {
 impl SafetyMonitor {
     /// Creates a monitor over `views` views anchored at `genesis_root`.
     pub fn new(genesis_root: Root, views: usize) -> Self {
-        let mut tree = ProtoArray::new();
-        tree.insert(genesis_root, None, Slot::GENESIS)
-            .expect("fresh tree accepts anchor");
+        let mut tree = AncestryIndex::default();
+        tree.insert(genesis_root, None);
         SafetyMonitor {
             tree,
             finalized: vec![Checkpoint::genesis(genesis_root); views],
@@ -30,45 +98,70 @@ impl SafetyMonitor {
         }
     }
 
-    /// Registers a block observed anywhere in the system.
-    pub fn observe_block(&mut self, root: Root, parent: Root, slot: Slot) {
-        let _ = self.tree.insert(root, Some(parent), slot);
+    /// Number of views (including retired ones).
+    pub fn num_views(&self) -> usize {
+        self.finalized.len()
     }
 
-    /// Updates view `v`'s finalized checkpoint and re-checks Safety.
+    /// Registers a new view starting from `checkpoint` (a forked branch
+    /// inherits its parent's finalized checkpoint) and returns its view
+    /// index.
+    pub fn add_view(&mut self, checkpoint: Checkpoint) -> usize {
+        self.finalized.push(checkpoint);
+        self.finalized.len() - 1
+    }
+
+    /// Registers a block observed anywhere in the system (`slot` is
+    /// retained for interface stability; ancestry only needs the parent
+    /// link).
+    pub fn observe_block(&mut self, root: Root, parent: Root, slot: Slot) {
+        let _ = slot;
+        self.tree.insert(root, Some(parent));
+    }
+
+    /// Updates view `view`'s finalized checkpoint and re-checks Safety
+    /// against every other view's best-known finalized checkpoint —
+    /// including views whose branch has since been healed away.
     pub fn observe_finalized(&mut self, view: usize, checkpoint: Checkpoint) {
-        if checkpoint.epoch > self.finalized[view].epoch {
-            self.finalized[view] = checkpoint;
+        if checkpoint.epoch <= self.finalized[view].epoch {
+            // Nothing new: no fresh conflict can appear.
+            return;
         }
+        self.finalized[view] = checkpoint;
         if self.violation.is_some() {
             return;
         }
-        for a in 0..self.finalized.len() {
-            for b in (a + 1)..self.finalized.len() {
-                let ca = self.finalized[a];
-                let cb = self.finalized[b];
-                if ca.root == cb.root {
-                    continue;
-                }
-                let compatible = self.tree.is_descendant(&ca.root, &cb.root)
-                    || self.tree.is_descendant(&cb.root, &ca.root);
-                if !compatible {
-                    self.violation = Some((a, b, ca, cb));
-                    return;
-                }
+        // A genesis-epoch checkpoint is a prefix of everything.
+        if checkpoint.epoch == Epoch::GENESIS {
+            return;
+        }
+        for other in 0..self.finalized.len() {
+            if other == view {
+                continue;
+            }
+            let co = self.finalized[other];
+            if co.epoch == Epoch::GENESIS || co.root == checkpoint.root {
+                continue;
+            }
+            let compatible = self.tree.is_descendant(&co.root, &checkpoint.root)
+                || self.tree.is_descendant(&checkpoint.root, &co.root);
+            if !compatible {
+                let (a, b) = (view.min(other), view.max(other));
+                self.violation = Some((a, b, self.finalized[a], self.finalized[b]));
+                return;
             }
         }
     }
 
-    /// Reads view `v`'s finalized checkpoint straight off a state backend
-    /// and re-checks Safety — works for any [`StateBackend`], so the
-    /// monitor watches dense and cohort branches alike.
+    /// Reads view `view`'s finalized checkpoint straight off a state
+    /// backend and re-checks Safety — works for any [`StateBackend`], so
+    /// the monitor watches dense and cohort branches alike.
     pub fn observe_backend<B: StateBackend>(&mut self, view: usize, state: &B) {
         self.observe_finalized(view, state.finalized_checkpoint());
     }
 
     /// The first Safety violation observed: `(view_a, view_b, checkpoint_a,
-    /// checkpoint_b)`.
+    /// checkpoint_b)` with `view_a < view_b`.
     pub fn violation(&self) -> Option<(usize, usize, Checkpoint, Checkpoint)> {
         self.violation
     }
@@ -116,6 +209,69 @@ mod tests {
         assert_eq!((a, b), (0, 1));
         assert_eq!(ca.root, r(1));
         assert_eq!(cb.root, r(2));
+    }
+
+    #[test]
+    fn violation_between_later_views_of_a_three_way_split_is_found() {
+        // Regression for the two-branch era: a conflict between views 1
+        // and 2 must be detected even while view 0 sits at genesis.
+        let mut m = SafetyMonitor::new(r(0), 3);
+        m.observe_block(r(1), r(0), Slot::new(1));
+        m.observe_block(r(2), r(0), Slot::new(1)); // fork
+        m.observe_finalized(1, Checkpoint::new(Epoch::new(1), r(1)));
+        assert!(!m.is_violated(), "one finalization is not a conflict");
+        m.observe_finalized(2, Checkpoint::new(Epoch::new(1), r(2)));
+        assert!(m.is_violated());
+        let (a, b, _, _) = m.violation().unwrap();
+        assert_eq!((a, b), (1, 2));
+    }
+
+    #[test]
+    fn a_lone_finalization_never_conflicts_with_genesis() {
+        // Regression: a finalized checkpoint whose root the monitor has
+        // no block for must not conflict with another view still at the
+        // genesis checkpoint — genesis is a prefix of every chain.
+        let mut m = SafetyMonitor::new(r(0), 2);
+        m.observe_finalized(0, Checkpoint::new(Epoch::new(3), r(77)));
+        assert!(!m.is_violated());
+        // ...but a second unknown-root finalization does conflict.
+        m.observe_finalized(1, Checkpoint::new(Epoch::new(3), r(88)));
+        assert!(m.is_violated());
+    }
+
+    #[test]
+    fn retired_views_keep_convicting_after_a_heal() {
+        // View 1 finalizes on its own chain, then its branch heals away
+        // (no further observations). A later incompatible finalization
+        // on view 0 must still be a violation.
+        let mut m = SafetyMonitor::new(r(0), 2);
+        m.observe_block(r(1), r(0), Slot::new(1));
+        m.observe_block(r(2), r(0), Slot::new(1));
+        m.observe_block(r(3), r(1), Slot::new(2));
+        m.observe_finalized(1, Checkpoint::new(Epoch::new(1), r(2)));
+        assert!(!m.is_violated());
+        m.observe_finalized(0, Checkpoint::new(Epoch::new(2), r(3)));
+        assert!(m.is_violated());
+        let (a, b, _, _) = m.violation().unwrap();
+        assert_eq!((a, b), (0, 1));
+    }
+
+    #[test]
+    fn added_views_inherit_their_fork_checkpoint() {
+        let mut m = SafetyMonitor::new(r(0), 1);
+        m.observe_block(r(1), r(0), Slot::new(1));
+        m.observe_finalized(0, Checkpoint::new(Epoch::new(1), r(1)));
+        let v = m.add_view(Checkpoint::new(Epoch::new(1), r(1)));
+        assert_eq!(v, 1);
+        assert_eq!(m.num_views(), 2);
+        // the new view finalizing further down the same chain is fine
+        m.observe_block(r(2), r(1), Slot::new(2));
+        m.observe_finalized(1, Checkpoint::new(Epoch::new(2), r(2)));
+        assert!(!m.is_violated());
+        // a fork from the shared prefix is not
+        m.observe_block(r(9), r(1), Slot::new(2));
+        m.observe_finalized(0, Checkpoint::new(Epoch::new(2), r(9)));
+        assert!(m.is_violated());
     }
 
     #[test]

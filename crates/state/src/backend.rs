@@ -97,7 +97,7 @@ pub struct ClassStats {
 ///
 /// Field order defines the canonical sort used when snapshotting, so the
 /// derived `Ord` is part of the equivalence contract.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
 pub struct MemberState {
     /// Actual balance (the paper's `s_i(t)`).
     pub balance: Gwei,
@@ -136,8 +136,10 @@ impl MemberState {
 /// run-length-encoded `(state, count)` runs.
 ///
 /// Two backends driven through the same schedule are **equivalent** iff
-/// their snapshots are equal after every epoch.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// their snapshots are equal after every epoch — and the serialized form
+/// is the fixture format of the golden-snapshot corpus under
+/// `tests/golden/`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct StateSnapshot {
     /// Current slot.
     pub slot: Slot,
@@ -163,7 +165,10 @@ pub struct StateSnapshot {
 /// participation flags on every *active* member), then
 /// [`advance_epoch`](StateBackend::advance_epoch) to run the full spec
 /// epoch processing and enter the next epoch.
-pub trait StateBackend: Sized {
+///
+/// Backends are `Clone` so a partition `Split` can fork a branch: the
+/// child branch starts from a bit-identical copy of the parent's state.
+pub trait StateBackend: Sized + Clone {
     /// Builds a genesis state from per-class sizes and balances. Class `c`
     /// of the backend corresponds to `classes[c]`.
     fn from_classes(config: ChainConfig, classes: &[ClassSpec]) -> Self;

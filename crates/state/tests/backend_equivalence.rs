@@ -10,9 +10,11 @@
 
 use proptest::prelude::*;
 
+use ethpos_sim::{PartitionConfig, PartitionSim, PartitionTimeline};
 use ethpos_state::backend::{ClassSpec, StateBackend};
 use ethpos_state::{CohortState, DenseState, ParticipationFlags};
-use ethpos_types::{ChainConfig, Gwei};
+use ethpos_types::{BranchId, ChainConfig, Gwei};
+use ethpos_validator::{BranchChoice, BranchStatus, ByzantineSchedule};
 
 /// Builds the two backends from the same class specs.
 fn pair(config: &ChainConfig, classes: &[ClassSpec]) -> (DenseState, CohortState) {
@@ -123,6 +125,114 @@ proptest! {
             prop_assert_eq!(dense.snapshot(), cohort.snapshot(), "epoch {}", epoch);
             prop_assert_eq!(dense.class_stats(2), cohort.class_stats(2));
         }
+    }
+}
+
+/// A deterministic test schedule: the Byzantine choice at epoch `e`
+/// over `k` branches is read off the bits of one word, so dense and
+/// cohort replays observe the same adversary.
+#[derive(Debug)]
+struct BitSchedule(u64);
+
+impl ByzantineSchedule for BitSchedule {
+    fn participate(&mut self, status: &[BranchStatus]) -> BranchChoice {
+        let e = status[0].epoch;
+        let mut choice = BranchChoice::NONE;
+        for position in 0..status.len() {
+            if self.0 >> ((e as usize * 5 + position * 3) % 64) & 1 == 1 {
+                choice = choice.with(position);
+            }
+        }
+        choice
+    }
+
+    fn name(&self) -> &'static str {
+        "bit-schedule"
+    }
+}
+
+/// Builds a random-but-valid partition timeline with k ≤ 4 branches:
+/// an initial 2- or 3-way split, then optionally a heal (and re-split)
+/// or a further split of branch 1.
+fn decode_timeline(w: (u8, u8, u8), three_way: bool, op2: u8, e1: u64) -> PartitionTimeline {
+    let w = [w.0, w.1, w.2];
+    let weight = |x: u8| 1.0 + f64::from(x % 16);
+    let b = BranchId::new;
+    let first: Vec<f64> = if three_way {
+        vec![weight(w[0]), weight(w[1]), weight(w[2])]
+    } else {
+        vec![weight(w[0]), weight(w[1])]
+    };
+    let t = PartitionTimeline::new().split(0, b(0), &first);
+    match op2 % 3 {
+        // heal branch 1 into 0, then re-split branch 0
+        1 => t
+            .heal(e1, b(0), &[b(1)])
+            .split(e1 + 3, b(0), &[weight(w[2]), weight(w[0])]),
+        // deepen the partition (k grows to 3 or 4)
+        2 => t.split(e1, b(1), &[weight(w[1]), weight(w[2])]),
+        _ => t,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The partition engine is **bit-identical** across backends on
+    /// random timelines: random k ≤ 4 splits/heals, random Byzantine
+    /// schedules, snapshot equality on every live branch after every
+    /// epoch — including across the fork clones and heal retirements.
+    #[test]
+    fn partition_timelines_agree_across_backends(
+        w in (any::<u8>(), any::<u8>(), any::<u8>()),
+        three_way in any::<bool>(),
+        op2 in 0u8..3,
+        e1 in 3u64..8,
+        schedule_word in any::<u64>(),
+        n_honest in 8u64..40,
+        byzantine in 0u64..12,
+    ) {
+        let timeline = decode_timeline(w, three_way, op2, e1);
+        let config = || PartitionConfig {
+            stop_on_conflict: false,
+            record_every: u64::MAX,
+            ..PartitionConfig::paper(
+                (n_honest + byzantine) as usize,
+                byzantine as usize,
+                timeline.clone(),
+                16,
+            )
+        };
+        let mut dense =
+            PartitionSim::<DenseState>::with_backend(config(), Box::new(BitSchedule(schedule_word)))
+                .expect("valid by construction");
+        let mut cohort =
+            PartitionSim::<CohortState>::with_backend(config(), Box::new(BitSchedule(schedule_word)))
+                .expect("valid by construction");
+        loop {
+            let more_dense = dense.step();
+            let more_cohort = cohort.step();
+            prop_assert_eq!(more_dense, more_cohort);
+            prop_assert_eq!(dense.live_branches(), cohort.live_branches());
+            for branch in dense.live_branches() {
+                prop_assert_eq!(
+                    dense.branch(branch).snapshot(),
+                    cohort.branch(branch).snapshot(),
+                    "branch {} at epoch {}",
+                    branch,
+                    dense.current_epoch()
+                );
+            }
+            if !more_dense {
+                break;
+            }
+        }
+        let dense_out = dense.finish();
+        let cohort_out = cohort.finish();
+        prop_assert_eq!(
+            serde_json::to_string(&dense_out).unwrap(),
+            serde_json::to_string(&cohort_out).unwrap()
+        );
     }
 }
 

@@ -27,6 +27,7 @@
 
 pub mod attestation;
 pub mod block;
+pub mod branch;
 pub mod checkpoint;
 pub mod config;
 pub mod root;
@@ -37,6 +38,7 @@ pub mod validator;
 
 pub use attestation::{Attestation, AttestationData};
 pub use block::{BeaconBlock, BeaconBlockBody, SignedBeaconBlock};
+pub use branch::BranchId;
 pub use checkpoint::Checkpoint;
 pub use config::ChainConfig;
 pub use root::Root;
@@ -49,6 +51,7 @@ pub use validator::ValidatorIndex;
 pub mod prelude {
     pub use crate::attestation::{Attestation, AttestationData};
     pub use crate::block::{BeaconBlock, BeaconBlockBody, SignedBeaconBlock};
+    pub use crate::branch::BranchId;
     pub use crate::checkpoint::Checkpoint;
     pub use crate::config::ChainConfig;
     pub use crate::root::Root;

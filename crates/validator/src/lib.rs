@@ -4,12 +4,14 @@
 //!   lottery standing in for RANDAO);
 //! * [`honest`] — protocol-following proposer/attester message builders;
 //! * [`byzantine`] — the paper's adversarial strategies as *participation
-//!   schedules* over the two branches of a fork:
+//!   schedules* over the live branches of a fork:
 //!   [`byzantine::DualActive`] (§5.2.1, slashable),
 //!   [`byzantine::SemiActive`] (§5.2.2, non-slashable, fastest
 //!   finalization), [`byzantine::ThresholdSeeker`] (§5.2.3, maximize the
-//!   Byzantine stake proportion) and [`byzantine::Bouncing`] (§5.3, the
-//!   probabilistic bouncing attack under the inactivity leak).
+//!   Byzantine stake proportion), [`byzantine::Bouncing`] (§5.3, the
+//!   probabilistic bouncing attack under the inactivity leak) and
+//!   [`byzantine::RoundRobin`] (beyond the paper: the k-branch
+//!   generalization of the semi-active machine for partition timelines).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -19,6 +21,7 @@ pub mod duties;
 pub mod honest;
 
 pub use byzantine::{
-    Bouncing, BranchStatus, ByzantineSchedule, DualActive, SemiActive, ThresholdSeeker,
+    Bouncing, BranchChoice, BranchStatus, ByzantineSchedule, DualActive, RoundRobin, SemiActive,
+    ThresholdSeeker,
 };
 pub use duties::ProposerLottery;

@@ -1,13 +1,15 @@
 //! Property tests for the Byzantine participation schedules:
 //! replay determinism for every [`ByzantineSchedule`] implementation,
-//! [`BranchStatus`] observation invariants, and the structural
-//! slashability guarantees of each strategy.
+//! [`BranchStatus`] observation invariants, the structural slashability
+//! guarantees of each strategy, and the k-branch [`RoundRobin`]
+//! collapsing to the paper's two-branch machines.
 
 use proptest::prelude::*;
 
-use ethpos_types::Epoch;
+use ethpos_types::{BranchId, Epoch};
 use ethpos_validator::{
-    Bouncing, BranchStatus, ByzantineSchedule, DualActive, SemiActive, ThresholdSeeker,
+    Bouncing, BranchChoice, BranchStatus, ByzantineSchedule, DualActive, RoundRobin, SemiActive,
+    ThresholdSeeker,
 };
 
 /// Decodes a raw tuple stream into a plausible per-epoch status
@@ -18,7 +20,7 @@ fn decode_statuses(raw: &[(u64, u64, u64)]) -> Vec<[BranchStatus; 2]> {
     let mut out = Vec::with_capacity(raw.len());
     for (epoch, &(a, b, c)) in raw.iter().enumerate() {
         let epoch = epoch as u64;
-        let status = |branch: usize, x: u64, y: u64| {
+        let status = |branch: u32, x: u64, y: u64| {
             let total = 1 + x % 1_000_000;
             let honest = y % (total + 1);
             let byz = (x ^ y) % (total + 1);
@@ -28,7 +30,7 @@ fn decode_statuses(raw: &[(u64, u64, u64)]) -> Vec<[BranchStatus; 2]> {
                 0
             };
             BranchStatus {
-                branch,
+                branch: BranchId::new(branch),
                 epoch,
                 total_active_stake: total,
                 honest_active_stake: honest,
@@ -43,7 +45,10 @@ fn decode_statuses(raw: &[(u64, u64, u64)]) -> Vec<[BranchStatus; 2]> {
 }
 
 /// Runs a schedule over the sequence and collects the decisions.
-fn replay<S: ByzantineSchedule>(mut schedule: S, statuses: &[[BranchStatus; 2]]) -> Vec<[bool; 2]> {
+fn replay<S: ByzantineSchedule>(
+    mut schedule: S,
+    statuses: &[[BranchStatus; 2]],
+) -> Vec<BranchChoice> {
     statuses.iter().map(|st| schedule.participate(st)).collect()
 }
 
@@ -71,10 +76,33 @@ proptest! {
             replay(ThresholdSeeker::new(), &statuses),
             replay(ThresholdSeeker::new(), &statuses)
         );
+        prop_assert_eq!(
+            replay(RoundRobin::new(2), &statuses),
+            replay(RoundRobin::new(2), &statuses)
+        );
         let bouncing = || Bouncing::new(seed, 100, 34, 8, 32);
         prop_assert_eq!(
             replay(bouncing(), &statuses),
             replay(bouncing(), &statuses)
+        );
+    }
+
+    /// The k-branch round-robin collapses to the paper's two-branch
+    /// machines whenever exactly two branches are live: dwell 2 is
+    /// decision-for-decision [`SemiActive`], dwell 0 is the
+    /// [`ThresholdSeeker`] rotation — on arbitrary observation streams.
+    #[test]
+    fn round_robin_collapses_to_the_paper_machines_at_k2(
+        raw in proptest::collection::vec((any::<u64>(), any::<u64>(), any::<u64>()), 1..96),
+    ) {
+        let statuses = decode_statuses(&raw);
+        prop_assert_eq!(
+            replay(RoundRobin::new(2), &statuses),
+            replay(SemiActive::new(), &statuses)
+        );
+        prop_assert_eq!(
+            replay(RoundRobin::new(0), &statuses),
+            replay(ThresholdSeeker::new(), &statuses)
         );
     }
 
@@ -92,7 +120,7 @@ proptest! {
         let honest = honest_raw % (total + 1);
         let byz = byz_raw % (total + 1);
         let st = BranchStatus {
-            branch: 0,
+            branch: BranchId::GENESIS,
             epoch,
             total_active_stake: total,
             honest_active_stake: honest,
@@ -121,8 +149,9 @@ proptest! {
     }
 
     /// Structural slashability: `DualActive` double-votes every epoch;
-    /// `SemiActive` and `ThresholdSeeker` vote **exactly one** branch
-    /// every epoch (never a same-epoch double vote ⇒ not slashable).
+    /// `SemiActive`, `ThresholdSeeker` and `RoundRobin` vote **exactly
+    /// one** branch every epoch (never a same-epoch double vote ⇒ not
+    /// slashable).
     #[test]
     fn slashability_structure_holds(
         raw in proptest::collection::vec((any::<u64>(), any::<u64>(), any::<u64>()), 1..64),
@@ -130,18 +159,16 @@ proptest! {
         let statuses = decode_statuses(&raw);
         for decision in replay(DualActive, &statuses) {
             prop_assert_eq!(decision, [true, true]);
+            prop_assert!(decision.is_double_vote());
         }
         for schedule in [
             replay(SemiActive::new(), &statuses),
             replay(ThresholdSeeker::new(), &statuses),
+            replay(RoundRobin::new(2), &statuses),
         ] {
             for (e, decision) in schedule.iter().enumerate() {
-                prop_assert!(
-                    decision[0] ^ decision[1],
-                    "epoch {}: voted {:?}",
-                    e,
-                    decision
-                );
+                prop_assert_eq!(decision.count(), 1, "epoch {}: voted {:?}", e, decision);
+                prop_assert!(!decision.is_double_vote());
             }
         }
     }
@@ -156,12 +183,12 @@ proptest! {
     ) {
         let statuses = decode_statuses(&raw);
         let mut schedule = Bouncing::new(seed, 100, byz, 8, 32);
-        let decisions: Vec<[bool; 2]> = statuses
+        let decisions: Vec<BranchChoice> = statuses
             .iter()
             .map(|st| schedule.participate(st))
             .collect();
         for decision in &decisions {
-            prop_assert!(decision[0] ^ decision[1]);
+            prop_assert_eq!(decision.count(), 1);
         }
         if let Some(failed) = schedule.failed_at {
             for (e, decision) in decisions.iter().enumerate() {
