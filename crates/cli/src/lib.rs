@@ -36,18 +36,25 @@
 //! and the batch fans over the worker pool — byte-identical for any
 //! `--threads`.
 //!
+//! The `chaos` subcommand runs randomized campaigns
+//! ([`ethpos_core::chaos`]): `--budget` cases are sampled (timeline ×
+//! adversary × stake split), every run is checked against safety and
+//! liveness oracles derived from the paper's closed forms, and any
+//! unexpected violation is minimized by the timeline-aware shrinker
+//! before it is reported — byte-identical for any `--threads`.
+//!
 //! `--out <path>` (any mode) writes the document to a file instead of
 //! stdout, so CI jobs collect artifacts without shell redirection.
 //! `--regen-golden <dir>` rewrites the golden-snapshot corpus under
-//! `<dir>` (normally `tests/golden`) after an intentional behaviour
-//! change.
+//! `<dir>` (normally `tests/golden`, including the chaos replay corpus
+//! under `<dir>/chaos`) after an intentional behaviour change.
 
 #![warn(missing_docs)]
 
 use ethpos_core::experiments::{run_experiment_with, Experiment, McConfig};
 use ethpos_core::partition::{self, PartitionSpec, StrategyKind};
 use ethpos_core::sweep::SweepSpec;
-use ethpos_core::BackendKind;
+use ethpos_core::{BackendKind, ChaosSpec};
 use ethpos_search::{Objective, SearchSpec};
 
 /// Usage text printed on `--help` and argument errors.
@@ -60,6 +67,7 @@ USAGE:
     ethpos-cli sweep [--grid AXIS=V1,V2,...]... [OPTIONS]
     ethpos-cli search [--objective ID] [--budget N] [OPTIONS]
     ethpos-cli partition [--timeline SPEC]... [OPTIONS]
+    ethpos-cli chaos [--budget N] [--seed S] [OPTIONS]
     ethpos-cli --regen-golden <dir>
     ethpos-cli --list
 
@@ -76,6 +84,10 @@ ARGS:
     partition     run k-branch partition timelines (splits, heals, churn)
                   the paper cannot express, at paper-true population
                   sizes on the cohort backend
+    chaos         run a randomized campaign (sampled timelines ×
+                  adversaries × stake splits) against safety/liveness
+                  oracles; unexpected violations are shrunk to minimal
+                  reproducers
 
 OPTIONS:
     --format <text|json>    Output format [default: text]
@@ -98,7 +110,8 @@ OPTIONS:
                             semantics (paper|spec)
     --objective <ID>        (search) damage metric: conflict, proportion,
                             non-slashable-horizon [default: conflict]
-    --budget <N>            (search) candidate evaluations [default: 256]
+    --budget <N>            (search, chaos) candidate / case count
+                            [default: 256]
     --beta0 <X>             (search, partition) initial Byzantine
                             proportion [default: mode-specific]
     --p0 <X>                (search) honest split [default: 0.5]
@@ -113,7 +126,8 @@ OPTIONS:
                             dual-active, semi-active, threshold-seeker,
                             rotate, rotate-dwell [default: rotate-dwell]
     --regen-golden <dir>    Rewrite the golden-snapshot corpus fixtures
-                            (the five paper scenarios) into <dir>
+                            (the five paper scenarios plus the chaos
+                            replay corpus under <dir>/chaos) into <dir>
     --list                  List experiment ids with their paper reference
     --help                  Show this help";
 
@@ -168,6 +182,15 @@ pub enum Cli {
         /// `--out` destination (stdout when absent).
         out: Option<String>,
     },
+    /// Run a randomized chaos campaign (`chaos`).
+    Chaos {
+        /// The campaign to run.
+        spec: ChaosSpec,
+        /// Selected output format.
+        format: Format,
+        /// `--out` destination (stdout when absent).
+        out: Option<String>,
+    },
     /// Rewrite the golden-snapshot corpus (`--regen-golden <dir>`).
     RegenGolden {
         /// Destination directory (normally `tests/golden`).
@@ -186,7 +209,8 @@ impl Cli {
             Cli::Run { out, .. }
             | Cli::Sweep { out, .. }
             | Cli::Search { out, .. }
-            | Cli::Partition { out, .. } => out.as_deref(),
+            | Cli::Partition { out, .. }
+            | Cli::Chaos { out, .. } => out.as_deref(),
             Cli::RegenGolden { .. } | Cli::List | Cli::Help => None,
         }
     }
@@ -228,6 +252,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliErr
     let mut sweep = false;
     let mut search = false;
     let mut partition = false;
+    let mut chaos = false;
     let mut flags = RawFlags::default();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -313,6 +338,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliErr
                 "sweep" => sweep = true,
                 "search" => search = true,
                 "partition" => partition = true,
+                "chaos" => chaos = true,
                 "all" => experiments.extend(Experiment::all()),
                 id => {
                     let experiment = Experiment::from_id(id).ok_or_else(|| {
@@ -325,13 +351,18 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliErr
             }
         }
     }
-    if [sweep, search, partition].iter().filter(|&&m| m).count() > 1 {
+    if [sweep, search, partition, chaos]
+        .iter()
+        .filter(|&&m| m)
+        .count()
+        > 1
+    {
         return Err(CliError::Usage(
-            "`sweep`, `search` and `partition` are different subcommands".into(),
+            "`sweep`, `search`, `partition` and `chaos` are different subcommands".into(),
         ));
     }
     if let Some(dir) = flags.regen_golden {
-        if sweep || search || partition || !experiments.is_empty() {
+        if sweep || search || partition || chaos || !experiments.is_empty() {
             return Err(CliError::Usage(
                 "--regen-golden stands alone (it rewrites the fixture corpus)".into(),
             ));
@@ -346,6 +377,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliErr
     }
     if partition {
         return build_partition(&experiments, flags);
+    }
+    if chaos {
+        return build_chaos(&experiments, flags);
     }
     build_run(experiments, flags)
 }
@@ -374,15 +408,15 @@ fn build_partition(experiments: &[Experiment], flags: RawFlags) -> Result<Cli, C
                 .into(),
         ));
     }
-    for (name, set) in [
-        ("--objective", flags.objective.is_some()),
-        ("--budget", flags.budget.is_some()),
-        ("--max-period", flags.max_period.is_some()),
-        ("--p0", flags.p0.is_some()),
+    for (name, valid_with, set) in [
+        ("--objective", "`search`", flags.objective.is_some()),
+        ("--budget", "`search` and `chaos`", flags.budget.is_some()),
+        ("--max-period", "`search`", flags.max_period.is_some()),
+        ("--p0", "`search`", flags.p0.is_some()),
     ] {
         if set {
             return Err(CliError::Usage(format!(
-                "{name} is only valid with the `search` subcommand \
+                "{name} is only valid with the {valid_with} subcommand(s) \
                  (partition splits are set by the timeline weights)"
             )));
         }
@@ -432,13 +466,72 @@ fn build_partition(experiments: &[Experiment], flags: RawFlags) -> Result<Cli, C
     })
 }
 
+fn build_chaos(experiments: &[Experiment], flags: RawFlags) -> Result<Cli, CliError> {
+    if let Some(extra) = experiments.first() {
+        return Err(CliError::Usage(format!(
+            "`chaos` cannot be combined with experiment ids (got `{}`)",
+            extra.id()
+        )));
+    }
+    if let Some(grid) = flags.grids.first() {
+        return Err(CliError::Usage(format!(
+            "--grid {grid} is only valid with the `sweep` subcommand"
+        )));
+    }
+    if flags.walkers.is_some() {
+        return Err(CliError::Usage(
+            "--walkers is a Monte-Carlo knob; `chaos` sizes itself with --budget".into(),
+        ));
+    }
+    // The campaign samples its own stake splits and adversaries — the
+    // search/partition shape knobs have nothing to bind to.
+    for (name, set) in [
+        ("--objective", flags.objective.is_some()),
+        ("--max-period", flags.max_period.is_some()),
+        ("--p0", flags.p0.is_some()),
+        ("--beta0", flags.beta0.is_some()),
+    ] {
+        if set {
+            return Err(CliError::Usage(format!(
+                "{name} has no meaning under `chaos` (the campaign samples \
+                 stake splits and adversaries from --seed)"
+            )));
+        }
+    }
+    reject_partition_flags(&flags)?;
+    let mut spec = ChaosSpec::default();
+    if let Some(budget) = flags.budget {
+        spec.budget = budget as u64;
+    }
+    if let Some(seed) = flags.seed {
+        spec.seed = seed;
+    }
+    if let Some(epochs) = flags.epochs {
+        spec.max_epochs = epochs;
+    }
+    if let Some(n) = flags.validators {
+        spec.n = n;
+    }
+    if let Some(backend) = flags.backend {
+        spec.backend = backend;
+    }
+    if let Some(threads) = flags.threads {
+        spec.threads = threads;
+    }
+    Ok(Cli::Chaos {
+        spec,
+        format: flags.format.unwrap_or(Format::Text),
+        out: flags.out,
+    })
+}
+
 /// Rejects the search-only flags (and the search/partition-shared
 /// `--beta0`) in plain-run and `sweep` modes (`hint` is appended to the
 /// error when the mode has an equivalent of its own).
 fn reject_search_flags(flags: &RawFlags, hint: &str) -> Result<(), CliError> {
     for (name, valid_with, set) in [
         ("--objective", "`search`", flags.objective.is_some()),
-        ("--budget", "`search`", flags.budget.is_some()),
+        ("--budget", "`search` and `chaos`", flags.budget.is_some()),
         ("--beta0", "`search` and `partition`", flags.beta0.is_some()),
         ("--p0", "`search`", flags.p0.is_some()),
         ("--max-period", "`search`", flags.max_period.is_some()),
@@ -685,6 +778,13 @@ pub fn run(cli: &Cli) -> String {
                 Format::Json => format!("{}\n", report.to_json()),
             }
         }
+        Cli::Chaos { spec, format, .. } => {
+            let report = spec.run();
+            match format {
+                Format::Text => report.render_text(),
+                Format::Json => format!("{}\n", report.to_json()),
+            }
+        }
         Cli::RegenGolden { dir } => {
             // The binary routes this variant through [`regen_golden`] so
             // a failure exits non-zero; this arm keeps `run` total for
@@ -730,6 +830,14 @@ mod tests {
                 assert!(matches!(
                     parse_args(args(&["partition"])),
                     Ok(Cli::Partition { .. })
+                ));
+                continue;
+            }
+            if e == Experiment::ChaosCampaign {
+                // Same shadowing for `chaos`.
+                assert!(matches!(
+                    parse_args(args(&["chaos"])),
+                    Ok(Cli::Chaos { .. })
                 ));
                 continue;
             }
@@ -1063,6 +1171,8 @@ mod tests {
         assert_eq!(cli.out(), Some("b.json"));
         let cli = parse_args(args(&["search", "--out", "c.json"])).unwrap();
         assert_eq!(cli.out(), Some("c.json"));
+        let cli = parse_args(args(&["chaos", "--out", "d.json"])).unwrap();
+        assert_eq!(cli.out(), Some("d.json"));
         assert_eq!(parse_args(args(&["--list"])).unwrap().out(), None);
         assert!(parse_args(args(&["fig2", "--out"])).is_err());
     }
@@ -1256,7 +1366,7 @@ mod tests {
     }
 
     #[test]
-    fn regen_golden_writes_the_five_fixtures() {
+    fn regen_golden_writes_the_paper_and_chaos_fixtures() {
         let dir = std::env::temp_dir().join(format!("ethpos-golden-{}", std::process::id()));
         let cli = parse_args(args(&["--regen-golden", dir.to_str().unwrap()])).unwrap();
         assert_eq!(
@@ -1266,12 +1376,113 @@ mod tests {
             }
         );
         let message = run(&cli);
-        assert_eq!(message.lines().count(), 5, "{message}");
+        // five paper scenarios + the three chaos replay fixtures
+        assert_eq!(message.lines().count(), 8, "{message}");
         for scenario in ethpos_core::golden::scenarios() {
             let path = dir.join(scenario.file_name());
             assert!(path.exists(), "{path:?} missing");
         }
+        for name in [
+            "expected_attack_exemplar.json",
+            "shrunk_conflict_floor.json",
+            "shrunk_liveness_grace.json",
+        ] {
+            let path = dir.join("chaos").join(name);
+            assert!(path.exists(), "{path:?} missing");
+        }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chaos_parses_with_defaults() {
+        let Ok(Cli::Chaos { spec, format, out }) = parse_args(args(&["chaos"])) else {
+            panic!("bare chaos did not parse");
+        };
+        assert_eq!(format, Format::Text);
+        assert_eq!(out, None);
+        assert_eq!(spec, ChaosSpec::default());
+        assert_eq!(spec.n, 1_000_000);
+        assert_eq!(spec.backend, BackendKind::Cohort);
+        assert_eq!(spec.budget, 256);
+        assert_eq!(spec.seed, 1);
+    }
+
+    #[test]
+    fn chaos_knobs_reach_the_spec() {
+        let Ok(Cli::Chaos { spec, .. }) = parse_args(args(&[
+            "chaos",
+            "--budget",
+            "64",
+            "--seed=9",
+            "--epochs",
+            "2048",
+            "--validators",
+            "65536",
+            "--backend=dense",
+            "--threads",
+            "2",
+        ])) else {
+            panic!("chaos did not parse");
+        };
+        assert_eq!(spec.budget, 64);
+        assert_eq!(spec.seed, 9);
+        assert_eq!(spec.max_epochs, 2048);
+        assert_eq!(spec.n, 65536);
+        assert_eq!(spec.backend, BackendKind::Dense);
+        assert_eq!(spec.threads, 2);
+    }
+
+    #[test]
+    fn chaos_misuse_is_a_usage_error() {
+        for bad in [
+            &["chaos", "fig2"] as &[&str],
+            &["chaos", "sweep"],
+            &["chaos", "search"],
+            &["chaos", "partition"],
+            &["chaos", "--budget", "0"],
+            &["chaos", "--walkers", "100"],
+            &["chaos", "--grid", "beta0=0.3"],
+            // the campaign samples its own splits and adversaries
+            &["chaos", "--beta0", "0.3"],
+            &["chaos", "--p0", "0.5"],
+            &["chaos", "--objective", "conflict"],
+            &["chaos", "--max-period", "2"],
+            &["chaos", "--timeline", "three-branch"],
+            &["chaos", "--strategy", "rotate"],
+            &["chaos", "--regen-golden", "dir"],
+        ] {
+            assert!(
+                matches!(parse_args(args(bad)), Err(CliError::Usage(_))),
+                "{bad:?} was accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_run_emits_valid_json() {
+        let cli = parse_args(args(&[
+            "chaos",
+            "--budget",
+            "3",
+            "--seed=5",
+            "--validators",
+            "4096",
+            "--epochs",
+            "256",
+            "--threads",
+            "1",
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        let value: serde_json::Value = serde_json::from_str(&run(&cli)).unwrap();
+        assert_eq!(value.get("budget").and_then(|v| v.as_u64()), Some(3));
+        assert_eq!(value.get("seed").and_then(|v| v.as_u64()), Some(5));
+        let rows = value.get("rows").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert!(value.get("counts").is_some());
+        let violations = value.get("violations").and_then(|v| v.as_array()).unwrap();
+        assert!(violations.is_empty(), "healthy engine, no violations");
     }
 
     #[test]

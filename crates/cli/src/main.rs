@@ -26,6 +26,13 @@
 //! # dual-active and semi-active strategies as the frontier's ends):
 //! cargo run --release -p ethpos-cli -- search \
 //!     --objective non-slashable-horizon --out frontier.json --format json
+//!
+//! # Beyond the paper: a randomized chaos campaign — sampled timelines ×
+//! # adversaries checked against safety/liveness oracles derived from
+//! # the paper's closed forms, with minimized reproducers for anything
+//! # unexpected:
+//! cargo run --release -p ethpos-cli -- chaos --budget 512 --seed 1 \
+//!     --out chaos.json --format json
 //! ```
 
 use std::process::ExitCode;

@@ -1,0 +1,327 @@
+//! Timeline-aware counterexample minimization.
+//!
+//! The vendored proptest shim deliberately has no shrinking, and generic
+//! byte-level shrinking would be useless here anyway: a chaos case is a
+//! structured object (timeline × adversary × horizon) whose reductions
+//! must respect the engine's structural rules. This module implements
+//! greedy first-improvement shrinking with domain-specific passes,
+//! re-running the caller's oracle predicate on every candidate:
+//!
+//! 1. **drop events** ([`ethpos_sim::without_event`]) — remove one
+//!    timeline event at a time, earliest first;
+//! 2. **shrink k** ([`ethpos_sim::merge_tail_weights`]) — merge the last
+//!    two branches of a k ≥ 3 split;
+//! 3. **shorten the horizon** — halve `max_epochs` down to a floor of 8;
+//! 4. **soften weights** ([`ethpos_sim::soften_weights`]) — move split
+//!    weights halfway toward uniform (stops within an epsilon of
+//!    uniform, so the pass terminates);
+//! 5. **simplify the adversary** — replace the schedule with a strictly
+//!    less complex one (`dual-active` — attest everything, always — is
+//!    the bottom element).
+//!
+//! The passes loop to a fixpoint: simplifying the adversary can unlock
+//! timeline reductions (a genome pins the timeline to two live branches;
+//! `dual-active` does not), so a single sweep is not enough. Termination
+//! is structural — every accepted candidate strictly decreases a
+//! well-founded measure (event count, branch slots, horizon, adversary
+//! complexity, or epsilon-bounded weight distance from uniform) — and a
+//! global predicate-call budget backstops it.
+
+use ethpos_search::{DutyGene, Genome};
+use ethpos_sim::{merge_tail_weights, soften_weights, two_branch_only, without_event};
+
+use super::{Adversary, ChaosCase};
+use crate::partition::StrategyKind;
+
+/// Default cap on oracle re-runs per shrink (each candidate costs one
+/// full simulation; hand-built cases minimize in well under a hundred).
+pub const DEFAULT_STEP_BUDGET: usize = 512;
+
+/// Population the shrinker compile-checks candidates against (matches
+/// the sampler's probe — structural validity is population-independent
+/// above a few thousand).
+const PROBE: u64 = 1 << 16;
+
+/// The outcome of a shrink run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShrinkResult {
+    /// The minimized case (equal to the original when nothing smaller
+    /// still satisfies the predicate).
+    pub case: ChaosCase,
+    /// Oracle predicate invocations spent.
+    pub predicate_calls: usize,
+    /// Candidates accepted (reduction steps taken).
+    pub accepted: usize,
+}
+
+/// True when a candidate is even worth running: its timeline compiles
+/// and, for adversaries defined only on two live branches, every phase
+/// has exactly two. Rejected candidates cost no predicate call.
+fn viable(case: &ChaosCase) -> bool {
+    if case.timeline.compile(PROBE).is_err() {
+        return false;
+    }
+    !case.adversary.requires_two_branches() || two_branch_only(&case.timeline)
+}
+
+/// Strictly simpler adversaries to try, most aggressive first.
+fn simpler_adversaries(adversary: &Adversary) -> Vec<Adversary> {
+    let mut out = vec![Adversary::Strategy(StrategyKind::DualActive)];
+    if let Adversary::Genome(g) = adversary {
+        if g.dwell > 0 {
+            out.push(Adversary::Genome(
+                Genome {
+                    dwell: g.dwell / 2,
+                    ..*g
+                }
+                .canonical(),
+            ));
+        }
+        for i in 0..2 {
+            if g.duty[i] != DutyGene::ON {
+                let mut always_on = *g;
+                always_on.duty[i] = DutyGene::ON;
+                out.push(Adversary::Genome(always_on.canonical()));
+            }
+        }
+    }
+    out.retain(|c| c.complexity() < adversary.complexity());
+    out
+}
+
+/// All reduction candidates of `case`, in pass-priority order (biggest
+/// structural cuts first).
+fn candidates(case: &ChaosCase) -> Vec<ChaosCase> {
+    let mut out = Vec::new();
+    let events = case.timeline.events.len();
+    for i in 0..events {
+        if let Some(timeline) = without_event(&case.timeline, i) {
+            out.push(ChaosCase {
+                timeline,
+                ..case.clone()
+            });
+        }
+    }
+    for i in 0..events {
+        if let Some(timeline) = merge_tail_weights(&case.timeline, i) {
+            out.push(ChaosCase {
+                timeline,
+                ..case.clone()
+            });
+        }
+    }
+    if case.max_epochs > 8 {
+        out.push(ChaosCase {
+            max_epochs: (case.max_epochs / 2).max(8),
+            ..case.clone()
+        });
+    }
+    for i in 0..events {
+        if let Some(timeline) = soften_weights(&case.timeline, i) {
+            out.push(ChaosCase {
+                timeline,
+                ..case.clone()
+            });
+        }
+    }
+    for adversary in simpler_adversaries(&case.adversary) {
+        out.push(ChaosCase {
+            adversary,
+            ..case.clone()
+        });
+    }
+    out
+}
+
+/// Greedily minimizes `original` while `predicate` (the oracle: "does
+/// this case still exhibit the violation?") stays true, spending at most
+/// `step_budget` predicate calls. Deterministic: candidate order is a
+/// pure function of the case, and the first accepted candidate wins.
+///
+/// The returned case always satisfies the predicate **if the original
+/// did** — a candidate is only adopted after the predicate confirms it.
+/// The predicate is never called on the original.
+pub fn shrink_case(
+    original: &ChaosCase,
+    predicate: &mut dyn FnMut(&ChaosCase) -> bool,
+    step_budget: usize,
+) -> ShrinkResult {
+    let mut current = original.clone();
+    let mut predicate_calls = 0;
+    let mut accepted = 0;
+    'outer: loop {
+        for candidate in candidates(&current) {
+            if !viable(&candidate) {
+                continue;
+            }
+            if predicate_calls >= step_budget {
+                break 'outer;
+            }
+            predicate_calls += 1;
+            if predicate(&candidate) {
+                current = candidate;
+                accepted += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    ShrinkResult {
+        case: current,
+        predicate_calls,
+        accepted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ethpos_sim::PartitionTimeline;
+    use ethpos_stats::SeedSequence;
+    use ethpos_types::BranchId;
+    use proptest::prelude::*;
+
+    fn case_with(timeline: PartitionTimeline, adversary: Adversary, max_epochs: u64) -> ChaosCase {
+        ChaosCase {
+            index: 0,
+            timeline,
+            adversary,
+            beta0: 0.2,
+            n: 4096,
+            max_epochs,
+            engine_seed: 9,
+        }
+    }
+
+    fn complex_case() -> ChaosCase {
+        let timeline = PartitionTimeline::new()
+            .split(0, BranchId::GENESIS, &[0.5, 0.3, 0.2])
+            .heal(
+                100,
+                BranchId::GENESIS,
+                &[BranchId::new(1), BranchId::new(2)],
+            )
+            .split(200, BranchId::GENESIS, &[0.7, 0.3]);
+        case_with(timeline, Adversary::Strategy(StrategyKind::Rotate), 2048)
+    }
+
+    #[test]
+    fn always_true_predicate_shrinks_to_the_floor() {
+        let original = complex_case();
+        let result = shrink_case(&original, &mut |_| true, DEFAULT_STEP_BUDGET);
+        assert_eq!(result.case.timeline.events.len(), 1);
+        assert_eq!(result.case.max_epochs, 8);
+        assert_eq!(
+            result.case.adversary,
+            Adversary::Strategy(StrategyKind::DualActive)
+        );
+        assert!(result.case.size() < original.size());
+        assert!(result.predicate_calls <= DEFAULT_STEP_BUDGET);
+        assert!(result.accepted > 0);
+    }
+
+    #[test]
+    fn always_false_predicate_returns_the_original() {
+        let original = complex_case();
+        let result = shrink_case(&original, &mut |_| false, DEFAULT_STEP_BUDGET);
+        assert_eq!(result.case, original);
+        assert_eq!(result.accepted, 0);
+        assert!(result.predicate_calls > 0);
+    }
+
+    #[test]
+    fn budget_zero_spends_no_predicate_calls() {
+        let original = complex_case();
+        let result = shrink_case(&original, &mut |_| true, 0);
+        assert_eq!(result.case, original);
+        assert_eq!(result.predicate_calls, 0);
+    }
+
+    #[test]
+    fn predicate_constraints_survive_shrinking() {
+        // The oracle insists on a long horizon and at least one split:
+        // the shrinker must stop exactly at those constraints.
+        let original = complex_case();
+        let mut predicate = |c: &ChaosCase| c.max_epochs >= 100 && !c.timeline.events.is_empty();
+        let result = shrink_case(&original, &mut predicate, DEFAULT_STEP_BUDGET);
+        assert!(predicate(&result.case));
+        // halving from 2048 under the ≥ 100 constraint lands on 128
+        assert_eq!(result.case.max_epochs, 128);
+        assert!(result.case.size() < original.size());
+    }
+
+    #[test]
+    fn two_branch_adversaries_gate_candidate_viability() {
+        let two = PartitionTimeline::two_branch(0.5);
+        let three = PartitionTimeline::new().split(0, BranchId::GENESIS, &[0.5, 0.3, 0.2]);
+        let genome = Adversary::Genome(Genome::SEMI_ACTIVE);
+        // A genome is only defined on exactly two live branches: a
+        // three-branch candidate is rejected before costing a predicate
+        // call, while a k-branch strategy accepts the same timeline.
+        assert!(viable(&case_with(two.clone(), genome, 512)));
+        assert!(!viable(&case_with(three.clone(), genome, 512)));
+        assert!(viable(&case_with(
+            three,
+            Adversary::Strategy(StrategyKind::DualActive),
+            512
+        )));
+        // Shrinking a genome case bottoms out at the simplest strategy
+        // via the adversary pass (the timeline is already minimal).
+        let original = case_with(two, genome, 512);
+        let result = shrink_case(&original, &mut |_| true, DEFAULT_STEP_BUDGET);
+        assert!(two_branch_only(&result.case.timeline));
+        assert_eq!(
+            result.case.adversary,
+            Adversary::Strategy(StrategyKind::DualActive)
+        );
+        assert_eq!(result.case.max_epochs, 8);
+    }
+
+    #[test]
+    fn simpler_adversaries_strictly_descend() {
+        let genome = Adversary::Genome(Genome::SEMI_ACTIVE);
+        for simpler in simpler_adversaries(&genome) {
+            assert!(simpler.complexity() < genome.complexity());
+        }
+        let bottom = Adversary::Strategy(StrategyKind::DualActive);
+        assert!(simpler_adversaries(&bottom).is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Shrinking never grows the case, always terminates within
+        /// budget, preserves the (engine-free) violation predicate, and
+        /// is deterministic for a fixed seed.
+        #[test]
+        fn shrinking_preserves_terminates_and_is_deterministic(seed in 0u64..3000) {
+            let seq = SeedSequence::new(seed);
+            let timeline = ethpos_sim::sample_timeline(&mut seq.child_rng(0), 2048);
+            let original = case_with(
+                timeline,
+                Adversary::Strategy(StrategyKind::ThresholdSeeker),
+                2048,
+            );
+            // An engine-free stand-in oracle with real structure: the
+            // "violation" needs a split with ≥ 35 % on one side and a
+            // horizon of ≥ 64 epochs.
+            let holds = |c: &ChaosCase| {
+                c.max_epochs >= 64
+                    && c.timeline.events.iter().any(|e| match &e.action {
+                        ethpos_sim::TimelineAction::Split { weights, .. } => {
+                            let total: f64 = weights.iter().sum();
+                            weights.iter().any(|w| w / total >= 0.35)
+                        }
+                        ethpos_sim::TimelineAction::Heal { .. } => false,
+                    })
+            };
+            prop_assume!(holds(&original));
+            let a = shrink_case(&original, &mut |c: &ChaosCase| holds(c), DEFAULT_STEP_BUDGET);
+            prop_assert!(holds(&a.case), "violation must survive shrinking");
+            prop_assert!(a.case.size() <= original.size());
+            prop_assert!(a.predicate_calls <= DEFAULT_STEP_BUDGET);
+            let b = shrink_case(&original, &mut |c: &ChaosCase| holds(c), DEFAULT_STEP_BUDGET);
+            prop_assert_eq!(a, b, "shrinking must be deterministic");
+        }
+    }
+}

@@ -44,13 +44,17 @@ pub enum Experiment {
     /// Beyond the paper: the k-branch partition-timeline scenario suite
     /// (3-branch semi-active, heal-then-resplit).
     PartitionTimelines,
+    /// Beyond the paper: a smoke chaos campaign — randomized timelines ×
+    /// adversaries checked against the closed-form safety/liveness
+    /// oracles.
+    ChaosCampaign,
 }
 
 impl Experiment {
     /// All experiments in paper order (plus the beyond-the-paper attack
     /// frontier and partition timelines last, so `ethpos-cli all`
     /// exercises the search and partition subsystems).
-    pub fn all() -> [Experiment; 12] {
+    pub fn all() -> [Experiment; 13] {
         [
             Experiment::Fig2StakeTrajectories,
             Experiment::Fig3ActiveRatio,
@@ -64,6 +68,7 @@ impl Experiment {
             Experiment::Fig10ThresholdProbability,
             Experiment::AttackFrontier,
             Experiment::PartitionTimelines,
+            Experiment::ChaosCampaign,
         ]
     }
 
@@ -82,6 +87,7 @@ impl Experiment {
             Experiment::Fig10ThresholdProbability => "fig10",
             Experiment::AttackFrontier => "frontier",
             Experiment::PartitionTimelines => "partition",
+            Experiment::ChaosCampaign => "chaos",
         }
     }
 
@@ -118,6 +124,9 @@ impl Experiment {
             }
             Experiment::PartitionTimelines => {
                 "Partition timelines (beyond the paper) — k-branch scenario suite"
+            }
+            Experiment::ChaosCampaign => {
+                "Chaos campaign (beyond the paper) — smoke adversarial search vs the oracles"
             }
         }
     }
@@ -225,6 +234,7 @@ pub fn run_experiment(experiment: Experiment) -> ExperimentOutput {
         Experiment::Fig10ThresholdProbability => fig10(),
         Experiment::AttackFrontier => frontier_smoke(&McConfig::default()),
         Experiment::PartitionTimelines => partition_smoke(&McConfig::default()),
+        Experiment::ChaosCampaign => chaos_smoke(&McConfig::default()),
     }
 }
 
@@ -269,6 +279,12 @@ pub fn run_experiment_with(experiment: Experiment, mc: &McConfig) -> ExperimentO
         // honoured, the scenario suite stays the smoke presets (the
         // full-size knobs live on `ethpos-cli partition`).
         return partition_smoke(mc);
+    }
+    if experiment == Experiment::ChaosCampaign {
+        // Same contract again: `--seed`/`--threads`/`--validators`/
+        // `--backend` are honoured, the budget stays smoke-sized (the
+        // full campaign lives on `ethpos-cli chaos`).
+        return chaos_smoke(mc);
     }
     let mut out = run_experiment(experiment);
     match experiment {
@@ -633,6 +649,50 @@ fn partition_smoke(mc: &McConfig) -> ExperimentOutput {
     }
 }
 
+/// The `chaos` experiment: a smoke-budget chaos campaign
+/// ([`crate::chaos::ChaosSpec::smoke`]) honouring `mc.seed`,
+/// `mc.threads` and, when set, `mc.validators`/`mc.backend`.
+/// Deterministic and thread-count invariant like every other experiment.
+fn chaos_smoke(mc: &McConfig) -> ExperimentOutput {
+    let mut spec = crate::chaos::ChaosSpec::smoke();
+    spec.seed = mc.seed;
+    spec.threads = mc.threads;
+    if let Some(n) = mc.validators {
+        spec.n = n;
+        spec.backend = mc.backend;
+    }
+    let report = spec.run();
+    let mut tables = vec![report.table()];
+    for v in &report.violations {
+        let mut table = Table::new(
+            format!("UNEXPECTED {} — minimized reproducer", v.verdict),
+            &["field", "original", "shrunk"],
+        );
+        table.push_row(vec![
+            "timeline".into(),
+            v.original.timeline.clone(),
+            v.shrunk.timeline.clone(),
+        ]);
+        table.push_row(vec![
+            "adversary".into(),
+            v.original.adversary.clone(),
+            v.shrunk.adversary.clone(),
+        ]);
+        table.push_row(vec![
+            "size".into(),
+            v.original_size.to_string(),
+            v.shrunk_size.to_string(),
+        ]);
+        tables.push(table);
+    }
+    ExperimentOutput {
+        experiment: Experiment::ChaosCampaign,
+        title: Experiment::ChaosCampaign.title().into(),
+        tables,
+        series: vec![],
+    }
+}
+
 /// Simulation-backed regenerations (slower; exercised by the bench
 /// harness and integration tests).
 pub mod simulated {
@@ -895,7 +955,18 @@ mod tests {
         let mut ids: Vec<&str> = Experiment::all().iter().map(|e| e.id()).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 12);
+        assert_eq!(ids.len(), 13);
+    }
+
+    #[test]
+    fn chaos_experiment_is_registered() {
+        assert_eq!(
+            Experiment::from_id("chaos"),
+            Some(Experiment::ChaosCampaign)
+        );
+        assert!(Experiment::ChaosCampaign.title().contains("Chaos campaign"));
+        // The campaign itself is exercised by the `chaos` module's own
+        // tests and the CLI; here only the registry wiring matters.
     }
 
     #[test]

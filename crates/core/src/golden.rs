@@ -245,7 +245,8 @@ pub fn scenarios() -> Vec<GoldenScenario> {
 }
 
 /// Writes every fixture into `dir` (the `--regen-golden` path of the
-/// CLI). Returns the file names written.
+/// CLI): the five paper scenarios plus the chaos replay corpus under
+/// `dir/chaos/`. Returns the file names written.
 ///
 /// # Errors
 ///
@@ -257,6 +258,12 @@ pub fn regenerate(dir: &std::path::Path) -> std::io::Result<Vec<String>> {
         let path = dir.join(scenario.file_name());
         std::fs::write(&path, scenario.render())?;
         written.push(scenario.file_name());
+    }
+    let chaos_dir = dir.join("chaos");
+    std::fs::create_dir_all(&chaos_dir)?;
+    for (name, document) in crate::chaos::corpus::builtin_fixtures() {
+        std::fs::write(chaos_dir.join(name), document)?;
+        written.push(format!("chaos/{name}"));
     }
     Ok(written)
 }

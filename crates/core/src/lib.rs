@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chaos;
 pub mod experiments;
 pub mod golden;
 pub mod partition;
@@ -48,6 +49,7 @@ pub mod scenarios;
 pub mod stake_model;
 pub mod sweep;
 
+pub use chaos::{ChaosReport, ChaosSpec};
 pub use ethpos_state::BackendKind;
 pub use experiments::{
     run_experiment, run_experiment_with, Experiment, ExperimentOutput, McConfig,

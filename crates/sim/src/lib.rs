@@ -40,6 +40,7 @@ pub mod monitor;
 pub mod partition;
 pub mod pool;
 pub mod single_branch;
+pub mod timeline_sample;
 pub mod view;
 pub mod walk_mc;
 
@@ -55,6 +56,10 @@ pub use partition::{
 pub use pool::ChunkPool;
 pub use single_branch::{
     run_single_branch, run_single_branch_on, Behavior, ClassTrajectory, StakeTrajectory,
+};
+pub use timeline_sample::{
+    branch_slots, event_count, merge_tail_weights, sample_timeline, soften_weights,
+    two_branch_only, without_event,
 };
 pub use view::View;
 pub use walk_mc::{

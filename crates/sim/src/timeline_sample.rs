@@ -1,0 +1,302 @@
+//! Random [`PartitionTimeline`] generation and deterministic reduction
+//! helpers — the sim-layer substrate of the chaos campaign runner
+//! (`ethpos_core::chaos`).
+//!
+//! [`sample_timeline`] draws a structurally valid k-branch timeline from
+//! an explicit RNG (the caller hands in a `SeedSequence` child stream, so
+//! campaigns stay byte-deterministic for any thread count). The reduction
+//! helpers ([`without_event`], [`soften_weights`], [`merge_tail_weights`])
+//! are the *moves* of the timeline-aware counterexample shrinker: each is
+//! a pure transform that proposes a strictly simpler timeline; the
+//! shrinker re-compiles and re-runs the oracle to decide whether to keep
+//! it, so the helpers never need to preserve validity themselves.
+
+use rand::Rng;
+
+use ethpos_types::BranchId;
+
+use crate::partition::{PartitionTimeline, TimelineAction, TimelineEvent};
+
+/// How far a split's weights may sit from uniform before
+/// [`soften_weights`] declares them converged and stops proposing.
+const UNIFORM_EPS: f64 = 0.02;
+
+/// Draws a random structurally valid partition timeline with all event
+/// epochs below `horizon`.
+///
+/// The distribution covers the shapes the engine supports: a k ∈ 2..=4
+/// split at epoch 0 (pinned or, for k ≤ 3, churning — the §5.3 bouncing
+/// membership model), optionally followed by a nested split of a live
+/// pinned branch, or a heal and an optional re-split (the
+/// decay-persistence shape of the `heal-resplit` preset). Weights are
+/// drawn in `[0.08, 1.08)` so no branch class collapses to zero members
+/// even at the small populations the dense/cohort cross-check uses.
+///
+/// Every returned timeline compiles; the construction tracks live
+/// branches, churn groups and id assignment so the structural rules
+/// (no re-split of a churning branch, churn groups heal as a whole)
+/// hold by construction, and a final `compile` check backstops it.
+///
+/// # Panics
+///
+/// Panics if `horizon < 64` (no room for a post-split event) or if the
+/// constructed timeline unexpectedly fails to compile — both indicate a
+/// caller or construction bug, not bad luck.
+pub fn sample_timeline<R: Rng>(rng: &mut R, horizon: u64) -> PartitionTimeline {
+    assert!(horizon >= 64, "horizon too short to schedule events");
+    let genesis = BranchId::GENESIS;
+    let weights = |k: usize, rng: &mut R| -> Vec<f64> {
+        (0..k).map(|_| 0.08 + rng.random::<f64>()).collect()
+    };
+
+    let k0 = 2 + rng.random_range(0..3u32) as usize; // 2..=4
+    let churn0 = k0 <= 3 && rng.random_bool(0.2);
+    let w0 = weights(k0, rng);
+    let mut timeline = if churn0 {
+        PartitionTimeline::new().churn(0, genesis, &w0)
+    } else {
+        PartitionTimeline::new().split(0, genesis, &w0)
+    };
+    // Ids are dense: the initial split keeps genesis (0) and creates
+    // 1..k0-1.
+    let mut next_id = k0 as u32;
+    let live_pinned: Vec<u32> = if churn0 {
+        Vec::new()
+    } else {
+        (0..k0 as u32).collect()
+    };
+
+    // Optionally one structural follow-up (and, after a heal, possibly a
+    // re-split): enough to cover nested forks, heals and the
+    // decay-persistence shape without an open-ended event list.
+    let shape = rng.random_range(0..4u32);
+    let e1 = 16 + rng.random_range(0..horizon / 2);
+    match shape {
+        // 1: nested split of a random live pinned branch.
+        1 if !live_pinned.is_empty() => {
+            let parent = live_pinned[rng.random_range(0..live_pinned.len() as u32) as usize];
+            let k = 2 + rng.random_range(0..2u32) as usize; // 2..=3
+            timeline = timeline.split(e1, BranchId::new(parent), &weights(k, rng));
+            next_id += k as u32 - 1;
+        }
+        // 2: heal everything back into one view (churn groups heal as a
+        // whole, so this shape is valid for churn timelines too),
+        // optionally re-splitting later.
+        2 => {
+            let merged: Vec<BranchId> = (1..next_id).map(BranchId::new).collect();
+            timeline = timeline.heal(e1, genesis, &merged);
+            if rng.random_bool(0.6) {
+                let e2 = e1 + 16 + rng.random_range(0..horizon / 4);
+                let k = 2 + rng.random_range(0..2u32) as usize;
+                timeline = timeline.split(e2, genesis, &weights(k, rng));
+            }
+        }
+        // 3 (pinned 3+-way splits only): heal one non-genesis branch
+        // into genesis, leaving the rest partitioned.
+        3 if !churn0 && k0 >= 3 => {
+            let merged = BranchId::new(1 + rng.random_range(0..(k0 as u32 - 1)));
+            timeline = timeline.heal(e1, genesis, &[merged]);
+        }
+        // 0 (and fallbacks): the plain epoch-0 split.
+        _ => {}
+    }
+
+    debug_assert!(next_id >= 2);
+    timeline
+        .compile(1 << 16)
+        .unwrap_or_else(|e| panic!("sampled timeline must compile: {e}"));
+    timeline
+}
+
+/// The timeline with event `index` removed, or `None` when out of range
+/// or when it is the last event (the empty timeline is not a useful
+/// reduction target — a single healthy view cannot violate anything the
+/// original did).
+pub fn without_event(timeline: &PartitionTimeline, index: usize) -> Option<PartitionTimeline> {
+    if index >= timeline.events.len() || timeline.events.len() == 1 {
+        return None;
+    }
+    let mut reduced = timeline.clone();
+    reduced.events.remove(index);
+    Some(reduced)
+}
+
+/// Moves a split's weights halfway toward uniform (`w ← (w + w̄)/2`),
+/// or `None` when event `index` is not a split or its weights are
+/// already within `UNIFORM_EPS` of uniform (so repeated application
+/// terminates).
+pub fn soften_weights(timeline: &PartitionTimeline, index: usize) -> Option<PartitionTimeline> {
+    let event = timeline.events.get(index)?;
+    let TimelineAction::Split { weights, .. } = &event.action else {
+        return None;
+    };
+    let mean = weights.iter().sum::<f64>() / weights.len() as f64;
+    if weights
+        .iter()
+        .all(|w| (w - mean).abs() <= UNIFORM_EPS * mean)
+    {
+        return None;
+    }
+    let mut reduced = timeline.clone();
+    let TimelineAction::Split { weights, .. } = &mut reduced.events[index].action else {
+        unreachable!("checked above");
+    };
+    for w in weights.iter_mut() {
+        *w = (*w + mean) / 2.0;
+    }
+    Some(reduced)
+}
+
+/// Merges the last two branches of a k ≥ 3 split into one (their weights
+/// add), or `None` when event `index` is not a split with at least three
+/// weights. The dropped [`BranchId`] shifts every later id, so later
+/// events usually stop compiling — the shrinker's compile check rejects
+/// those candidates.
+pub fn merge_tail_weights(timeline: &PartitionTimeline, index: usize) -> Option<PartitionTimeline> {
+    let event = timeline.events.get(index)?;
+    let TimelineAction::Split { weights, .. } = &event.action else {
+        return None;
+    };
+    if weights.len() < 3 {
+        return None;
+    }
+    let mut reduced = timeline.clone();
+    let TimelineAction::Split { weights, .. } = &mut reduced.events[index].action else {
+        unreachable!("checked above");
+    };
+    let tail = weights.pop().expect("len >= 3");
+    *weights.last_mut().expect("len >= 2") += tail;
+    Some(reduced)
+}
+
+/// True when every phase of the compiled timeline has exactly two live
+/// branches — the precondition for the paper's two-branch adversary
+/// machines (`SemiActive`, `ethpos_search::ParamSchedule`).
+///
+/// # Panics
+///
+/// Panics if the timeline does not compile (callers validate first).
+pub fn two_branch_only(timeline: &PartitionTimeline) -> bool {
+    let compiled = timeline.compile(1 << 16).expect("timeline must compile");
+    compiled
+        .steps()
+        .iter()
+        .all(|step| step.plan().live_branches().len() == 2)
+}
+
+/// The event count — the headline size the shrinker minimizes first.
+pub fn event_count(timeline: &PartitionTimeline) -> usize {
+    timeline.events.len()
+}
+
+/// The total number of branch slots the timeline's splits declare
+/// (a 3-way split counts 3): the k the shrinker drives down after the
+/// event count.
+pub fn branch_slots(timeline: &PartitionTimeline) -> usize {
+    timeline
+        .events
+        .iter()
+        .map(|TimelineEvent { action, .. }| match action {
+            TimelineAction::Split { weights, .. } => weights.len(),
+            TimelineAction::Heal { .. } => 0,
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ethpos_stats::SeedSequence;
+
+    #[test]
+    fn sampled_timelines_compile_for_many_seeds() {
+        let seq = SeedSequence::new(7);
+        for i in 0..200 {
+            let mut rng = seq.child_rng(i);
+            let timeline = sample_timeline(&mut rng, 4096);
+            assert!(timeline.compile(1 << 16).is_ok(), "case {i}");
+            assert!(!timeline.events.is_empty());
+            // the sampler is deterministic for a fixed stream
+            let again = sample_timeline(&mut seq.child_rng(i), 4096);
+            assert_eq!(timeline, again);
+        }
+    }
+
+    #[test]
+    fn sampled_event_epochs_stay_below_the_horizon() {
+        let seq = SeedSequence::new(11);
+        for i in 0..100 {
+            let timeline = sample_timeline(&mut seq.child_rng(i), 1024);
+            for event in &timeline.events {
+                assert!(event.epoch < 1024, "event at {} >= horizon", event.epoch);
+            }
+        }
+    }
+
+    #[test]
+    fn without_event_drops_exactly_one() {
+        let t =
+            PartitionTimeline::two_branch(0.5).heal(100, BranchId::GENESIS, &[BranchId::new(1)]);
+        let reduced = without_event(&t, 1).unwrap();
+        assert_eq!(reduced.events.len(), 1);
+        assert!(matches!(
+            reduced.events[0].action,
+            TimelineAction::Split { .. }
+        ));
+        // dropping the only event is refused
+        assert!(without_event(&reduced, 0).is_none());
+        assert!(without_event(&t, 2).is_none());
+    }
+
+    #[test]
+    fn soften_weights_converges_to_uniform_and_stops() {
+        let mut t = PartitionTimeline::new().split(0, BranchId::GENESIS, &[0.9, 0.1]);
+        let mut steps = 0;
+        while let Some(next) = soften_weights(&t, 0) {
+            t = next;
+            steps += 1;
+            assert!(steps < 64, "softening must terminate");
+        }
+        let TimelineAction::Split { weights, .. } = &t.events[0].action else {
+            panic!("split expected");
+        };
+        assert!((weights[0] - weights[1]).abs() < 0.05, "{weights:?}");
+        // non-split events are not softenable
+        let healed =
+            PartitionTimeline::two_branch(0.5).heal(10, BranchId::GENESIS, &[BranchId::new(1)]);
+        assert!(soften_weights(&healed, 1).is_none());
+    }
+
+    #[test]
+    fn merge_tail_weights_reduces_k_and_preserves_mass() {
+        let t = PartitionTimeline::new().split(0, BranchId::GENESIS, &[0.5, 0.3, 0.2]);
+        let reduced = merge_tail_weights(&t, 0).unwrap();
+        let TimelineAction::Split { weights, .. } = &reduced.events[0].action else {
+            panic!("split expected");
+        };
+        assert_eq!(weights.len(), 2);
+        assert!((weights[1] - 0.5).abs() < 1e-12);
+        // two-way splits cannot shrink further
+        assert!(merge_tail_weights(&reduced, 0).is_none());
+    }
+
+    #[test]
+    fn two_branch_only_matches_the_compiled_branch_count() {
+        assert!(two_branch_only(&PartitionTimeline::two_branch(0.4)));
+        let three = PartitionTimeline::new().split(0, BranchId::GENESIS, &[0.4, 0.3, 0.3]);
+        assert!(!two_branch_only(&three));
+        // a heal back to one view also disqualifies the timeline
+        let healed =
+            PartitionTimeline::two_branch(0.5).heal(50, BranchId::GENESIS, &[BranchId::new(1)]);
+        assert!(!two_branch_only(&healed));
+    }
+
+    #[test]
+    fn size_helpers_count_events_and_branch_slots() {
+        let t = PartitionTimeline::new()
+            .split(0, BranchId::GENESIS, &[0.4, 0.3, 0.3])
+            .heal(50, BranchId::GENESIS, &[BranchId::new(1)]);
+        assert_eq!(event_count(&t), 2);
+        assert_eq!(branch_slots(&t), 3);
+    }
+}

@@ -8,7 +8,10 @@
 //!
 //! Unlike real proptest there is **no shrinking**: a failing case reports
 //! the raw inputs that triggered it. Generation is deterministic — the
-//! RNG is seeded from the test's name — so failures reproduce exactly.
+//! RNG is seeded from the invoking file's path, its module path and the
+//! test's name (see [`TestRng::from_name`]) — so failures reproduce
+//! exactly and identically-named tests in different files still draw
+//! distinct streams.
 
 #![warn(missing_docs)]
 
@@ -49,8 +52,12 @@ pub struct TestRng {
 }
 
 impl TestRng {
-    /// Seeds the generator from a test name (FNV-1a over the bytes), so
-    /// every test has its own reproducible stream.
+    /// Seeds the generator from a test's identity (FNV-1a over the
+    /// bytes), so every test has its own reproducible stream. The
+    /// `proptest!` macro passes the `"::"`-joined concatenation of
+    /// `file!()`, `module_path!()` and the test name rather than the
+    /// bare test name: two identically-named tests in different files
+    /// (or different modules of one file) must not share a stream.
     pub fn from_name(name: &str) -> Self {
         let mut h = 0xcbf2_9ce4_8422_2325u64;
         for b in name.bytes() {
@@ -235,7 +242,17 @@ macro_rules! __proptest_tests {
             $(#[$meta])*
             fn $name() {
                 let __config: $crate::ProptestConfig = $config;
-                let mut __rng = $crate::TestRng::from_name(stringify!($name));
+                // Salt the stream with the invocation site (these
+                // builtin macros expand where `proptest!` is used, not
+                // here), so same-named tests in different files or
+                // modules draw independent streams.
+                let mut __rng = $crate::TestRng::from_name(::core::concat!(
+                    ::core::file!(),
+                    "::",
+                    ::core::module_path!(),
+                    "::",
+                    ::core::stringify!($name)
+                ));
                 for __case in 0..__config.cases {
                     $(let $arg = $crate::Strategy::sample(&($strategy), &mut __rng);)+
                     let __inputs = ::std::format!(
@@ -350,6 +367,13 @@ macro_rules! prop_assume {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+
+    #[test]
+    fn seeding_distinguishes_identical_names_in_different_files() {
+        let mut a = crate::TestRng::from_name("crates/a/tests/x.rs::x::roundtrip");
+        let mut b = crate::TestRng::from_name("crates/b/tests/y.rs::y::roundtrip");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
 
     #[test]
     fn strategies_respect_bounds() {
