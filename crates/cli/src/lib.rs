@@ -92,6 +92,10 @@ ARGS:
 OPTIONS:
     --format <text|json>    Output format [default: text]
     --out <path>            Write the document to a file instead of stdout
+    --stats-out <path>      (search, chaos) also write the run's work
+                            counters (prefix-memo checkpoint hits / fork
+                            depths) as a separate JSON artifact — the
+                            main document stays byte-identical
     --threads <N>           Worker threads, 0 = all hardware threads
                             [default: 0]; never changes the output bytes
     --walkers <N>           Monte-Carlo walkers [default: 20000]
@@ -172,6 +176,10 @@ pub enum Cli {
         format: Format,
         /// `--out` destination (stdout when absent).
         out: Option<String>,
+        /// `--stats-out` destination for the prefix-memo work counters
+        /// (no artifact when absent; never part of the frontier
+        /// document).
+        stats_out: Option<String>,
     },
     /// Run partition timelines (`partition`).
     Partition {
@@ -190,6 +198,10 @@ pub enum Cli {
         format: Format,
         /// `--out` destination (stdout when absent).
         out: Option<String>,
+        /// `--stats-out` destination for the campaign's fork counters
+        /// (no artifact when absent; never part of the report
+        /// document).
+        stats_out: Option<String>,
     },
     /// Rewrite the golden-snapshot corpus (`--regen-golden <dir>`).
     RegenGolden {
@@ -212,6 +224,15 @@ impl Cli {
             | Cli::Partition { out, .. }
             | Cli::Chaos { out, .. } => out.as_deref(),
             Cli::RegenGolden { .. } | Cli::List | Cli::Help => None,
+        }
+    }
+
+    /// The `--stats-out` destination, if one was given (search and
+    /// chaos only).
+    pub fn stats_out(&self) -> Option<&str> {
+        match self {
+            Cli::Search { stats_out, .. } | Cli::Chaos { stats_out, .. } => stats_out.as_deref(),
+            _ => None,
         }
     }
 }
@@ -244,6 +265,7 @@ struct RawFlags {
     strategy: Option<StrategyKind>,
     regen_golden: Option<String>,
     out: Option<String>,
+    stats_out: Option<String>,
 }
 
 /// Parses command-line arguments (without the program name).
@@ -328,6 +350,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliErr
             flags.regen_golden = Some(value);
         } else if let Some(value) = flag_value("--out")? {
             flags.out = Some(value);
+        } else if let Some(value) = flag_value("--stats-out")? {
+            flags.stats_out = Some(value);
         } else {
             match arg.as_str() {
                 "--help" | "-h" => return Ok(Cli::Help),
@@ -421,6 +445,7 @@ fn build_partition(experiments: &[Experiment], flags: RawFlags) -> Result<Cli, C
             )));
         }
     }
+    reject_stats_out(&flags)?;
     let strategy = flags.strategy.unwrap_or(StrategyKind::RotateDwell);
     let beta0 = flags.beta0.unwrap_or(PARTITION_DEFAULT_BETA0);
     let epochs = flags.epochs.unwrap_or(PARTITION_DEFAULT_EPOCHS);
@@ -522,6 +547,7 @@ fn build_chaos(experiments: &[Experiment], flags: RawFlags) -> Result<Cli, CliEr
         spec,
         format: flags.format.unwrap_or(Format::Text),
         out: flags.out,
+        stats_out: flags.stats_out,
     })
 }
 
@@ -541,6 +567,17 @@ fn reject_search_flags(flags: &RawFlags, hint: &str) -> Result<(), CliError> {
                 "{name} is only valid with the {valid_with} subcommand(s){hint}"
             )));
         }
+    }
+    Ok(())
+}
+
+/// Rejects `--stats-out` in the modes that produce no work-counter
+/// artifact.
+fn reject_stats_out(flags: &RawFlags) -> Result<(), CliError> {
+    if flags.stats_out.is_some() {
+        return Err(CliError::Usage(
+            "--stats-out is only valid with the `search` and `chaos` subcommands".into(),
+        ));
     }
     Ok(())
 }
@@ -568,6 +605,7 @@ fn build_run(mut experiments: Vec<Experiment>, flags: RawFlags) -> Result<Cli, C
     }
     reject_search_flags(&flags, "")?;
     reject_partition_flags(&flags)?;
+    reject_stats_out(&flags)?;
     if experiments.is_empty() {
         return Err(CliError::Usage("no experiment selected".into()));
     }
@@ -644,6 +682,7 @@ fn build_search(experiments: &[Experiment], flags: RawFlags) -> Result<Cli, CliE
         spec,
         format: flags.format.unwrap_or(Format::Text),
         out: flags.out,
+        stats_out: flags.stats_out,
     })
 }
 
@@ -656,6 +695,7 @@ fn build_sweep(experiments: &[Experiment], flags: RawFlags) -> Result<Cli, CliEr
     }
     reject_search_flags(&flags, " (sweep replaces axes with --grid axis=…)")?;
     reject_partition_flags(&flags)?;
+    reject_stats_out(&flags)?;
     let mut spec = SweepSpec::default();
     if let Some(threads) = flags.threads {
         spec.threads = threads;
@@ -718,8 +758,66 @@ fn parse_count(name: &str, value: &str, zero_ok: bool) -> Result<usize, CliError
         })
 }
 
+/// The `--stats-out` artifact of one invocation: destination path and
+/// rendered JSON contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsArtifact {
+    /// Where `--stats-out` asked the artifact to go.
+    pub path: String,
+    /// The work counters as pretty-printed JSON (newline-terminated).
+    pub json: String,
+}
+
 /// Executes a parsed invocation and returns everything to print.
 pub fn run(cli: &Cli) -> String {
+    run_with_stats(cli).0
+}
+
+/// [`run`] plus the `--stats-out` artifact when the invocation asked
+/// for one (search and chaos). The main document is byte-identical
+/// with and without `--stats-out` — the counters never leak into it.
+pub fn run_with_stats(cli: &Cli) -> (String, Option<StatsArtifact>) {
+    let artifact = |path: &Option<String>, json: String| {
+        path.as_ref().map(|path| StatsArtifact {
+            path: path.clone(),
+            json,
+        })
+    };
+    match cli {
+        Cli::Search {
+            spec,
+            format,
+            stats_out,
+            ..
+        } => {
+            let (frontier, stats) = spec.run_with_stats();
+            let document = match format {
+                Format::Text => frontier.render_text(),
+                Format::Json => format!("{}\n", frontier.to_json()),
+            };
+            let json = format!("{}\n", serde_json::to_string_pretty(&stats).unwrap());
+            (document, artifact(stats_out, json))
+        }
+        Cli::Chaos {
+            spec,
+            format,
+            stats_out,
+            ..
+        } => {
+            let (report, stats) = spec.run_with_stats();
+            let document = match format {
+                Format::Text => report.render_text(),
+                Format::Json => format!("{}\n", report.to_json()),
+            };
+            let json = format!("{}\n", serde_json::to_string_pretty(&stats).unwrap());
+            (document, artifact(stats_out, json))
+        }
+        other => (run_plain(other), None),
+    }
+}
+
+/// The stats-free modes of [`run`].
+fn run_plain(cli: &Cli) -> String {
     match cli {
         Cli::Help => format!("{USAGE}\n"),
         Cli::List => {
@@ -764,21 +862,10 @@ pub fn run(cli: &Cli) -> String {
                 Format::Json => format!("{}\n", result.to_json()),
             }
         }
-        Cli::Search { spec, format, .. } => {
-            let frontier = spec.run();
-            match format {
-                Format::Text => frontier.render_text(),
-                Format::Json => format!("{}\n", frontier.to_json()),
-            }
+        Cli::Search { .. } | Cli::Chaos { .. } => {
+            unreachable!("search and chaos are handled by `run_with_stats`")
         }
         Cli::Partition { spec, format, .. } => {
-            let report = spec.run();
-            match format {
-                Format::Text => report.render_text(),
-                Format::Json => format!("{}\n", report.to_json()),
-            }
-        }
-        Cli::Chaos { spec, format, .. } => {
             let report = spec.run();
             match format {
                 Format::Text => report.render_text(),
@@ -1090,11 +1177,18 @@ mod tests {
 
     #[test]
     fn search_parses_with_objective_defaults() {
-        let Ok(Cli::Search { spec, format, out }) = parse_args(args(&["search"])) else {
+        let Ok(Cli::Search {
+            spec,
+            format,
+            out,
+            stats_out,
+        }) = parse_args(args(&["search"]))
+        else {
             panic!("bare search did not parse");
         };
         assert_eq!(format, Format::Text);
         assert_eq!(out, None);
+        assert_eq!(stats_out, None);
         assert_eq!(spec, SearchSpec::new(Objective::Conflict));
         // the delay objective switches β0 and the horizon
         let Ok(Cli::Search { spec, .. }) =
@@ -1395,11 +1489,18 @@ mod tests {
 
     #[test]
     fn chaos_parses_with_defaults() {
-        let Ok(Cli::Chaos { spec, format, out }) = parse_args(args(&["chaos"])) else {
+        let Ok(Cli::Chaos {
+            spec,
+            format,
+            out,
+            stats_out,
+        }) = parse_args(args(&["chaos"]))
+        else {
             panic!("bare chaos did not parse");
         };
         assert_eq!(format, Format::Text);
         assert_eq!(out, None);
+        assert_eq!(stats_out, None);
         assert_eq!(spec, ChaosSpec::default());
         assert_eq!(spec.n, 1_000_000);
         assert_eq!(spec.backend, BackendKind::Cohort);

@@ -37,7 +37,7 @@
 
 use std::process::ExitCode;
 
-use ethpos_cli::{parse_args, regen_golden, run, Cli, CliError, USAGE};
+use ethpos_cli::{parse_args, regen_golden, run_with_stats, Cli, CliError, USAGE};
 
 fn main() -> ExitCode {
     match parse_args(std::env::args().skip(1)) {
@@ -58,7 +58,7 @@ fn main() -> ExitCode {
             // milliseconds, not after a long simulation — without
             // truncating a pre-existing artifact (an interrupted run
             // must not destroy the previous good output).
-            if let Some(path) = cli.out() {
+            for path in [cli.out(), cli.stats_out()].into_iter().flatten() {
                 let probe = std::fs::OpenOptions::new()
                     .append(true)
                     .create(true)
@@ -68,7 +68,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
-            let document = run(&cli);
+            let (document, stats) = run_with_stats(&cli);
             match cli.out() {
                 None => print!("{document}"),
                 Some(path) => {
@@ -78,6 +78,13 @@ fn main() -> ExitCode {
                     }
                     eprintln!("wrote {path}");
                 }
+            }
+            if let Some(artifact) = stats {
+                if let Err(err) = std::fs::write(&artifact.path, &artifact.json) {
+                    eprintln!("error: cannot write `{}`: {err}", artifact.path);
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote {}", artifact.path);
             }
             ExitCode::SUCCESS
         }

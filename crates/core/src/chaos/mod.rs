@@ -49,8 +49,8 @@ use serde::Serialize;
 
 use ethpos_search::{Genome, ParamSchedule};
 use ethpos_sim::{
-    sample_timeline, two_branch_only, ChunkPool, PartitionConfig, PartitionOutcome, PartitionSim,
-    PartitionTimeline, TimelineAction,
+    sample_timeline, two_branch_only, ChunkPool, ForkStats, PartitionConfig, PartitionOutcome,
+    PartitionSim, PartitionTimeline, TimelineAction,
 };
 use ethpos_state::{BackendKind, CohortState, DenseState};
 use ethpos_stats::SeedSequence;
@@ -354,14 +354,33 @@ impl ChaosSpec {
     /// the worker pool, then shrinks any unexpected violation on the
     /// coordinating thread (byte-identical for any `threads`).
     pub fn run(&self) -> ChaosReport {
+        self.run_with_stats().0
+    }
+
+    /// [`ChaosSpec::run`] plus the campaign's aggregated [`ChaosStats`]
+    /// fork counters. The report is unchanged — the stats are the
+    /// side-channel the CLI writes to its separate `--stats-out`
+    /// artifact (report JSON is byte-pinned by the golden corpus).
+    pub fn run_with_stats(&self) -> (ChaosReport, ChaosStats) {
         let pool = ChunkPool::new(self.threads);
-        let rows = pool.map(self.budget as usize, |i| evaluate_case(self, i as u64));
+        let cases = pool.map(self.budget as usize, |i| evaluate_case(self, i as u64));
+        let mut stats = ChaosStats {
+            cases: self.budget,
+            fork: ForkStats::default(),
+        };
+        let rows: Vec<ChaosRow> = cases
+            .into_iter()
+            .map(|(row, fork)| {
+                stats.fork.absorb(&fork);
+                row
+            })
+            .collect();
         let mut violations = Vec::new();
         for row in rows.iter().filter(|r| r.unexpected()) {
             violations.push(shrink_violation(self, row));
         }
         let counts = Counts::tally(&rows);
-        ChaosReport {
+        let report = ChaosReport {
             budget: self.budget,
             seed: self.seed,
             n: self.n as u64,
@@ -370,8 +389,25 @@ impl ChaosSpec {
             counts,
             violations,
             rows,
-        }
+        };
+        (report, stats)
     }
+}
+
+/// Campaign-level fork counters: every sampled case's timeline `Split`
+/// activity, summed. Deliberately **not** part of [`ChaosReport`] —
+/// report JSON is byte-pinned by the golden replay corpus; the CLI
+/// writes these to the separate `--stats-out` artifact. (Shrinker and
+/// cross-check re-runs are diagnostics, not campaign cases, and are not
+/// counted.)
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct ChaosStats {
+    /// Cases the campaign ran (`budget`).
+    pub cases: u64,
+    /// Their aggregated [`ForkStats`]: fork counts, depths, and the
+    /// copy-on-write chunks forked children physically shared with
+    /// their parents.
+    pub fork: ForkStats,
 }
 
 /// Samples case `index` of the campaign — a pure function of
@@ -447,6 +483,23 @@ pub fn sample_case(spec: &ChaosSpec, index: u64) -> ChaosCase {
 /// Panics if the timeline does not compile at this population size —
 /// sampled and shrunk cases are compile-checked before they get here.
 pub fn run_case(case: &ChaosCase, backend: BackendKind) -> PartitionOutcome {
+    run_case_with_stats(case, backend).0
+}
+
+/// [`run_case`] plus the run's [`ForkStats`] (the `Split` activity of
+/// the copy-on-write state layer). The outcome is identical —
+/// [`PartitionSim::run`] *is* step-to-exhaustion plus finish.
+pub fn run_case_with_stats(
+    case: &ChaosCase,
+    backend: BackendKind,
+) -> (PartitionOutcome, ForkStats) {
+    fn drive<B: ethpos_state::backend::StateBackend>(
+        mut sim: PartitionSim<B>,
+    ) -> (PartitionOutcome, ForkStats) {
+        while sim.step() {}
+        let fork = sim.fork_stats();
+        (sim.finish(), fork)
+    }
     let byzantine = (case.beta0 * case.n as f64).round() as usize;
     let config = PartitionConfig {
         chain: ChainConfig::paper(),
@@ -461,11 +514,9 @@ pub fn run_case(case: &ChaosCase, backend: BackendKind) -> PartitionOutcome {
     };
     let schedule = case.adversary.build();
     let result = match backend {
-        BackendKind::Dense => {
-            PartitionSim::<DenseState>::with_backend(config, schedule).map(PartitionSim::run)
-        }
+        BackendKind::Dense => PartitionSim::<DenseState>::with_backend(config, schedule).map(drive),
         BackendKind::Cohort => {
-            PartitionSim::<CohortState>::with_backend(config, schedule).map(PartitionSim::run)
+            PartitionSim::<CohortState>::with_backend(config, schedule).map(drive)
         }
     };
     result.unwrap_or_else(|err| panic!("chaos case {}: {err}", case.index))
@@ -875,9 +926,9 @@ impl ChaosRow {
     }
 }
 
-fn evaluate_case(spec: &ChaosSpec, index: u64) -> ChaosRow {
+fn evaluate_case(spec: &ChaosSpec, index: u64) -> (ChaosRow, ForkStats) {
     let case = sample_case(spec, index);
-    let outcome = run_case(&case, spec.backend);
+    let (outcome, fork) = run_case_with_stats(&case, spec.backend);
     let mut classification = classify(&case, &outcome, &spec.oracle);
     let eligible = spec.crosscheck.every > 0 && index.is_multiple_of(spec.crosscheck.every);
     let crosschecked = eligible && !case.has_churn();
@@ -891,7 +942,7 @@ fn evaluate_case(spec: &ChaosSpec, index: u64) -> ChaosRow {
             };
         }
     }
-    ChaosRow {
+    let row = ChaosRow {
         case: case.record(),
         classification,
         first_finalization: outcome
@@ -902,7 +953,8 @@ fn evaluate_case(spec: &ChaosSpec, index: u64) -> ChaosRow {
         double_vote_epochs: outcome.double_vote_epochs,
         epochs_run: outcome.epochs_run,
         crosschecked,
-    }
+    };
+    (row, fork)
 }
 
 /// Verdict tallies over a campaign.

@@ -49,7 +49,7 @@ pub mod scenarios;
 pub mod stake_model;
 pub mod sweep;
 
-pub use chaos::{ChaosReport, ChaosSpec};
+pub use chaos::{ChaosReport, ChaosSpec, ChaosStats};
 pub use ethpos_state::BackendKind;
 pub use experiments::{
     run_experiment, run_experiment_with, Experiment, ExperimentOutput, McConfig,

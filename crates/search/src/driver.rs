@@ -12,12 +12,14 @@
 use std::collections::BTreeMap;
 
 use ethpos_sim::ChunkPool;
-use ethpos_state::BackendKind;
+use ethpos_state::backend::StateBackend;
+use ethpos_state::{BackendKind, CohortState, DenseState};
 use ethpos_stats::SeedSequence;
 
 use crate::frontier::{fitness_cmp, Frontier, FrontierMeta};
 use crate::genome::Genome;
 use crate::objective::{evaluate, EvalParams, Evaluation, Objective};
+use crate::prefix::{PrefixMemo, SearchStats};
 
 /// One search: objective, attack parameters, evaluation budget,
 /// genome-space bounds and threading.
@@ -137,14 +139,32 @@ impl SearchSpec {
     /// entry is the non-slashable alternation corner, which every
     /// objective accepts, so any `budget ≥ 1` evaluates it.
     pub fn run(&self) -> Frontier {
+        self.run_with_stats().0
+    }
+
+    /// [`SearchSpec::run`] plus the [`SearchStats`] work counters of the
+    /// prefix memo the search ran on (see [`crate::prefix`]). The
+    /// frontier is byte-identical to evaluating every candidate from
+    /// genesis; the stats are the observability side channel.
+    pub fn run_with_stats(&self) -> (Frontier, SearchStats) {
         assert!(self.budget > 0, "zero search budget");
         assert!(
             self.beta0 > 0.0 && self.beta0 < 1.0,
             "beta0 must be in (0, 1), got {}",
             self.beta0
         );
+        match self.backend {
+            BackendKind::Dense => self.run_typed::<DenseState>(),
+            BackendKind::Cohort => self.run_typed::<CohortState>(),
+        }
+    }
+
+    /// The search loop, monomorphized over the state backend so the
+    /// prefix memo can hold real branch states of that backend.
+    fn run_typed<B: StateBackend + Send + Sync>(&self) -> (Frontier, SearchStats) {
         let params = self.eval_params();
         let pool = ChunkPool::new(self.threads);
+        let mut memo = PrefixMemo::<B>::new(&params);
         let mut archive: BTreeMap<Genome, Evaluation> = BTreeMap::new();
 
         // Stage 1 — exhaustive coarse grid. When the budget cannot cover
@@ -157,7 +177,7 @@ impl SearchSpec {
             self.budget - (self.budget / 4)
         };
         let batch: Vec<Genome> = grid.into_iter().take(grid_take).collect();
-        for e in pool.map(batch.len(), |i| evaluate(&params, batch[i])) {
+        for e in memo.evaluate_batch(&pool, &batch) {
             archive.insert(e.genome, e);
         }
 
@@ -184,7 +204,7 @@ impl SearchSpec {
             if offspring.is_empty() {
                 break; // the neighbourhood is exhausted
             }
-            for e in pool.map(offspring.len(), |i| evaluate(&params, offspring[i])) {
+            for e in memo.evaluate_batch(&pool, &offspring) {
                 archive.insert(e.genome, e);
             }
             let best = best_of(&archive);
@@ -194,7 +214,7 @@ impl SearchSpec {
             generation += 1;
         }
 
-        Frontier::from_archive(
+        let frontier = Frontier::from_archive(
             self.objective,
             FrontierMeta {
                 validators: self.n,
@@ -206,7 +226,8 @@ impl SearchSpec {
                 seed: self.seed,
             },
             archive.into_values().collect(),
-        )
+        );
+        (frontier, memo.stats())
     }
 }
 

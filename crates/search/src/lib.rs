@@ -50,8 +50,10 @@ pub mod driver;
 pub mod frontier;
 pub mod genome;
 pub mod objective;
+pub mod prefix;
 
 pub use driver::SearchSpec;
 pub use frontier::Frontier;
 pub use genome::{DutyGene, Genome, ParamSchedule};
 pub use objective::{evaluate, EvalParams, Evaluation, Objective};
+pub use prefix::{PrefixMemo, SearchStats};

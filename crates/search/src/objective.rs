@@ -192,10 +192,12 @@ pub struct EvalParams {
     pub objective: Objective,
 }
 
-/// Runs one candidate through the two-branch simulator and scores it.
-pub fn evaluate(params: &EvalParams, genome: Genome) -> Evaluation {
+/// The simulator configuration every candidate of one search runs
+/// under (shared by the plain path below and
+/// [`crate::prefix::PrefixMemo`]).
+pub(crate) fn sim_config(params: &EvalParams) -> TwoBranchConfig {
     let byzantine = (params.beta0 * params.n as f64).round() as usize;
-    let config = TwoBranchConfig {
+    TwoBranchConfig {
         // Early-stop as soon as the objective's damage is decided: the
         // conflict objective needs both branches finalized, the delay
         // horizon just the first finalization; the proportion objective
@@ -204,10 +206,24 @@ pub fn evaluate(params: &EvalParams, genome: Genome) -> Evaluation {
         stop_on_finalization: params.objective == Objective::NonSlashableHorizon,
         record_every: u64::MAX,
         ..TwoBranchConfig::paper(params.n, byzantine, params.p0, params.epochs)
-    };
-    // Genesis stake of the Byzantine class (`ClassSpec::full_stake`):
-    // derived from the protocol constants, not hard-coded.
-    let initial_gwei = byzantine as u64 * config.chain.max_effective_balance.as_u64();
+    }
+}
+
+/// Genesis stake of the Byzantine class (`ClassSpec::full_stake`):
+/// derived from the protocol constants, not hard-coded.
+pub(crate) fn initial_byzantine_gwei(config: &TwoBranchConfig) -> u64 {
+    config.byzantine as u64 * config.chain.max_effective_balance.as_u64()
+}
+
+/// Runs one candidate through the two-branch simulator and scores it.
+///
+/// This is the reference path — one full run from genesis per call. The
+/// search driver goes through [`crate::prefix::PrefixMemo`] instead,
+/// which is byte-identical (pinned by the `prefix_equivalence` tests)
+/// but shares work across candidates.
+pub fn evaluate(params: &EvalParams, genome: Genome) -> Evaluation {
+    let config = sim_config(params);
+    let initial_gwei = initial_byzantine_gwei(&config);
     let schedule = Box::new(ParamSchedule::new(genome));
     let outcome = match params.backend {
         BackendKind::Dense => TwoBranchSim::<DenseState>::with_backend(config, schedule).run(),
@@ -217,8 +233,9 @@ pub fn evaluate(params: &EvalParams, genome: Genome) -> Evaluation {
 }
 
 /// Scores a finished run (split out so tests can score synthetic
-/// outcomes).
-fn score(
+/// outcomes, and so [`crate::prefix::PrefixMemo`] can score
+/// reconstructed ones).
+pub(crate) fn score(
     params: &EvalParams,
     genome: Genome,
     initial_gwei: u64,

@@ -50,8 +50,8 @@ pub use cohort::{
 pub use engine::{run_slot_sims, SlotByzMode, SlotSim, SlotSimConfig, SlotSimReport};
 pub use monitor::SafetyMonitor;
 pub use partition::{
-    BranchOutcome, PartitionConfig, PartitionEpochRecord, PartitionOutcome, PartitionSim,
-    PartitionTimeline, SafetyViolation, TimelineAction, TimelineError, TimelineEvent,
+    BranchOutcome, ForkStats, PartitionConfig, PartitionEpochRecord, PartitionOutcome,
+    PartitionSim, PartitionTimeline, SafetyViolation, TimelineAction, TimelineError, TimelineEvent,
 };
 pub use pool::ChunkPool;
 pub use single_branch::{

@@ -33,7 +33,7 @@ use ethpos_types::{Checkpoint, Epoch, Root, Slot};
 /// chains that turned block observation quadratic. Here an insert is
 /// one hash-map write, and an ancestry query walks exactly the depth
 /// difference.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct AncestryIndex {
     indices: HashMap<Root, u32>,
     parents: Vec<u32>,
@@ -79,7 +79,11 @@ impl AncestryIndex {
 
 /// Records every block and each view's finalized checkpoint; reports the
 /// first conflicting finalization.
-#[derive(Debug)]
+///
+/// `Clone` so a whole simulation can be checkpointed mid-run: the clone
+/// carries the full ancestry tree and every view's finalized checkpoint,
+/// and the two copies diverge independently afterwards.
+#[derive(Debug, Clone)]
 pub struct SafetyMonitor {
     tree: AncestryIndex,
     finalized: Vec<Checkpoint>,

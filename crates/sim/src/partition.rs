@@ -960,6 +960,37 @@ pub struct BranchOutcome {
     pub final_finalized_epoch: u64,
 }
 
+/// Counters describing the fork (`Split`) activity of one run — the
+/// observability surface of the copy-on-write state layer.
+///
+/// Deliberately **not** part of [`PartitionOutcome`]: outcome JSON is
+/// byte-pinned by the golden corpus and must not grow fields. The CLI
+/// reports these through the separate `--stats-out` artifact instead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct ForkStats {
+    /// Child branches created by `Split` events (one per child).
+    pub forks: u64,
+    /// Sum of the epochs at which forks happened — with `forks`, this
+    /// gives the mean fork depth.
+    pub fork_epoch_sum: u64,
+    /// Deepest epoch at which a fork happened.
+    pub max_fork_epoch: u64,
+    /// Storage chunks each freshly forked child physically shared with
+    /// its parent at fork time, summed over forks (0 on the dense
+    /// backend; positive iff copy-on-write sharing is engaged).
+    pub shared_chunks: u64,
+}
+
+impl ForkStats {
+    /// Accumulates another run's counters (for campaign-level totals).
+    pub fn absorb(&mut self, other: &ForkStats) {
+        self.forks += other.forks;
+        self.fork_epoch_sum += other.fork_epoch_sum;
+        self.max_fork_epoch = self.max_fork_epoch.max(other.max_fork_epoch);
+        self.shared_chunks += other.shared_chunks;
+    }
+}
+
 /// Result of a partition-timeline run.
 #[derive(Debug, Clone, Serialize)]
 pub struct PartitionOutcome {
@@ -1020,6 +1051,7 @@ struct BranchMeta {
 /// assert_eq!((v.branch_a, v.branch_b), (BranchId::new(1), BranchId::new(2)));
 /// assert_eq!(out.branches[0].first_finalization_epoch, None);
 /// ```
+#[derive(Clone)]
 pub struct PartitionSim<B: StateBackend = DenseState> {
     config: PartitionConfig,
     compiled: CompiledTimeline,
@@ -1038,6 +1070,7 @@ pub struct PartitionSim<B: StateBackend = DenseState> {
     finished: bool,
     meta: Vec<BranchMeta>,
     outcome: PartitionOutcome,
+    fork_stats: ForkStats,
 }
 
 impl<B: StateBackend> core::fmt::Debug for PartitionSim<B> {
@@ -1128,7 +1161,29 @@ impl<B: StateBackend> PartitionSim<B> {
             finished: false,
             meta,
             outcome,
+            fork_stats: ForkStats::default(),
         })
+    }
+
+    /// Replaces the Byzantine schedule — the fork half of checkpointed
+    /// evaluation: clone a simulator frozen mid-run, swap in a schedule
+    /// whose decisions match the original's on every epoch already
+    /// simulated, and continue. The caller owns that prefix-match
+    /// guarantee (the search driver proves it by replaying the recorded
+    /// statuses; see `ethpos_search::prefix`).
+    pub fn set_schedule(&mut self, schedule: Box<dyn ByzantineSchedule>) {
+        self.schedule = schedule;
+    }
+
+    /// Fork counters accumulated so far (see [`ForkStats`]).
+    pub fn fork_stats(&self) -> ForkStats {
+        self.fork_stats
+    }
+
+    /// True once the run is over (horizon reached or a stop condition
+    /// fired).
+    pub fn is_finished(&self) -> bool {
+        self.finished
     }
 
     /// The current epoch (the next one [`PartitionSim::step`] will
@@ -1183,7 +1238,13 @@ impl<B: StateBackend> PartitionSim<B> {
                         let fork_checkpoint = base.finalized_checkpoint();
                         let tip = self.tips[parent];
                         for &child in children {
-                            self.branches.insert(child, base.clone());
+                            let state = base.clone();
+                            self.fork_stats.forks += 1;
+                            self.fork_stats.fork_epoch_sum += self.epoch;
+                            self.fork_stats.max_fork_epoch =
+                                self.fork_stats.max_fork_epoch.max(self.epoch);
+                            self.fork_stats.shared_chunks += base.shared_chunks_with(&state) as u64;
+                            self.branches.insert(child, state);
                             self.tips.insert(child, tip);
                             let view = self.monitor.add_view(fork_checkpoint);
                             debug_assert_eq!(view, child.as_usize());

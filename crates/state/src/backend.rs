@@ -237,8 +237,31 @@ pub trait StateBackend: Sized + Clone {
     /// `None`, like missed-slot semantics).
     fn advance_epoch(&mut self, next_checkpoint_root: Option<Root>);
 
+    /// Sum of **actual** balances over every member of `class` (active
+    /// and exited alike) — the quantity the simulators report as a
+    /// branch's final Byzantine balance. The default renders a snapshot;
+    /// backends override it with a direct O(class) scan.
+    fn class_balance(&self, class: usize) -> Gwei {
+        Gwei::new(
+            self.snapshot().classes[class]
+                .iter()
+                .map(|(m, count)| m.balance.as_u64() * count)
+                .sum(),
+        )
+    }
+
     /// Renders the canonical equivalence snapshot.
     fn snapshot(&self) -> StateSnapshot;
+
+    /// Number of storage chunks this backend physically shares (same
+    /// allocation) with `other` — nonzero only for copy-on-write
+    /// representations forked from a common ancestor. Purely
+    /// observational: used by fork-sharing diagnostics and the aliasing
+    /// tests; the dense backend (and any other deep-copying backend)
+    /// reports `0`.
+    fn shared_chunks_with(&self, _other: &Self) -> usize {
+        0
+    }
 }
 
 /// The dense reference backend: a spec-shaped [`BeaconState`] plus the
@@ -383,6 +406,11 @@ impl StateBackend for DenseState {
         if let Some(root) = next_checkpoint_root {
             self.state.set_block_root(next_start, root);
         }
+    }
+
+    fn class_balance(&self, class: usize) -> Gwei {
+        let balances = self.state.balances();
+        Gwei::new(self.class_range(class).map(|i| balances[i].as_u64()).sum())
     }
 
     fn snapshot(&self) -> StateSnapshot {

@@ -1,27 +1,50 @@
-//! The cohort-compressed state backend.
+//! The cohort-compressed state backend, on a persistent copy-on-write
+//! representation.
 //!
 //! Within a branch, every validator of a behaviour class receives the
 //! same participation flags each epoch, and the spec's epoch processing
 //! is a per-validator function of `(own state, global aggregates)` — so
 //! all members of a class follow **bit-identical integer trajectories**.
 //! [`CohortState`] exploits this: instead of one record per validator it
-//! stores `(class, full per-validator state) → count` groups and
-//! processes an epoch in O(#cohorts) with the *same* integer arithmetic
-//! as [`BeaconState`](crate::BeaconState). The compression is exact, not
-//! an approximation: driven through the same schedule, the two backends
+//! stores, per class, a sorted run-length-encoded chunk of
+//! `(per-validator state, count)` cohorts and processes an epoch in
+//! O(#cohorts) with the *same* integer arithmetic as
+//! [`BeaconState`](crate::BeaconState). The compression is exact, not an
+//! approximation: driven through the same schedule, the two backends
 //! produce equal [`StateSnapshot`]s after every epoch (property-tested in
-//! `tests/backend_equivalence.rs`).
+//! `tests/backend_equivalence.rs`, including against the retained
+//! clone-based [`ReferenceCohortState`](crate::ReferenceCohortState)).
 //!
 //! Cohorts **split** when a subgroup diverges — the only divergence
 //! source is participation sampling ([`StateBackend::mark_class_sampled`]
 //! marks part of a cohort, leaving the rest untouched) — and **merge**
 //! automatically whenever two groups arrive at the same state, because
-//! the cohort map is keyed by the full per-validator state. Deterministic
+//! each chunk is kept sorted and run-length-merged. Deterministic
 //! schedules (the paper's §5.1/§5.2 scenarios, Fig. 2 cohorts) therefore
 //! keep `#cohorts == #classes` forever, making million-validator ×
 //! 5000-epoch runs interactive.
+//!
+//! # Copy-on-write forking
+//!
+//! Every bulky component sits behind shared storage, so `clone()` — the
+//! operation behind a partition `Split` and behind the search driver's
+//! epoch checkpoints — is O(#classes + #epochs/1024), not O(state):
+//!
+//! * each class chunk is an `Arc<Vec<(MemberState, u64)>>`; a mutation
+//!   replaces only the touched class's `Arc`, and an epoch step that
+//!   leaves a chunk bit-identical (e.g. a fully-exited class) keeps the
+//!   old allocation, so sibling branches go on sharing it;
+//! * the per-epoch checkpoint roots live in a [`PrefixVec`], which
+//!   freezes every full 1024-entry prefix block behind an `Arc`;
+//! * the slashings ring buffer is an `Arc<Vec<Gwei>>` mutated through
+//!   `Arc::make_mut` only when a value actually changes (the all-zero
+//!   ring that every run in this repo carries is never copied).
+//!
+//! [`CohortState::shared_chunks`] makes the sharing observable, and the
+//! aliasing unit tests below pin that post-fork mutations never leak into
+//! a sibling.
 
-use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use ethpos_crypto::hash_u64;
 use ethpos_types::{ChainConfig, Checkpoint, Epoch, Gwei, Root, Slot};
@@ -30,16 +53,53 @@ use crate::backend::{ClassSpec, ClassStats, MemberState, StateBackend, StateSnap
 use crate::participation::{
     ParticipationFlags, TIMELY_HEAD_FLAG_INDEX, TIMELY_SOURCE_FLAG_INDEX, TIMELY_TARGET_FLAG_INDEX,
 };
+use crate::prefix_vec::PrefixVec;
 use crate::rewards::integer_sqrt;
 use crate::validator::FAR_FUTURE_EPOCH;
 
-/// One cohort: a behaviour class plus the complete per-validator state
-/// shared by every member.
-type CohortKey = (u32, MemberState);
+/// One class's cohorts: sorted, run-length-merged `(state, count)` runs
+/// behind shared storage.
+type Chunk = Arc<Vec<(MemberState, u64)>>;
 
-/// Cohort-compressed beacon state: `(class, state) → count` groups plus
+/// Restores a chunk's canonical form: sorted by the [`MemberState`]
+/// ordering with equal adjacent states merged (summing counts) — the
+/// same normal form a `BTreeMap<(class, state), count>` would produce.
+fn canonicalize(runs: &mut Vec<(MemberState, u64)>) {
+    runs.sort_unstable_by_key(|run| run.0);
+    let mut write = 0;
+    for read in 0..runs.len() {
+        if write > 0 && runs[write - 1].0 == runs[read].0 {
+            runs[write - 1].1 += runs[read].1;
+        } else {
+            runs[write] = runs[read];
+            write += 1;
+        }
+    }
+    runs.truncate(write);
+}
+
+/// Maps every run of `chunk` through `f`, re-canonicalizes, and swaps in
+/// a fresh allocation — unless `f` fixes every state, in which case the
+/// existing `Arc` (and any sharing with sibling branches) is kept.
+fn transform_chunk(chunk: &mut Chunk, mut f: impl FnMut(&MemberState) -> MemberState) {
+    let mut changed = false;
+    let mut next: Vec<(MemberState, u64)> = Vec::with_capacity(chunk.len());
+    for &(m, count) in chunk.iter() {
+        let mapped = f(&m);
+        changed |= mapped != m;
+        next.push((mapped, count));
+    }
+    if !changed {
+        return;
+    }
+    canonicalize(&mut next);
+    *chunk = Arc::new(next);
+}
+
+/// Cohort-compressed beacon state: per-class `(state, count)` chunks plus
 /// the global finality bookkeeping, processed with exact spec integer
-/// arithmetic.
+/// arithmetic. Cloning is copy-on-write (see the module docs), so forking
+/// a partition branch or checkpointing a run is cheap.
 ///
 /// # Example
 ///
@@ -68,22 +128,30 @@ pub struct CohortState {
     config: ChainConfig,
     slot: Slot,
     num_classes: usize,
-    cohorts: BTreeMap<CohortKey, u64>,
+    /// One chunk per class (index = class), each sorted and run-length
+    /// merged under the canonical [`MemberState`] ordering.
+    chunks: Vec<Chunk>,
     justification_bits: [bool; 4],
     previous_justified: Checkpoint,
     current_justified: Checkpoint,
     finalized: Checkpoint,
-    /// Ring buffer of slashed effective balance per epoch.
-    slashings: Vec<Gwei>,
+    /// Ring buffer of slashed effective balance per epoch (shared until
+    /// a nonzero write forces a copy).
+    slashings: Arc<Vec<Gwei>>,
+    /// Cached sum of the `slashings` ring, maintained at every ring
+    /// write — the slashings pass needs the sum each epoch, and scanning
+    /// the 8192-entry ring dominated the epoch cost for small cohort
+    /// counts.
+    slashings_sum: Gwei,
     /// Checkpoint root at the start of each epoch (index = epoch).
-    epoch_roots: Vec<Root>,
+    epoch_roots: PrefixVec<Root>,
     genesis_root: Root,
 }
 
 impl CohortState {
     /// Number of distinct cohorts currently tracked.
     pub fn num_cohorts(&self) -> usize {
-        self.cohorts.len()
+        self.chunks.iter().map(|c| c.len()).sum()
     }
 
     /// Current slot (always an epoch start).
@@ -112,21 +180,38 @@ impl CohortState {
         self.genesis_root
     }
 
-    /// Rebuilds the cohort map by transforming every cohort's member
-    /// state, merging cohorts that land on the same `(class, state)`.
+    /// Number of class chunks physically shared (same allocation) with
+    /// `other` — nonzero exactly when copy-on-write sharing is engaged
+    /// between two forks of the same state.
+    pub fn shared_chunks(&self, other: &CohortState) -> usize {
+        self.chunks
+            .iter()
+            .zip(&other.chunks)
+            .filter(|(a, b)| Arc::ptr_eq(a, b))
+            .count()
+    }
+
+    /// Number of frozen epoch-root blocks shared with `other` (see
+    /// [`PrefixVec::shared_blocks_with`]).
+    pub fn shared_epoch_root_blocks(&self, other: &CohortState) -> usize {
+        self.epoch_roots.shared_blocks_with(&other.epoch_roots)
+    }
+
+    /// Rebuilds every class chunk by transforming each cohort's member
+    /// state, merging cohorts that land on the same state. Chunks that
+    /// `f` leaves untouched keep their shared allocation.
     fn transform(&mut self, mut f: impl FnMut(u32, &MemberState) -> MemberState) {
-        let mut next: BTreeMap<CohortKey, u64> = BTreeMap::new();
-        for ((class, member), &count) in &self.cohorts {
-            *next.entry((*class, f(*class, member))).or_insert(0) += count;
+        for (class, chunk) in self.chunks.iter_mut().enumerate() {
+            transform_chunk(chunk, |m| f(class as u32, m));
         }
-        self.cohorts = next;
     }
 
     /// Sum of `count × f(member)` over all cohorts (u64, spec-width).
     fn sum_over(&self, mut f: impl FnMut(&MemberState) -> u64) -> u64 {
-        self.cohorts
+        self.chunks
             .iter()
-            .map(|((_, m), &count)| count * f(m))
+            .flat_map(|chunk| chunk.iter())
+            .map(|(m, count)| count * f(m))
             .sum()
     }
 
@@ -160,17 +245,23 @@ impl CohortState {
         }))
     }
 
-    // ── epoch processing, in spec order ─────────────────────────────────
+    // ── epoch processing ────────────────────────────────────────────────
+    //
+    // The spec's epoch steps run in order: justification & finalization,
+    // inactivity updates, rewards & penalties, registry updates,
+    // slashings, effective-balance updates, slashings reset,
+    // participation-flag rotation. Here the six member-local steps are
+    // fused into a single chunk rebuild: every global aggregate a later
+    // step reads is invariant under the earlier steps' member writes
+    // (inactivity touches only scores, rewards only balances, registry
+    // sets `exit_epoch` to `current + 1` which keeps the member active
+    // *at* `current`), so all aggregates can be computed up front and
+    // the per-member updates composed in spec order.
 
     fn process_epoch(&mut self) {
         self.process_justification_and_finalization();
-        self.process_inactivity_updates();
-        self.process_rewards_and_penalties();
-        self.process_registry_updates();
-        self.process_slashings();
-        self.process_effective_balance_updates();
+        self.process_member_updates();
         self.process_slashings_reset();
-        self.process_participation_flag_rotation();
     }
 
     fn process_justification_and_finalization(&mut self) {
@@ -219,44 +310,24 @@ impl CohortState {
         }
     }
 
-    fn process_inactivity_updates(&mut self) {
-        if self.current_epoch() == Epoch::GENESIS {
-            return;
-        }
+    /// The six member-local epoch steps (inactivity, rewards & penalties,
+    /// registry, slashings, effective balance, flag rotation), fused into
+    /// one chunk rebuild per class.
+    fn process_member_updates(&mut self) {
+        let current_epoch = self.current_epoch();
         let previous_epoch = self.previous_epoch();
+
+        // Genesis gating, per the spec: no inactivity or reward settling
+        // for the epoch before genesis.
+        let settle_previous = current_epoch != Epoch::GENESIS;
+
+        // ── inactivity aggregates ──
         let bias = self.config.inactivity_score_bias;
         let recovery = self.config.inactivity_score_recovery_rate;
         let in_leak = self.is_in_inactivity_leak();
 
-        self.transform(|_, m| {
-            let eligible = m.is_active_at(previous_epoch)
-                || (m.slashed && previous_epoch + 1 < m.withdrawable_epoch);
-            if !eligible {
-                return *m;
-            }
-            let timely = !m.slashed && m.previous_flags.has_timely_target();
-            let mut score = m.inactivity_score;
-            if timely {
-                score -= score.min(1);
-            } else {
-                score += bias;
-            }
-            if !in_leak {
-                score -= score.min(recovery);
-            }
-            MemberState {
-                inactivity_score: score,
-                ..*m
-            }
-        });
-    }
-
-    fn process_rewards_and_penalties(&mut self) {
-        // Spec: genesis epoch has no previous epoch to settle.
-        if self.current_epoch().as_u64() == 0 {
-            return;
-        }
-        let previous_epoch = self.previous_epoch();
+        // ── reward & penalty aggregates (all invariant under the
+        //    score-only inactivity writes) ──
         let total_active = self.total_active_balance_inner().as_u64();
         let increment = self.config.effective_balance_increment.as_u64();
         let total_increments = (total_active / increment).max(1);
@@ -265,11 +336,9 @@ impl CohortState {
             increment * factor / integer_sqrt(total_active).max(1)
         };
         let denominator = self.config.weight_denominator;
-        let in_leak = self.is_in_inactivity_leak();
         let leak_denominator =
             self.config.inactivity_score_bias * self.config.inactivity_penalty_quotient;
         let paper_semantics = self.config.paper_inactivity_penalties;
-
         let flag_indices = [
             TIMELY_SOURCE_FLAG_INDEX,
             TIMELY_TARGET_FLAG_INDEX,
@@ -280,134 +349,132 @@ impl CohortState {
             self.config.timely_target_weight,
             self.config.timely_head_weight,
         ];
-
         // Participating increments per flag (unslashed, previous epoch).
         let mut participating_increments = [0u64; 3];
-        for ((_, m), &count) in &self.cohorts {
-            if m.slashed || !m.is_active_at(previous_epoch) {
-                continue;
-            }
-            for (k, &flag) in flag_indices.iter().enumerate() {
-                if m.previous_flags.has(flag) {
-                    participating_increments[k] +=
-                        count * (m.effective_balance.as_u64() / increment);
+        for chunk in &self.chunks {
+            for (m, count) in chunk.iter() {
+                if m.slashed || !m.is_active_at(previous_epoch) {
+                    continue;
+                }
+                for (k, &flag) in flag_indices.iter().enumerate() {
+                    if m.previous_flags.has(flag) {
+                        participating_increments[k] +=
+                            count * (m.effective_balance.as_u64() / increment);
+                    }
                 }
             }
         }
 
-        self.transform(|_, m| {
-            let eligible = m.is_active_at(previous_epoch)
-                || (m.slashed && previous_epoch + 1 < m.withdrawable_epoch);
-            if !eligible {
-                return *m;
-            }
-            let increments_i = m.effective_balance.as_u64() / increment;
-            let base_reward = increments_i * base_per_increment;
-            let mut reward = 0u64;
-            let mut penalty = 0u64;
-            for (k, &flag) in flag_indices.iter().enumerate() {
-                let participated = !m.slashed && m.previous_flags.has(flag);
-                if participated {
-                    if !in_leak {
-                        let numerator = base_reward * weights[k] * participating_increments[k];
-                        reward += numerator / (total_increments * denominator);
-                    }
-                    // In a leak: no reward (paper §4).
-                } else if flag != TIMELY_HEAD_FLAG_INDEX {
-                    penalty += base_reward * weights[k] / denominator;
-                }
-            }
-            let pays_inactivity = if paper_semantics {
-                m.slashed || m.inactivity_score > 0
-            } else {
-                m.slashed || !m.previous_flags.has(TIMELY_TARGET_FLAG_INDEX)
-            };
-            if pays_inactivity {
-                let penalty_numerator =
-                    m.effective_balance.as_u64() as u128 * m.inactivity_score as u128;
-                penalty += (penalty_numerator / leak_denominator as u128) as u64;
-            }
-            // Mirror dense order: increase_balance then saturating
-            // decrease_balance.
-            MemberState {
-                balance: (m.balance + Gwei::new(reward)).saturating_sub(Gwei::new(penalty)),
-                ..*m
-            }
-        });
-    }
-
-    fn process_registry_updates(&mut self) {
-        let current_epoch = self.current_epoch();
+        // ── registry aggregates ──
         let ejection_balance = self.config.ejection_balance;
         let exit_epoch = current_epoch + 1;
-        self.transform(|_, m| {
-            if m.is_active_at(current_epoch)
-                && m.effective_balance <= ejection_balance
-                && m.exit_epoch == FAR_FUTURE_EPOCH
-            {
-                let withdrawable_epoch = if m.withdrawable_epoch == FAR_FUTURE_EPOCH {
-                    exit_epoch + 256
-                } else {
-                    m.withdrawable_epoch
-                };
-                MemberState {
-                    exit_epoch,
-                    withdrawable_epoch,
-                    ..*m
-                }
-            } else {
-                *m
-            }
-        });
-    }
 
-    /// Correlation slashing penalty (spec `process_slashings`).
-    fn process_slashings(&mut self) {
-        let epoch = self.current_epoch();
+        // ── slashing aggregates (the ring is untouched by member steps,
+        //    and the total active balance is invariant as argued above) ──
         let vector = self.config.epochs_per_slashings_vector;
-        let multiplier = self.config.proportional_slashing_multiplier;
-        let increment = self.config.effective_balance_increment.as_u64();
+        let slashings_sum: u64 = self.slashings_sum.as_u64();
+        let adjusted = slashings_sum
+            .saturating_mul(self.config.proportional_slashing_multiplier)
+            .min(total_active);
 
-        let total_balance = self.total_active_balance_inner().as_u64();
-        let slashings_sum: u64 = self.slashings.iter().map(|g| g.as_u64()).sum();
-        let adjusted = slashings_sum.saturating_mul(multiplier).min(total_balance);
-        if adjusted == 0 {
-            return;
-        }
-        self.transform(|_, m| {
-            if m.slashed && epoch + vector / 2 == m.withdrawable_epoch {
-                let penalty_numerator =
-                    (m.effective_balance.as_u64() / increment) as u128 * adjusted as u128;
-                let penalty = (penalty_numerator / total_balance as u128) as u64 * increment;
-                MemberState {
-                    balance: m.balance.saturating_sub(Gwei::new(penalty)),
-                    ..*m
-                }
-            } else {
-                *m
-            }
-        });
-    }
-
-    fn process_effective_balance_updates(&mut self) {
-        let increment = self.config.effective_balance_increment;
-        let hysteresis_increment = increment.integer_div(self.config.hysteresis_quotient);
+        // ── effective-balance hysteresis aggregates ──
+        let hysteresis_increment = self
+            .config
+            .effective_balance_increment
+            .integer_div(self.config.hysteresis_quotient);
         let downward =
             Gwei::new(hysteresis_increment.as_u64() * self.config.hysteresis_downward_multiplier);
         let upward =
             Gwei::new(hysteresis_increment.as_u64() * self.config.hysteresis_upward_multiplier);
-        let config = self.config.clone();
+        let max_effective = self.config.max_effective_balance;
 
         self.transform(|_, m| {
-            let eff = m.effective_balance;
-            if m.balance + downward < eff || eff + upward < m.balance {
-                MemberState {
-                    effective_balance: config.snapped_effective_balance(m.balance),
-                    ..*m
+            let mut m = *m;
+            if settle_previous {
+                let eligible = m.is_active_at(previous_epoch)
+                    || (m.slashed && previous_epoch + 1 < m.withdrawable_epoch);
+                if eligible {
+                    // Inactivity-score update (paper Eq. 1).
+                    let timely = !m.slashed && m.previous_flags.has_timely_target();
+                    let mut score = m.inactivity_score;
+                    if timely {
+                        score -= score.min(1);
+                    } else {
+                        score += bias;
+                    }
+                    if !in_leak {
+                        score -= score.min(recovery);
+                    }
+                    m.inactivity_score = score;
+
+                    // Rewards & penalties, reading the just-updated score.
+                    let increments_i = m.effective_balance.as_u64() / increment;
+                    let base_reward = increments_i * base_per_increment;
+                    let mut reward = 0u64;
+                    let mut penalty = 0u64;
+                    for (k, &flag) in flag_indices.iter().enumerate() {
+                        let participated = !m.slashed && m.previous_flags.has(flag);
+                        if participated {
+                            if !in_leak {
+                                let numerator =
+                                    base_reward * weights[k] * participating_increments[k];
+                                reward += numerator / (total_increments * denominator);
+                            }
+                            // In a leak: no reward (paper §4).
+                        } else if flag != TIMELY_HEAD_FLAG_INDEX {
+                            penalty += base_reward * weights[k] / denominator;
+                        }
+                    }
+                    let pays_inactivity = if paper_semantics {
+                        m.slashed || m.inactivity_score > 0
+                    } else {
+                        m.slashed || !m.previous_flags.has(TIMELY_TARGET_FLAG_INDEX)
+                    };
+                    if pays_inactivity {
+                        let penalty_numerator =
+                            m.effective_balance.as_u64() as u128 * m.inactivity_score as u128;
+                        penalty += (penalty_numerator / leak_denominator as u128) as u64;
+                    }
+                    // Mirror dense order: increase_balance then saturating
+                    // decrease_balance.
+                    m.balance = (m.balance + Gwei::new(reward)).saturating_sub(Gwei::new(penalty));
                 }
-            } else {
-                *m
             }
+
+            // Registry: ejection at the 16-ETH effective-balance floor.
+            if m.is_active_at(current_epoch)
+                && m.effective_balance <= ejection_balance
+                && m.exit_epoch == FAR_FUTURE_EPOCH
+            {
+                m.exit_epoch = exit_epoch;
+                if m.withdrawable_epoch == FAR_FUTURE_EPOCH {
+                    m.withdrawable_epoch = exit_epoch + 256;
+                }
+            }
+
+            // Correlation slashing penalty (spec `process_slashings`),
+            // reading the post-registry withdrawable epoch.
+            if adjusted != 0 && m.slashed && current_epoch + vector / 2 == m.withdrawable_epoch {
+                let penalty_numerator =
+                    (m.effective_balance.as_u64() / increment) as u128 * adjusted as u128;
+                let penalty = (penalty_numerator / total_active as u128) as u64 * increment;
+                m.balance = m.balance.saturating_sub(Gwei::new(penalty));
+            }
+
+            // Effective-balance hysteresis, reading the settled balance.
+            if m.balance + downward < m.effective_balance
+                || m.effective_balance + upward < m.balance
+            {
+                // `ChainConfig::snapped_effective_balance`, inlined on the
+                // captured constants.
+                let bal = m.balance.as_u64();
+                m.effective_balance = Gwei::new(bal - bal % increment).min(max_effective);
+            }
+
+            // Participation-flag rotation.
+            m.previous_flags = m.current_flags;
+            m.current_flags = ParticipationFlags::EMPTY;
+            m
         });
     }
 
@@ -415,15 +482,13 @@ impl CohortState {
         let next = self.current_epoch() + 1;
         let len = self.config.epochs_per_slashings_vector;
         let idx = (next.as_u64() % len) as usize;
-        self.slashings[idx] = Gwei::ZERO;
-    }
-
-    fn process_participation_flag_rotation(&mut self) {
-        self.transform(|_, m| MemberState {
-            previous_flags: m.current_flags,
-            current_flags: ParticipationFlags::EMPTY,
-            ..*m
-        });
+        // Writing a zero over a zero is the common case (nothing in the
+        // paper's scenarios slashes); skip it to keep the ring shared
+        // between forks instead of forcing a copy-on-write clone.
+        if self.slashings[idx] != Gwei::ZERO {
+            self.slashings_sum -= self.slashings[idx];
+            Arc::make_mut(&mut self.slashings)[idx] = Gwei::ZERO;
+        }
     }
 }
 
@@ -431,36 +496,42 @@ impl StateBackend for CohortState {
     fn from_classes(config: ChainConfig, classes: &[ClassSpec]) -> Self {
         let total: u64 = classes.iter().map(|c| c.count).sum();
         let genesis_root = hash_u64(&[0x67_656e_6573_6973, total]); // "genesis"
-        let mut cohorts = BTreeMap::new();
-        for (class, spec) in classes.iter().enumerate() {
-            if spec.count == 0 {
-                continue;
-            }
-            let member = MemberState {
-                balance: spec.balance,
-                effective_balance: config.snapped_effective_balance(spec.balance),
-                inactivity_score: 0,
-                slashed: false,
-                activation_epoch: Epoch::GENESIS,
-                exit_epoch: FAR_FUTURE_EPOCH,
-                withdrawable_epoch: FAR_FUTURE_EPOCH,
-                previous_flags: ParticipationFlags::EMPTY,
-                current_flags: ParticipationFlags::EMPTY,
-            };
-            *cohorts.entry((class as u32, member)).or_insert(0) += spec.count;
-        }
+        let chunks = classes
+            .iter()
+            .map(|spec| {
+                if spec.count == 0 {
+                    return Arc::new(Vec::new());
+                }
+                let member = MemberState {
+                    balance: spec.balance,
+                    effective_balance: config.snapped_effective_balance(spec.balance),
+                    inactivity_score: 0,
+                    slashed: false,
+                    activation_epoch: Epoch::GENESIS,
+                    exit_epoch: FAR_FUTURE_EPOCH,
+                    withdrawable_epoch: FAR_FUTURE_EPOCH,
+                    previous_flags: ParticipationFlags::EMPTY,
+                    current_flags: ParticipationFlags::EMPTY,
+                };
+                Arc::new(vec![(member, spec.count)])
+            })
+            .collect();
         let genesis_checkpoint = Checkpoint::genesis(genesis_root);
         CohortState {
-            slashings: vec![Gwei::ZERO; config.epochs_per_slashings_vector as usize],
+            slashings: Arc::new(vec![
+                Gwei::ZERO;
+                config.epochs_per_slashings_vector as usize
+            ]),
+            slashings_sum: Gwei::ZERO,
             config,
             slot: Slot::GENESIS,
             num_classes: classes.len(),
-            cohorts,
+            chunks,
             justification_bits: [false; 4],
             previous_justified: genesis_checkpoint,
             current_justified: genesis_checkpoint,
             finalized: genesis_checkpoint,
-            epoch_roots: vec![genesis_root],
+            epoch_roots: std::iter::once(genesis_root).collect(),
             genesis_root,
         }
     }
@@ -496,10 +567,7 @@ impl StateBackend for CohortState {
     fn class_stats(&self, class: usize) -> ClassStats {
         let epoch = self.current_epoch();
         let mut stats = ClassStats::default();
-        for ((c, m), &count) in &self.cohorts {
-            if *c as usize != class {
-                continue;
-            }
+        for (m, count) in self.chunks[class].iter() {
             stats.total += count;
             if m.is_active_at(epoch) {
                 stats.active += count;
@@ -512,19 +580,17 @@ impl StateBackend for CohortState {
     }
 
     fn class_floor(&self, class: usize) -> Option<MemberState> {
-        // BTreeMap order is (class, member): the first entry of the class
-        // is its floor.
-        self.cohorts
-            .range((class as u32, MemberState::MIN)..)
-            .next()
-            .filter(|(&(c, _), _)| c as usize == class)
-            .map(|(&(_, m), _)| m)
+        // Chunks are sorted: the first run is the floor.
+        self.chunks
+            .get(class)
+            .and_then(|chunk| chunk.first())
+            .map(|&(m, _)| m)
     }
 
     fn mark_class(&mut self, class: usize, flags: ParticipationFlags) {
         let epoch = self.current_epoch();
-        self.transform(|c, m| {
-            if c as usize == class && m.is_active_at(epoch) {
+        transform_chunk(&mut self.chunks[class], |m| {
+            if m.is_active_at(epoch) {
                 MemberState {
                     current_flags: m.current_flags.union(flags),
                     ..*m
@@ -542,34 +608,35 @@ impl StateBackend for CohortState {
         draw: &mut dyn FnMut() -> bool,
     ) {
         let epoch = self.current_epoch();
-        let mut next: BTreeMap<CohortKey, u64> = BTreeMap::new();
-        for ((c, m), &count) in &self.cohorts {
-            if *c as usize != class {
-                *next.entry((*c, *m)).or_insert(0) += count;
-                continue;
-            }
+        let chunk = &mut self.chunks[class];
+        let mut next: Vec<(MemberState, u64)> = Vec::with_capacity(chunk.len() + 1);
+        for &(m, count) in chunk.iter() {
             // Consume one draw per member — exited members included, so
             // a caller feeding both partition branches from one shared
             // membership buffer stays index-aligned (see the trait doc).
-            let drawn = (0..count).filter(|_| draw()).count() as u64;
+            let drawn = (0..count).filter(|_| draw()).count();
+            let drawn = drawn as u64;
             if !m.is_active_at(epoch) {
-                *next.entry((*c, *m)).or_insert(0) += count;
+                next.push((m, count));
                 continue;
             }
             // Split the cohort: `drawn` members get the flags, the rest
-            // keep their state. Equal results re-merge via the map key.
+            // keep their state. Equal results re-merge on canonicalize.
             if drawn > 0 {
                 let marked = MemberState {
                     current_flags: m.current_flags.union(flags),
-                    ..*m
+                    ..m
                 };
-                *next.entry((*c, marked)).or_insert(0) += drawn;
+                next.push((marked, drawn));
             }
             if drawn < count {
-                *next.entry((*c, *m)).or_insert(0) += count - drawn;
+                next.push((m, count - drawn));
             }
         }
-        self.cohorts = next;
+        canonicalize(&mut next);
+        if next != **chunk {
+            *chunk = Arc::new(next);
+        }
     }
 
     fn advance_epoch(&mut self, next_checkpoint_root: Option<Root>) {
@@ -582,36 +649,29 @@ impl StateBackend for CohortState {
     }
 
     fn snapshot(&self) -> StateSnapshot {
-        let mut classes: Vec<Vec<(MemberState, u64)>> = vec![Vec::new(); self.num_classes];
-        for ((c, m), &count) in &self.cohorts {
-            classes[*c as usize].push((*m, count));
-        }
         StateSnapshot {
             slot: self.slot,
             justification_bits: self.justification_bits,
             previous_justified: self.previous_justified,
             current_justified: self.current_justified,
             finalized: self.finalized,
-            slashings: self.slashings.clone(),
-            classes,
+            slashings: (*self.slashings).clone(),
+            classes: self.chunks.iter().map(|c| (**c).clone()).collect(),
         }
     }
-}
 
-impl MemberState {
-    /// The minimum member state under the canonical ordering (used for
-    /// class range scans).
-    const MIN: MemberState = MemberState {
-        balance: Gwei::ZERO,
-        effective_balance: Gwei::ZERO,
-        inactivity_score: 0,
-        slashed: false,
-        activation_epoch: Epoch::GENESIS,
-        exit_epoch: Epoch::GENESIS,
-        withdrawable_epoch: Epoch::GENESIS,
-        previous_flags: ParticipationFlags::EMPTY,
-        current_flags: ParticipationFlags::EMPTY,
-    };
+    fn class_balance(&self, class: usize) -> Gwei {
+        Gwei::new(
+            self.chunks[class]
+                .iter()
+                .map(|(m, count)| m.balance.as_u64() * count)
+                .sum(),
+        )
+    }
+
+    fn shared_chunks_with(&self, other: &Self) -> usize {
+        self.shared_chunks(other)
+    }
 }
 
 #[cfg(test)]
@@ -740,5 +800,83 @@ mod tests {
         let idle = cohort.class_floor(1).unwrap();
         assert!(active.balance >= idle.balance);
         assert_eq!(cohort.class_floor(2), None);
+    }
+
+    // ── copy-on-write aliasing ──────────────────────────────────────────
+
+    #[test]
+    fn fork_shares_every_chunk_until_a_mutation() {
+        let classes = [full(330_000), full(335_000), full(335_000)];
+        let parent = CohortState::from_classes(ChainConfig::paper(), &classes);
+        let fork = parent.clone();
+        // A forked million-validator state shares all of its storage.
+        assert_eq!(parent.shared_chunks(&fork), 3);
+        // Mutating one class in the fork unshares exactly that chunk.
+        let mut fork = fork;
+        fork.mark_class(1, ParticipationFlags::all());
+        assert_eq!(parent.shared_chunks(&fork), 2);
+    }
+
+    #[test]
+    fn mutation_after_fork_never_leaks_into_the_sibling() {
+        let classes = [full(4), full(4)];
+        let mut parent = CohortState::from_classes(ChainConfig::minimal(), &classes);
+        for _ in 0..3 {
+            parent.mark_class(0, ParticipationFlags::all());
+            parent.mark_class(1, ParticipationFlags::all());
+            parent.advance_epoch(None);
+        }
+        let before = parent.snapshot();
+        let mut sibling = parent.clone();
+        // Diverge the sibling hard: different marking, several epochs.
+        for _ in 0..5 {
+            sibling.mark_class(0, ParticipationFlags::all());
+            sibling.advance_epoch(None);
+        }
+        assert_eq!(parent.snapshot(), before, "sibling mutations leaked");
+        assert_ne!(sibling.snapshot(), before);
+        // And the parent advancing afterwards does not disturb the sibling.
+        let sibling_snap = sibling.snapshot();
+        parent.mark_class(1, ParticipationFlags::all());
+        parent.advance_epoch(None);
+        assert_eq!(sibling.snapshot(), sibling_snap);
+    }
+
+    #[test]
+    fn stable_chunks_stay_shared_across_epochs() {
+        // Class 1 is ejected early (16-ETH effective balance at genesis);
+        // once exited and idle its chunk is a fixed point of epoch
+        // processing, so two forks keep sharing it while their active
+        // classes diverge.
+        let low = ClassSpec {
+            count: 4,
+            balance: Gwei::from_eth_f64(16.5),
+        };
+        let mut parent = CohortState::from_classes(ChainConfig::minimal(), &[full(8), low]);
+        for _ in 0..4 {
+            parent.mark_class(0, ParticipationFlags::all());
+            parent.advance_epoch(None);
+        }
+        assert_eq!(parent.class_stats(1).exited, 4);
+        let mut fork = parent.clone();
+        for _ in 0..3 {
+            fork.mark_class(0, ParticipationFlags::all());
+            fork.advance_epoch(None);
+        }
+        // The exited class's chunk is still the parent's allocation.
+        assert!(parent.shared_chunks(&fork) >= 1);
+        assert_eq!(parent.snapshot().classes[1], fork.snapshot().classes[1]);
+    }
+
+    #[test]
+    fn cow_state_equals_its_fork_logically() {
+        let mut a = CohortState::from_classes(ChainConfig::minimal(), &[full(6)]);
+        a.mark_class(0, ParticipationFlags::all());
+        a.advance_epoch(None);
+        let b = a.clone();
+        assert_eq!(a, b);
+        let mut c = b.clone();
+        c.advance_epoch(None);
+        assert_ne!(a, c);
     }
 }

@@ -47,6 +47,8 @@ pub mod cohort_state;
 pub mod epoch;
 pub mod error;
 pub mod participation;
+pub mod prefix_vec;
+pub mod reference;
 pub mod rewards;
 pub mod slashings;
 pub mod validator;
@@ -58,4 +60,6 @@ pub use beacon_state::BeaconState;
 pub use cohort_state::CohortState;
 pub use error::StateError;
 pub use participation::ParticipationFlags;
+pub use prefix_vec::PrefixVec;
+pub use reference::ReferenceCohortState;
 pub use validator::{Validator, FAR_FUTURE_EPOCH};

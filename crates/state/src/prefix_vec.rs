@@ -1,0 +1,178 @@
+//! A grow-only vector with structurally-shared frozen prefix blocks.
+//!
+//! [`PrefixVec`] is the storage behind [`CohortState`](crate::CohortState)'s
+//! per-epoch checkpoint roots: it only ever grows by `push`, so every full
+//! [`BLOCK`]-sized prefix can be frozen behind an [`Arc`] the moment it
+//! fills. Cloning the vector then costs one `Arc` bump per frozen block
+//! plus a copy of the (at most `BLOCK`-element) mutable tail — which is
+//! what makes forking a partition branch O(1) in the number of simulated
+//! epochs instead of O(epochs).
+//!
+//! Reads are by index (`v[i]` / [`PrefixVec::get`]) exactly like a `Vec`,
+//! and logical equality ([`PartialEq`]) ignores the block structure: two
+//! `PrefixVec`s are equal iff they hold the same elements in the same
+//! order, shared or not.
+
+use std::sync::Arc;
+
+/// Elements per frozen block. 1024 roots ≈ 8 KiB per block: big enough
+/// that a multi-thousand-epoch clone is a handful of `Arc` bumps, small
+/// enough that the mutable tail copy stays cheap.
+pub const BLOCK: usize = 1024;
+
+/// A push-only vector whose filled prefix is shared between clones.
+#[derive(Debug, Clone)]
+pub struct PrefixVec<T> {
+    /// Full blocks of exactly [`BLOCK`] elements, shared between clones.
+    frozen: Vec<Arc<Vec<T>>>,
+    /// The mutable tail (always shorter than [`BLOCK`]).
+    tail: Vec<T>,
+}
+
+impl<T> PrefixVec<T> {
+    /// An empty vector.
+    pub fn new() -> Self {
+        PrefixVec {
+            frozen: Vec::new(),
+            tail: Vec::new(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.frozen.len() * BLOCK + self.tail.len()
+    }
+
+    /// True if no element has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.frozen.is_empty() && self.tail.is_empty()
+    }
+
+    /// Appends an element, freezing the tail into a shared block when it
+    /// reaches [`BLOCK`] elements.
+    pub fn push(&mut self, value: T) {
+        self.tail.push(value);
+        if self.tail.len() == BLOCK {
+            let mut block = Vec::with_capacity(BLOCK);
+            std::mem::swap(&mut block, &mut self.tail);
+            self.frozen.push(Arc::new(block));
+        }
+    }
+
+    /// The element at `index`, or `None` past the end.
+    pub fn get(&self, index: usize) -> Option<&T> {
+        let frozen_len = self.frozen.len() * BLOCK;
+        if index < frozen_len {
+            Some(&self.frozen[index / BLOCK][index % BLOCK])
+        } else {
+            self.tail.get(index - frozen_len)
+        }
+    }
+
+    /// The most recently pushed element.
+    pub fn last(&self) -> Option<&T> {
+        self.tail
+            .last()
+            .or_else(|| self.frozen.last().and_then(|block| block.last()))
+    }
+
+    /// Iterates the elements in push order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.frozen
+            .iter()
+            .flat_map(|block| block.iter())
+            .chain(self.tail.iter())
+    }
+
+    /// Number of frozen blocks physically shared (same allocation) with
+    /// `other` — the observable measure that cloning really is
+    /// structural sharing rather than a deep copy.
+    pub fn shared_blocks_with(&self, other: &Self) -> usize {
+        self.frozen
+            .iter()
+            .zip(&other.frozen)
+            .filter(|(a, b)| Arc::ptr_eq(a, b))
+            .count()
+    }
+}
+
+impl<T> Default for PrefixVec<T> {
+    fn default() -> Self {
+        PrefixVec::new()
+    }
+}
+
+impl<T> std::ops::Index<usize> for PrefixVec<T> {
+    type Output = T;
+
+    fn index(&self, index: usize) -> &T {
+        self.get(index)
+            .unwrap_or_else(|| panic!("index {index} out of bounds (len {})", self.len()))
+    }
+}
+
+impl<T: PartialEq> PartialEq for PrefixVec<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl<T> FromIterator<T> for PrefixVec<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = PrefixVec::new();
+        for item in iter {
+            v.push(item);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_last_across_block_boundaries() {
+        let mut v = PrefixVec::new();
+        assert!(v.is_empty());
+        assert_eq!(v.last(), None);
+        let n = BLOCK * 2 + 7;
+        for i in 0..n {
+            v.push(i);
+            assert_eq!(v.last(), Some(&i));
+        }
+        assert_eq!(v.len(), n);
+        for i in (0..n).step_by(97) {
+            assert_eq!(v[i], i);
+        }
+        assert_eq!(v.get(n), None);
+        assert_eq!(
+            v.iter().copied().collect::<Vec<_>>(),
+            (0..n).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn clones_share_frozen_blocks_but_not_the_tail() {
+        let mut v: PrefixVec<usize> = (0..BLOCK + 5).collect();
+        let mut w = v.clone();
+        assert_eq!(v.shared_blocks_with(&w), 1);
+        assert_eq!(v, w);
+        // Diverging tails never touch the shared prefix.
+        v.push(100);
+        w.push(200);
+        assert_eq!(v.shared_blocks_with(&w), 1);
+        assert_ne!(v, w);
+        assert_eq!(v[BLOCK - 1], w[BLOCK - 1]);
+    }
+
+    #[test]
+    fn logical_equality_ignores_block_structure() {
+        let a: PrefixVec<u32> = (0..10).collect();
+        let b: PrefixVec<u32> = (0..10).collect();
+        let c: PrefixVec<u32> = (0..11).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(PrefixVec::<u32>::default(), PrefixVec::new());
+    }
+}

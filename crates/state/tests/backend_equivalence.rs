@@ -12,7 +12,7 @@ use proptest::prelude::*;
 
 use ethpos_sim::{PartitionConfig, PartitionSim, PartitionTimeline};
 use ethpos_state::backend::{ClassSpec, StateBackend};
-use ethpos_state::{CohortState, DenseState, ParticipationFlags};
+use ethpos_state::{CohortState, DenseState, ParticipationFlags, ReferenceCohortState};
 use ethpos_types::{BranchId, ChainConfig, Gwei};
 use ethpos_validator::{BranchChoice, BranchStatus, ByzantineSchedule};
 
@@ -149,6 +149,10 @@ impl ByzantineSchedule for BitSchedule {
     fn name(&self) -> &'static str {
         "bit-schedule"
     }
+
+    fn clone_box(&self) -> Box<dyn ByzantineSchedule> {
+        Box::new(BitSchedule(self.0))
+    }
 }
 
 /// Builds a random-but-valid partition timeline with k ≤ 4 branches:
@@ -178,10 +182,13 @@ fn decode_timeline(w: (u8, u8, u8), three_way: bool, op2: u8, e1: u64) -> Partit
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// The partition engine is **bit-identical** across backends on
-    /// random timelines: random k ≤ 4 splits/heals, random Byzantine
-    /// schedules, snapshot equality on every live branch after every
-    /// epoch — including across the fork clones and heal retirements.
+    /// The partition engine is **bit-identical** across all three
+    /// backends on random timelines: random k ≤ 4 splits/heals, random
+    /// Byzantine schedules, snapshot equality on every live branch after
+    /// every epoch — including across the fork clones (the cohort
+    /// backend's copy-on-write `Arc` sharing) and heal retirements. The
+    /// clone-based [`ReferenceCohortState`] rides along as the
+    /// structural-sharing-free oracle.
     #[test]
     fn partition_timelines_agree_across_backends(
         w in (any::<u8>(), any::<u8>(), any::<u8>()),
@@ -209,16 +216,31 @@ proptest! {
         let mut cohort =
             PartitionSim::<CohortState>::with_backend(config(), Box::new(BitSchedule(schedule_word)))
                 .expect("valid by construction");
+        let mut reference = PartitionSim::<ReferenceCohortState>::with_backend(
+            config(),
+            Box::new(BitSchedule(schedule_word)),
+        )
+        .expect("valid by construction");
         loop {
             let more_dense = dense.step();
             let more_cohort = cohort.step();
+            let more_reference = reference.step();
             prop_assert_eq!(more_dense, more_cohort);
+            prop_assert_eq!(more_dense, more_reference);
             prop_assert_eq!(dense.live_branches(), cohort.live_branches());
+            prop_assert_eq!(dense.live_branches(), reference.live_branches());
             for branch in dense.live_branches() {
                 prop_assert_eq!(
                     dense.branch(branch).snapshot(),
                     cohort.branch(branch).snapshot(),
-                    "branch {} at epoch {}",
+                    "cohort branch {} at epoch {}",
+                    branch,
+                    dense.current_epoch()
+                );
+                prop_assert_eq!(
+                    dense.branch(branch).snapshot(),
+                    reference.branch(branch).snapshot(),
+                    "reference branch {} at epoch {}",
                     branch,
                     dense.current_epoch()
                 );
@@ -229,10 +251,10 @@ proptest! {
         }
         let dense_out = dense.finish();
         let cohort_out = cohort.finish();
-        prop_assert_eq!(
-            serde_json::to_string(&dense_out).unwrap(),
-            serde_json::to_string(&cohort_out).unwrap()
-        );
+        let reference_out = reference.finish();
+        let dense_json = serde_json::to_string(&dense_out).unwrap();
+        prop_assert_eq!(&dense_json, &serde_json::to_string(&cohort_out).unwrap());
+        prop_assert_eq!(&dense_json, &serde_json::to_string(&reference_out).unwrap());
     }
 }
 
