@@ -1,0 +1,50 @@
+//! Throughput of the count-level churn path (§5.3 bouncing regime).
+//!
+//! Gates on exact/reference cohort-backend equality at small n — both
+//! walk cohorts in canonical order, so they consume identical binomial
+//! count streams and must agree byte-for-byte — then times two-branch
+//! churn on the cohort backend up to the paper's million-validator
+//! population. (The dense backend is only equal in law on churn
+//! timelines; its per-validator path is the `state_backend` bench's
+//! territory.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ethpos_sim::{PartitionConfig, PartitionOutcome, PartitionSim, PartitionTimeline};
+use ethpos_state::backend::StateBackend;
+use ethpos_state::{CohortState, ReferenceCohortState};
+use ethpos_validator::DualActive;
+use std::hint::black_box;
+
+fn config(n: usize, epochs: u64) -> PartitionConfig {
+    PartitionConfig {
+        stop_on_conflict: false,
+        stop_on_finalization: false,
+        record_every: u64::MAX,
+        ..PartitionConfig::paper(n, n / 3, PartitionTimeline::two_branch_churn(0.5), epochs)
+    }
+}
+
+fn run<B: StateBackend>(n: usize, epochs: u64) -> PartitionOutcome {
+    PartitionSim::<B>::with_backend(config(n, epochs), Box::new(DualActive))
+        .expect("valid by construction")
+        .run()
+}
+
+fn bench(c: &mut Criterion) {
+    // Equality gate: exact vs reference cohort backend, byte-for-byte.
+    let exact = serde_json::to_string(&run::<CohortState>(600, 96)).unwrap();
+    let reference = serde_json::to_string(&run::<ReferenceCohortState>(600, 96)).unwrap();
+    assert_eq!(exact, reference, "cohort backends diverged under churn");
+
+    let mut g = c.benchmark_group("churn_throughput");
+    g.sample_size(10);
+    for n in [10_000usize, 1_000_000] {
+        g.bench_function(&format!("two_branch_n{n}_256ep"), |b| {
+            b.iter(|| black_box(run::<CohortState>(n, 256)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -93,9 +93,10 @@ OPTIONS:
     --format <text|json>    Output format [default: text]
     --out <path>            Write the document to a file instead of stdout
     --stats-out <path>      (search, chaos) also write the run's work
-                            counters (prefix-memo checkpoint hits / fork
-                            depths) as a separate JSON artifact — the
-                            main document stays byte-identical
+                            counters (prefix-memo checkpoint hits, fork
+                            depths, churn count-draws per cohort) as a
+                            separate JSON artifact — the main document
+                            stays byte-identical
     --threads <N>           Worker threads, 0 = all hardware threads
                             [default: 0]; never changes the output bytes
     --walkers <N>           Monte-Carlo walkers [default: 20000]
@@ -198,9 +199,9 @@ pub enum Cli {
         format: Format,
         /// `--out` destination (stdout when absent).
         out: Option<String>,
-        /// `--stats-out` destination for the campaign's fork counters
-        /// (no artifact when absent; never part of the report
-        /// document).
+        /// `--stats-out` destination for the campaign's fork and
+        /// churn-draw counters (no artifact when absent; never part of
+        /// the report document).
         stats_out: Option<String>,
     },
     /// Rewrite the golden-snapshot corpus (`--regen-golden <dir>`).

@@ -49,8 +49,8 @@ use serde::Serialize;
 
 use ethpos_search::{Genome, ParamSchedule};
 use ethpos_sim::{
-    sample_timeline, two_branch_only, ChunkPool, ForkStats, PartitionConfig, PartitionOutcome,
-    PartitionSim, PartitionTimeline, TimelineAction,
+    sample_timeline, two_branch_only, ChunkPool, ChurnStats, ForkStats, PartitionConfig,
+    PartitionOutcome, PartitionSim, PartitionTimeline, TimelineAction,
 };
 use ethpos_state::{BackendKind, CohortState, DenseState};
 use ethpos_stats::SeedSequence;
@@ -65,20 +65,16 @@ use crate::stake_model::PAPER_EJECT_INACTIVE;
 /// the expectation model (large enough that rounding is negligible).
 const PROBE: u64 = 1 << 20;
 
-/// Population cap for churn cases. Churned membership is re-drawn **per
-/// honest validator per epoch** (`mark_class_sampled`), so churn runs
-/// cost O(n·epochs) regardless of backend — the cohort compression that
-/// makes 10⁶-validator pinned runs cheap does not apply (per-validator
-/// sampling fragments the cohorts). The §5.3 random-walk behaviour the
-/// oracle checks (no unexpected violation) is population-independent,
-/// so churn cases run at a bounded scale: profiled at ~1 s per case at
-/// 1024 × 512, churn dominated the whole campaign's wall clock; at
-/// 256 × 384 the entire churn share of a 512-case campaign costs a few
-/// seconds while β₀·n rounding (1/256) stays inside the oracle margin.
-const CHURN_MAX_N: usize = 256;
-
-/// Horizon cap for churn cases (same cost argument as [`CHURN_MAX_N`]).
-const CHURN_MAX_EPOCHS: u64 = 384;
+// Churn cases used to be clamped to n = 256 × 384 epochs here
+// (`CHURN_MAX_N`/`CHURN_MAX_EPOCHS`): membership was re-drawn per honest
+// validator per epoch, costing O(n·epochs) regardless of backend. The
+// churn stage now draws per-cohort binomial counts
+// (`mark_class_counted`), so churn cases run unclamped at the campaign's
+// full population scale like every other case. They are still the
+// campaign's most expensive shape: a churned branch in a deep leak
+// fragments toward one cohort per distinct leaked balance (see
+// ARCHITECTURE.md "Churn sampling"), so long-horizon full-population
+// campaigns should bound the horizon (`--epochs`) or the budget.
 
 /// The oracle thresholds — separated out so tests can *inject bugs*
 /// (tighten a bound) and watch the campaign catch and shrink them.
@@ -342,9 +338,18 @@ impl Default for ChaosSpec {
 
 impl ChaosSpec {
     /// A small instance for the experiment registry and smoke tests.
+    ///
+    /// The population is explicit (not the headline million): churn
+    /// cases run unclamped, and a deep-leak churn run fragments the
+    /// cohort backend toward one cohort per churned validator (every
+    /// participation history leaks to a distinct balance), so a smoke
+    /// instance pays O(n) per epoch on churn cases. 8 192 keeps the
+    /// whole registry interactive in debug builds; the full-population
+    /// campaign lives on `ethpos-cli chaos`.
     pub fn smoke() -> Self {
         ChaosSpec {
             budget: 16,
+            n: 8_192,
             max_epochs: 1536,
             ..ChaosSpec::default()
         }
@@ -358,8 +363,8 @@ impl ChaosSpec {
     }
 
     /// [`ChaosSpec::run`] plus the campaign's aggregated [`ChaosStats`]
-    /// fork counters. The report is unchanged — the stats are the
-    /// side-channel the CLI writes to its separate `--stats-out`
+    /// fork and churn-draw counters. The report is unchanged — the stats
+    /// are the side-channel the CLI writes to its separate `--stats-out`
     /// artifact (report JSON is byte-pinned by the golden corpus).
     pub fn run_with_stats(&self) -> (ChaosReport, ChaosStats) {
         let pool = ChunkPool::new(self.threads);
@@ -367,11 +372,13 @@ impl ChaosSpec {
         let mut stats = ChaosStats {
             cases: self.budget,
             fork: ForkStats::default(),
+            churn: ChurnStats::default(),
         };
         let rows: Vec<ChaosRow> = cases
             .into_iter()
-            .map(|(row, fork)| {
+            .map(|(row, fork, churn)| {
                 stats.fork.absorb(&fork);
+                stats.churn.absorb(&churn);
                 row
             })
             .collect();
@@ -408,6 +415,10 @@ pub struct ChaosStats {
     /// copy-on-write chunks forked children physically shared with
     /// their parents.
     pub fork: ForkStats,
+    /// Their aggregated [`ChurnStats`]: per-cohort binomial count draws
+    /// and the members those draws covered (`members / draws` is the
+    /// campaign-wide mean cohort size on the churn path).
+    pub churn: ChurnStats,
 }
 
 /// Samples case `index` of the campaign — a pure function of
@@ -460,7 +471,7 @@ pub fn sample_case(spec: &ChaosSpec, index: u64) -> ChaosCase {
         };
         Adversary::Strategy(eligible[rng.random_range(0..eligible.len() as u32) as usize])
     };
-    let mut case = ChaosCase {
+    ChaosCase {
         index,
         timeline,
         adversary,
@@ -468,12 +479,7 @@ pub fn sample_case(spec: &ChaosSpec, index: u64) -> ChaosCase {
         n: spec.n,
         max_epochs,
         engine_seed: seq.child_seed(1),
-    };
-    if case.has_churn() {
-        case.n = case.n.min(CHURN_MAX_N);
-        case.max_epochs = case.max_epochs.min(CHURN_MAX_EPOCHS);
     }
-    case
 }
 
 /// Runs one case on the chosen backend.
@@ -487,18 +493,20 @@ pub fn run_case(case: &ChaosCase, backend: BackendKind) -> PartitionOutcome {
 }
 
 /// [`run_case`] plus the run's [`ForkStats`] (the `Split` activity of
-/// the copy-on-write state layer). The outcome is identical —
-/// [`PartitionSim::run`] *is* step-to-exhaustion plus finish.
+/// the copy-on-write state layer) and [`ChurnStats`] (the count-level
+/// churn draws). The outcome is identical — [`PartitionSim::run`] *is*
+/// step-to-exhaustion plus finish.
 pub fn run_case_with_stats(
     case: &ChaosCase,
     backend: BackendKind,
-) -> (PartitionOutcome, ForkStats) {
+) -> (PartitionOutcome, ForkStats, ChurnStats) {
     fn drive<B: ethpos_state::backend::StateBackend>(
         mut sim: PartitionSim<B>,
-    ) -> (PartitionOutcome, ForkStats) {
+    ) -> (PartitionOutcome, ForkStats, ChurnStats) {
         while sim.step() {}
         let fork = sim.fork_stats();
-        (sim.finish(), fork)
+        let churn = sim.churn_stats();
+        (sim.finish(), fork, churn)
     }
     let byzantine = (case.beta0 * case.n as f64).round() as usize;
     let config = PartitionConfig {
@@ -926,9 +934,9 @@ impl ChaosRow {
     }
 }
 
-fn evaluate_case(spec: &ChaosSpec, index: u64) -> (ChaosRow, ForkStats) {
+fn evaluate_case(spec: &ChaosSpec, index: u64) -> (ChaosRow, ForkStats, ChurnStats) {
     let case = sample_case(spec, index);
-    let (outcome, fork) = run_case_with_stats(&case, spec.backend);
+    let (outcome, fork, churn) = run_case_with_stats(&case, spec.backend);
     let mut classification = classify(&case, &outcome, &spec.oracle);
     let eligible = spec.crosscheck.every > 0 && index.is_multiple_of(spec.crosscheck.every);
     let crosschecked = eligible && !case.has_churn();
@@ -954,7 +962,7 @@ fn evaluate_case(spec: &ChaosSpec, index: u64) -> (ChaosRow, ForkStats) {
         epochs_run: outcome.epochs_run,
         crosschecked,
     };
-    (row, fork)
+    (row, fork, churn)
 }
 
 /// Verdict tallies over a campaign.

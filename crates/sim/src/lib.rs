@@ -50,7 +50,7 @@ pub use cohort::{
 pub use engine::{run_slot_sims, SlotByzMode, SlotSim, SlotSimConfig, SlotSimReport};
 pub use monitor::SafetyMonitor;
 pub use partition::{
-    BranchOutcome, ForkStats, PartitionConfig, PartitionEpochRecord, PartitionOutcome,
+    BranchOutcome, ChurnStats, ForkStats, PartitionConfig, PartitionEpochRecord, PartitionOutcome,
     PartitionSim, PartitionTimeline, SafetyViolation, TimelineAction, TimelineError, TimelineEvent,
 };
 pub use pool::ChunkPool;

@@ -37,13 +37,12 @@
 
 use std::collections::BTreeMap;
 
-use rand::Rng;
 use serde::Serialize;
 
 use ethpos_state::attestations::synthetic_branch_root;
 use ethpos_state::backend::{ClassSpec, StateBackend};
 use ethpos_state::{DenseState, ParticipationFlags};
-use ethpos_stats::seeded_rng;
+use ethpos_stats::{seeded_rng, Binomial};
 use ethpos_types::{BranchId, ChainConfig, Checkpoint, Gwei, Root, Slot};
 use ethpos_validator::{BranchStatus, ByzantineSchedule};
 
@@ -659,7 +658,7 @@ impl Compiler {
                         let members = classes.iter().map(|&c| class_size(c)).sum();
                         ChurnPlan {
                             branches: g.branches.clone(),
-                            cond: conditional_probabilities(&g.weights),
+                            marginal: marginal_probabilities(&g.weights),
                             classes,
                             members,
                         }
@@ -668,7 +667,7 @@ impl Compiler {
                 CompiledStep {
                     epoch: raw.epoch,
                     ops: raw.ops.clone(),
-                    plan: MarkingPlan { pinned, churn },
+                    plan: MarkingPlan::new(pinned, churn),
                 }
             })
             .collect();
@@ -707,33 +706,18 @@ fn slice_intervals(intervals: &[(u64, u64)], masses: &[u64]) -> Vec<Intervals> {
     out
 }
 
-/// Sequential conditional probabilities of a weighted draw: position `j`
-/// is taken with probability `w_j / (w_j + … + w_{k-1})` given positions
-/// `0..j` were refused; the last position absorbs the rest.
+/// Per-branch marginal membership probabilities `w_j / Σw` of a churn
+/// group — the success probability of each branch's per-cohort binomial
+/// count draw.
 ///
-/// Computed so the historical two-branch case is bit-exact: for weights
-/// `[p0, 1 - p0]` the tail sum is exactly `1.0` (IEEE-754: the rounding
-/// error of `1 - p0` is under half an ulp of 1), so the first
-/// conditional probability is exactly `p0` — the same Bernoulli stream
-/// the old membership model drew.
-fn conditional_probabilities(weights: &[f64]) -> Vec<f64> {
-    let mut tails = vec![0.0; weights.len()];
-    let mut tail = 0.0;
-    for (j, w) in weights.iter().enumerate().rev() {
-        tail += w;
-        tails[j] = tail;
-    }
-    weights
-        .iter()
-        .enumerate()
-        .map(|(j, w)| {
-            if j + 1 == weights.len() {
-                1.0
-            } else {
-                w / tails[j]
-            }
-        })
-        .collect()
+/// For the historical two-branch case `[p0, 1 - p0]` the first marginal
+/// is exactly `p0` whenever `p0 + (1 - p0)` rounds to `1.0` (it does for
+/// every representable `p0` — the rounding error of `1 - p0` is under
+/// half an ulp of 1). The `min` clamp only guards pathological weight
+/// magnitudes where the total could round below an individual weight.
+fn marginal_probabilities(weights: &[f64]) -> Vec<f64> {
+    let total: f64 = weights.iter().sum();
+    weights.iter().map(|w| (w / total).min(1.0)).collect()
 }
 
 /// The compiled form of a [`PartitionTimeline`] at a concrete honest
@@ -800,9 +784,32 @@ pub struct MarkingPlan {
     pinned: Vec<(BranchId, Vec<usize>)>,
     /// Active churn groups, in creation order.
     churn: Vec<ChurnPlan>,
+    /// `positions[i][g]`: position of pinned branch `i` in churn group
+    /// `g`'s branch list (`None` when it does not churn there) —
+    /// precomputed at compile time so the per-epoch marking loop avoids
+    /// a linear scan per (branch, group).
+    positions: Vec<Vec<Option<usize>>>,
 }
 
 impl MarkingPlan {
+    /// Builds a plan, precomputing the branch → churn-group position
+    /// table.
+    fn new(pinned: Vec<(BranchId, Vec<usize>)>, churn: Vec<ChurnPlan>) -> Self {
+        let positions = pinned
+            .iter()
+            .map(|(b, _)| {
+                churn
+                    .iter()
+                    .map(|g| g.branches.iter().position(|x| x == b))
+                    .collect()
+            })
+            .collect();
+        MarkingPlan {
+            pinned,
+            churn,
+            positions,
+        }
+    }
     /// The live branches, in id order.
     pub fn live_branches(&self) -> Vec<BranchId> {
         self.pinned.iter().map(|(b, _)| *b).collect()
@@ -828,11 +835,13 @@ impl MarkingPlan {
 #[derive(Debug, Clone, PartialEq)]
 pub struct ChurnPlan {
     /// The sibling branches, in split-declaration order (parent first) —
-    /// the order the per-member draw addresses them.
+    /// the order the weights address them.
     pub branches: Vec<BranchId>,
-    /// Sequential conditional probabilities of the per-member draw (see
+    /// Per-branch marginal membership probabilities `w_j / Σw`: each
+    /// epoch, a cohort of `c` churned members contributes
+    /// `Binomial(c, marginal[j])` attesters to branch `j` (see
     /// [`PartitionTimeline`]'s churn semantics).
-    pub cond: Vec<f64>,
+    pub marginal: Vec<f64>,
     /// The state class indices of the churned population, ascending.
     pub classes: Vec<usize>,
     /// Total members across those classes (the draw-buffer size).
@@ -991,6 +1000,33 @@ impl ForkStats {
     }
 }
 
+/// Counters describing the count-level churn sampling of one run — the
+/// observability surface of the per-cohort binomial draw path.
+///
+/// Like [`ForkStats`], deliberately **not** part of
+/// [`PartitionOutcome`]: outcome JSON is byte-pinned by the golden
+/// corpus. The CLI reports these through the separate `--stats-out`
+/// artifact instead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct ChurnStats {
+    /// Binomial count draws performed: one per (branch, churn group,
+    /// class, active cohort) per epoch.
+    pub draws: u64,
+    /// Members covered by those draws — the number of Bernoulli draws
+    /// the per-validator path would have made instead, so
+    /// `members / draws` is the mean cohort size the churn stage saw and
+    /// `members / draws ≫ 1` is the compression win.
+    pub members: u64,
+}
+
+impl ChurnStats {
+    /// Accumulates another run's counters (for campaign-level totals).
+    pub fn absorb(&mut self, other: &ChurnStats) {
+        self.draws += other.draws;
+        self.members += other.members;
+    }
+}
+
 /// Result of a partition-timeline run.
 #[derive(Debug, Clone, Serialize)]
 pub struct PartitionOutcome {
@@ -1062,15 +1098,13 @@ pub struct PartitionSim<B: StateBackend = DenseState> {
     monitor: SafetyMonitor,
     tips: BTreeMap<BranchId, Root>,
     plan: MarkingPlan,
-    /// One draw buffer per active churn group (allocated when the plan
-    /// changes, reused across epochs).
-    scratch: Vec<Vec<u8>>,
     step_idx: usize,
     epoch: u64,
     finished: bool,
     meta: Vec<BranchMeta>,
     outcome: PartitionOutcome,
     fork_stats: ForkStats,
+    churn_stats: ChurnStats,
 }
 
 impl<B: StateBackend> core::fmt::Debug for PartitionSim<B> {
@@ -1155,13 +1189,13 @@ impl<B: StateBackend> PartitionSim<B> {
             monitor,
             tips,
             plan: MarkingPlan::default(),
-            scratch: Vec::new(),
             step_idx: 0,
             epoch: 0,
             finished: false,
             meta,
             outcome,
             fork_stats: ForkStats::default(),
+            churn_stats: ChurnStats::default(),
         })
     }
 
@@ -1178,6 +1212,11 @@ impl<B: StateBackend> PartitionSim<B> {
     /// Fork counters accumulated so far (see [`ForkStats`]).
     pub fn fork_stats(&self) -> ForkStats {
         self.fork_stats
+    }
+
+    /// Churn-draw counters accumulated so far (see [`ChurnStats`]).
+    pub fn churn_stats(&self) -> ChurnStats {
+        self.churn_stats
     }
 
     /// True once the run is over (horizon reached or a stop condition
@@ -1269,12 +1308,6 @@ impl<B: StateBackend> PartitionSim<B> {
                 }
             }
             self.plan = step.plan;
-            self.scratch = self
-                .plan
-                .churn
-                .iter()
-                .map(|g| vec![0u8; g.members as usize])
-                .collect();
             self.step_idx += 1;
         }
     }
@@ -1291,49 +1324,41 @@ impl<B: StateBackend> PartitionSim<B> {
         let spe = self.config.chain.slots_per_epoch;
         let epoch = self.epoch;
 
-        // 1. Churn draws: one weighted assignment per member, drawn
-        //    before any branch marks (the Bernoulli stream is therefore
-        //    independent of the branch iteration).
-        for (group, scratch) in self.plan.churn.iter().zip(self.scratch.iter_mut()) {
-            let k = group.branches.len();
-            for slot in scratch.iter_mut() {
-                let mut assigned = (k - 1) as u8;
-                for (j, &p) in group.cond[..k - 1].iter().enumerate() {
-                    if self.rng.random_bool(p) {
-                        assigned = j as u8;
-                        break;
-                    }
-                }
-                *slot = assigned;
-            }
-        }
-
-        // 2. Honest marking, per live branch in id order: pinned classes
-        //    whole, churned classes through the shared draw buffer (each
-        //    member attests on exactly one branch of its group).
-        let mut honest_attesting: Vec<Gwei> = Vec::with_capacity(self.plan.pinned.len());
-        for (b, pinned_classes) in &self.plan.pinned {
-            let state = self.branches.get_mut(b).expect("live branch");
+        // 1. Honest marking, per live branch in id order: pinned classes
+        //    whole, churned classes by per-cohort binomial count draws —
+        //    a cohort of `c` exchangeable members contributes
+        //    `Binomial(c, w_b/Σw)` attesters to branch `b`, at
+        //    O(#cohorts) draws per epoch instead of O(#members). The
+        //    draw order is a pure function of the plan (branches in id
+        //    order, churn groups in plan order, classes ascending,
+        //    cohorts in the backend's canonical order), so outputs are
+        //    byte-identical for any `--threads`.
+        let plan = &self.plan;
+        let branches = &mut self.branches;
+        let rng = &mut self.rng;
+        let churn_stats = &mut self.churn_stats;
+        let flags = self.flags;
+        let mut honest_attesting: Vec<Gwei> = Vec::with_capacity(plan.pinned.len());
+        for (idx, (b, pinned_classes)) in plan.pinned.iter().enumerate() {
+            let state = branches.get_mut(b).expect("live branch");
             for &class in pinned_classes {
-                state.mark_class(class, self.flags);
+                state.mark_class(class, flags);
             }
-            for (group, scratch) in self.plan.churn.iter().zip(self.scratch.iter()) {
-                if let Some(position) = group.branches.iter().position(|x| x == b) {
-                    let position = position as u8;
-                    let mut i = 0usize;
-                    for &class in &group.classes {
-                        state.mark_class_sampled(class, self.flags, &mut || {
-                            let take = scratch[i] == position;
-                            i += 1;
-                            take
-                        });
-                    }
+            for (group, position) in plan.churn.iter().zip(&plan.positions[idx]) {
+                let Some(position) = *position else { continue };
+                let p = group.marginal[position];
+                for &class in &group.classes {
+                    state.mark_class_counted(class, flags, &mut |count| {
+                        churn_stats.draws += 1;
+                        churn_stats.members += count;
+                        Binomial::new(count, p).sample(rng)
+                    });
                 }
             }
             honest_attesting.push(state.current_target_balance());
         }
 
-        // 3. Adversary observation & decision over every live branch.
+        // 2. Adversary observation & decision over every live branch.
         let statuses: Vec<BranchStatus> = self
             .plan
             .pinned
@@ -1354,7 +1379,7 @@ impl<B: StateBackend> PartitionSim<B> {
             .collect();
         let choice = self.schedule.participate(&statuses);
 
-        // 4. Mark Byzantine participation and advance each branch one
+        // 3. Mark Byzantine participation and advance each branch one
         //    epoch under its own synthetic checkpoint root; feed the
         //    block chain to the safety monitor.
         let mut stats: Vec<BranchEpochStats> = Vec::with_capacity(self.plan.pinned.len());
@@ -1404,7 +1429,7 @@ impl<B: StateBackend> PartitionSim<B> {
             self.outcome.double_vote_epochs += 1;
         }
 
-        // 5. Per-branch outcome monitors.
+        // 4. Per-branch outcome monitors.
         for (position, (b, _)) in self.plan.pinned.iter().enumerate() {
             let stat = &stats[position];
             let meta = &mut self.meta[b.as_usize()];
@@ -1425,7 +1450,7 @@ impl<B: StateBackend> PartitionSim<B> {
             }
         }
 
-        // 6. Safety: every live branch's finalized checkpoint, checked
+        // 5. Safety: every live branch's finalized checkpoint, checked
         //    against every branch pair — healed branches included.
         for (b, _) in &self.plan.pinned {
             self.monitor
@@ -1443,7 +1468,7 @@ impl<B: StateBackend> PartitionSim<B> {
             }
         }
 
-        // 7. History.
+        // 6. History.
         if epoch.is_multiple_of(self.config.record_every) {
             self.outcome.history.push(PartitionEpochRecord {
                 epoch,
@@ -1453,7 +1478,7 @@ impl<B: StateBackend> PartitionSim<B> {
             });
         }
 
-        // 8. Stop conditions.
+        // 7. Stop conditions.
         if self.config.stop_on_conflict && self.outcome.conflicting_finalization_epoch.is_some() {
             self.finished = true;
         }
@@ -1567,7 +1592,7 @@ mod tests {
         assert_eq!(plan.pinned_classes(b(0)), Some(&[][..]));
         let group = &plan.churn_groups()[0];
         assert_eq!(group.branches, vec![b(0), b(1)]);
-        assert_eq!(group.cond, vec![0.5, 1.0]);
+        assert_eq!(group.marginal, vec![0.5, 0.5]);
         assert_eq!(group.members, 200);
     }
 
@@ -1645,15 +1670,15 @@ mod tests {
     }
 
     #[test]
-    fn conditional_probabilities_are_exact_for_the_two_branch_case() {
+    fn marginal_probabilities_are_exact_for_the_two_branch_case() {
         for p0 in [0.1, 0.3, 0.5, 0.75, 0.9] {
-            let cond = conditional_probabilities(&[p0, 1.0 - p0]);
-            assert_eq!(cond, vec![p0, 1.0]);
+            let marginal = marginal_probabilities(&[p0, 1.0 - p0]);
+            assert_eq!(marginal[0], p0);
         }
-        let cond = conditional_probabilities(&[1.0, 1.0, 2.0]);
-        assert!((cond[0] - 0.25).abs() < 1e-12);
-        assert!((cond[1] - 1.0 / 3.0).abs() < 1e-12);
-        assert_eq!(cond[2], 1.0);
+        let marginal = marginal_probabilities(&[1.0, 1.0, 2.0]);
+        assert!((marginal[0] - 0.25).abs() < 1e-12);
+        assert!((marginal[1] - 0.25).abs() < 1e-12);
+        assert!((marginal[2] - 0.5).abs() < 1e-12);
     }
 
     /// A 3-way even split with no Byzantine validators: no branch can

@@ -231,6 +231,36 @@ pub trait StateBackend: Sized + Clone {
         draw: &mut dyn FnMut() -> bool,
     );
 
+    /// Merges `flags` into a *count-sampled* subset of the active
+    /// members of `class`: `sample` is called exactly once per **cohort
+    /// of active members** (in backend order) with that cohort's member
+    /// count `c`, and must return how many of the `c` exchangeable
+    /// members get the flags (at most `c`; larger returns are clamped).
+    /// Cohorts of exited members consume no draw.
+    ///
+    /// Members within a cohort are identical, so any choice of *which*
+    /// `k` members to mark yields the same state; a count draw of
+    /// `k ~ Binomial(c, p)` is therefore distributionally equivalent to
+    /// `c` per-member Bernoulli(p) draws — at O(#cohorts) draws per
+    /// epoch instead of O(#members). The dense backend treats every
+    /// member as a singleton cohort (`sample(1)` per active member, in
+    /// index order), preserving the per-validator reference semantics
+    /// for differential testing. Like [`mark_class_sampled`] on the
+    /// cohort backend, count draws preserve each branch's marginal law
+    /// but not a per-member joint coupling across branches.
+    ///
+    /// The canonical cohort order is sorted [`MemberState`] order, which
+    /// both cohort backends share — so the exact and reference cohort
+    /// backends consume identical draw streams and stay byte-equal.
+    ///
+    /// [`mark_class_sampled`]: StateBackend::mark_class_sampled
+    fn mark_class_counted(
+        &mut self,
+        class: usize,
+        flags: ParticipationFlags,
+        sample: &mut dyn FnMut(u64) -> u64,
+    );
+
     /// Runs full spec epoch processing and advances to the first slot of
     /// the next epoch, recording `next_checkpoint_root` as the new
     /// epoch's checkpoint root (carrying the previous root forward when
@@ -397,6 +427,24 @@ impl StateBackend for DenseState {
         }
     }
 
+    fn mark_class_counted(
+        &mut self,
+        class: usize,
+        flags: ParticipationFlags,
+        sample: &mut dyn FnMut(u64) -> u64,
+    ) {
+        let epoch = self.state.current_epoch();
+        for i in self.class_range(class) {
+            // Every member is a singleton cohort: one Binomial(1, p)
+            // draw per active member is exactly a Bernoulli(p), which
+            // keeps this the per-validator reference path.
+            if self.state.validators()[i].is_active_at(epoch) && sample(1) >= 1 {
+                self.state
+                    .merge_current_participation(ValidatorIndex::from(i), flags);
+            }
+        }
+    }
+
     fn advance_epoch(&mut self, next_checkpoint_root: Option<Root>) {
         let spe = self.state.config().slots_per_epoch;
         let next_start = (self.state.current_epoch() + 1).start_slot(spe);
@@ -503,6 +551,21 @@ mod tests {
             toggle = !toggle;
             toggle
         });
+        assert_eq!(dense.current_target_balance(), Gwei::from_eth_u64(3 * 32));
+    }
+
+    #[test]
+    fn mark_class_counted_treats_dense_members_as_singleton_cohorts() {
+        let mut dense = DenseState::from_classes(ChainConfig::minimal(), &classes(&[6]));
+        let mut calls = Vec::new();
+        let mut i = 0u64;
+        dense.mark_class_counted(0, flags(), &mut |count| {
+            calls.push(count);
+            i += 1;
+            u64::from(i % 2 == 1)
+        });
+        // One Binomial(1, p) draw per active member, in index order.
+        assert_eq!(calls, vec![1; 6]);
         assert_eq!(dense.current_target_balance(), Gwei::from_eth_u64(3 * 32));
     }
 

@@ -639,6 +639,42 @@ impl StateBackend for CohortState {
         }
     }
 
+    fn mark_class_counted(
+        &mut self,
+        class: usize,
+        flags: ParticipationFlags,
+        sample: &mut dyn FnMut(u64) -> u64,
+    ) {
+        let epoch = self.current_epoch();
+        let chunk = &mut self.chunks[class];
+        let mut next: Vec<(MemberState, u64)> = Vec::with_capacity(chunk.len() + 1);
+        for &(m, count) in chunk.iter() {
+            // Exited cohorts consume no draw (trait contract): the
+            // stream is one count draw per *active* cohort.
+            if !m.is_active_at(epoch) {
+                next.push((m, count));
+                continue;
+            }
+            let drawn = sample(count).min(count);
+            // Split the cohort: `drawn` members get the flags, the rest
+            // keep their state. Equal results re-merge on canonicalize.
+            if drawn > 0 {
+                let marked = MemberState {
+                    current_flags: m.current_flags.union(flags),
+                    ..m
+                };
+                next.push((marked, drawn));
+            }
+            if drawn < count {
+                next.push((m, count - drawn));
+            }
+        }
+        canonicalize(&mut next);
+        if next != **chunk {
+            *chunk = Arc::new(next);
+        }
+    }
+
     fn advance_epoch(&mut self, next_checkpoint_root: Option<Root>) {
         self.process_epoch();
         let spe = self.config.slots_per_epoch;
@@ -785,6 +821,47 @@ mod tests {
         let snap = cohort.snapshot();
         let total: u64 = snap.classes[0].iter().map(|(_, c)| c).sum();
         assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn counted_marking_splits_by_count_and_skips_exited_cohorts() {
+        let mut cohort = CohortState::from_classes(ChainConfig::minimal(), &[full(10)]);
+        let mut calls = Vec::new();
+        cohort.mark_class_counted(0, ParticipationFlags::all(), &mut |count| {
+            calls.push(count);
+            3
+        });
+        // One count draw for the single genesis cohort, split 3 / 7.
+        assert_eq!(calls, vec![10]);
+        assert_eq!(cohort.num_cohorts(), 2);
+        assert_eq!(cohort.current_target_balance(), Gwei::from_eth_u64(3 * 32));
+
+        // An exited cohort consumes no draw: eject a sub-16-ETH class
+        // and verify only the live cohorts are offered.
+        let low = ClassSpec {
+            count: 4,
+            balance: Gwei::from_eth_f64(16.5),
+        };
+        let mut cohort = CohortState::from_classes(ChainConfig::minimal(), &[full(8), low]);
+        for _ in 0..3 {
+            cohort.mark_class(0, ParticipationFlags::all());
+            cohort.advance_epoch(None);
+        }
+        assert_eq!(cohort.class_stats(1).exited, 4);
+        let mut calls = 0u64;
+        cohort.mark_class_counted(1, ParticipationFlags::all(), &mut |_| {
+            calls += 1;
+            0
+        });
+        assert_eq!(calls, 0, "exited cohorts must not consume count draws");
+    }
+
+    #[test]
+    fn counted_marking_overdraw_is_clamped_to_cohort_size() {
+        let mut cohort = CohortState::from_classes(ChainConfig::minimal(), &[full(5)]);
+        cohort.mark_class_counted(0, ParticipationFlags::all(), &mut |_| u64::MAX);
+        assert_eq!(cohort.num_cohorts(), 1);
+        assert_eq!(cohort.current_target_balance(), Gwei::from_eth_u64(5 * 32));
     }
 
     #[test]

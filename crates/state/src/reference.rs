@@ -567,6 +567,39 @@ impl StateBackend for ReferenceCohortState {
         self.cohorts = next;
     }
 
+    fn mark_class_counted(
+        &mut self,
+        class: usize,
+        flags: ParticipationFlags,
+        sample: &mut dyn FnMut(u64) -> u64,
+    ) {
+        let epoch = self.current_epoch();
+        let mut next: BTreeMap<CohortKey, u64> = BTreeMap::new();
+        for ((c, m), &count) in &self.cohorts {
+            // BTreeMap iteration is sorted MemberState order — the same
+            // canonical cohort order the exact backend walks, so both
+            // consume identical count-draw streams (trait contract).
+            if *c as usize != class || !m.is_active_at(epoch) {
+                *next.entry((*c, *m)).or_insert(0) += count;
+                continue;
+            }
+            let drawn = sample(count).min(count);
+            // Split the cohort: `drawn` members get the flags, the rest
+            // keep their state. Equal results re-merge via the map key.
+            if drawn > 0 {
+                let marked = MemberState {
+                    current_flags: m.current_flags.union(flags),
+                    ..*m
+                };
+                *next.entry((*c, marked)).or_insert(0) += drawn;
+            }
+            if drawn < count {
+                *next.entry((*c, *m)).or_insert(0) += count - drawn;
+            }
+        }
+        self.cohorts = next;
+    }
+
     fn advance_epoch(&mut self, next_checkpoint_root: Option<Root>) {
         self.process_epoch();
         let spe = self.config.slots_per_epoch;

@@ -94,6 +94,33 @@ proptest! {
         }
     }
 
+    /// Count-level marking at genesis: each class is one uniform cohort,
+    /// so one count draw of `k` on the cohort backend must equal marking
+    /// the first `k` members on the dense backend — snapshots are
+    /// identity-free and must stay equal as the split halves diverge.
+    #[test]
+    fn cohort_counted_matches_dense_first_k_marks(
+        raw in proptest::collection::vec((0u64..1 << 16, 16.0f64..33.0), 1..3),
+        pattern in 0u64..u64::MAX,
+        epochs in 4u64..16,
+    ) {
+        let config = ChainConfig::paper();
+        let classes = decode_classes(&raw);
+        let (mut dense, mut cohort) = pair(&config, &classes);
+        for (c, spec) in classes.iter().enumerate() {
+            let k = (pattern >> (8 * (c % 8))) % (spec.count + 1);
+            let mut i = 0u64;
+            dense.mark_class_sampled(c, ParticipationFlags::all(), &mut || { i += 1; i <= k });
+            cohort.mark_class_counted(c, ParticipationFlags::all(), &mut |_| k);
+        }
+        prop_assert_eq!(dense.snapshot(), cohort.snapshot(), "after marking");
+        for epoch in 0..epochs {
+            dense.advance_epoch(None);
+            cohort.advance_epoch(None);
+            prop_assert_eq!(dense.snapshot(), cohort.snapshot(), "epoch {}", epoch);
+        }
+    }
+
     /// β₀/p0-shaped two-class partitions (the §5.2 sim layout) with the
     /// idle side leaking to ejection at genesis-edge balances.
     #[test]
@@ -293,6 +320,55 @@ fn mid_run_ejection_is_bit_identical() {
         (600..790).contains(&e),
         "ejected at {e}, expected ≈700 (0.25 ETH of I·s/2²⁶ decay)"
     );
+}
+
+/// The exact and reference cohort backends walk cohorts in the same
+/// canonical (sorted `MemberState`) order, so feeding each a
+/// `Binomial(count, p)` count stream off identically-seeded RNGs must
+/// keep them **byte-identical** even as churn fragments the cohort
+/// structure over a leak. (The dense backend is only equal in law here:
+/// it consumes one singleton draw per member, a different stream.)
+#[test]
+fn counted_churn_keeps_cohort_and_reference_byte_identical() {
+    use ethpos_stats::{seeded_rng, Binomial};
+    let config = ChainConfig::paper();
+    let classes = [
+        ClassSpec::full_stake(4, &config),
+        ClassSpec::full_stake(40, &config),
+        ClassSpec {
+            count: 9,
+            balance: Gwei::from_eth_f64(17.0),
+        },
+    ];
+    for seed in 0..8u64 {
+        let mut cohort = CohortState::from_classes(config.clone(), &classes);
+        let mut reference = ReferenceCohortState::from_classes(config.clone(), &classes);
+        let mut rng_a = seeded_rng(seed);
+        let mut rng_b = seeded_rng(seed);
+        for epoch in 0..48u64 {
+            // Class 0 pins; classes 1–2 churn at p = 0.45 — under-⅔
+            // participation, so the chain leaks and balances (hence
+            // cohort structures) fragment path-dependently.
+            cohort.mark_class(0, ParticipationFlags::all());
+            reference.mark_class(0, ParticipationFlags::all());
+            for class in [1usize, 2] {
+                cohort.mark_class_counted(class, ParticipationFlags::all(), &mut |count| {
+                    Binomial::new(count, 0.45).sample(&mut rng_a)
+                });
+                reference.mark_class_counted(class, ParticipationFlags::all(), &mut |count| {
+                    Binomial::new(count, 0.45).sample(&mut rng_b)
+                });
+            }
+            cohort.advance_epoch(None);
+            reference.advance_epoch(None);
+            assert_eq!(
+                cohort.snapshot(),
+                reference.snapshot(),
+                "seed {seed} epoch {epoch}"
+            );
+        }
+        assert!(cohort.num_cohorts() > 3, "churn should fragment cohorts");
+    }
 }
 
 /// The cohort backend *splits* a cohort sitting at the hysteresis edge

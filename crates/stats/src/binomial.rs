@@ -1,0 +1,562 @@
+//! Exact binomial and multinomial count sampling.
+//!
+//! The cohort-compressed state backend marks a churned class by drawing
+//! *how many* of a cohort's `c` identical members attest on a branch —
+//! a `Binomial(c, p)` count — instead of `c` per-member Bernoulli draws
+//! (`ethpos_state::backend::StateBackend::mark_class_counted`). These
+//! samplers are **exact**: the returned counts follow the true discrete
+//! law, not a normal or Poisson approximation, so count-level marking is
+//! distributionally indistinguishable from the per-member reference path
+//! at any population size.
+//!
+//! Two regimes, the classic split:
+//!
+//! * `n·min(p, 1−p) < 10` — **BINV** (inversion): walk the CDF with the
+//!   ratio recurrence `f(x+1)/f(x) = (n−x)/(x+1) · p/q`. O(mean) per
+//!   draw, one uniform consumed.
+//! * otherwise — **BTPE**-style rejection (Kachitvichyanukul &
+//!   Schmeiser, 1988): a triangle/parallelogram/exponential-tail hat
+//!   over the scaled pmf with squeeze tests, falling back to a Stirling
+//!   series for the exact acceptance comparison. O(1) expected per
+//!   draw.
+//!
+//! Edge cases (`p ∈ {0, 1}`, `n = 0`) return the degenerate count
+//! without consuming randomness, so callers may stream draws off a
+//! shared `StdRng` without perturbing sibling draws.
+//!
+//! A k-way churn draw for one cohort is a [`Multinomial`]: a chain of
+//! conditional binomials `N_j ~ Binomial(n − N_0 − … − N_{j−1},
+//! w_j / (w_j + … + w_{k−1}))` whose joint law is exactly
+//! `Multinomial(n, w/Σw)`.
+
+use rand::Rng;
+
+/// Below this `n·min(p, 1−p)`, sampling inverts the CDF directly
+/// (BINV); above it, the BTPE rejection scheme is cheaper.
+const BINV_THRESHOLD: f64 = 10.0;
+
+/// Iteration cap of one BINV inversion pass. The cap only triggers on
+/// the astronomically unlikely uniform that lands beyond ~30 standard
+/// deviations (mean < 10, sd < 3.2 in the BINV regime); the draw then
+/// restarts with a fresh uniform instead of walking the whole support.
+const BINV_MAX_X: u64 = 110;
+
+/// An exact binomial law `Binomial(n, p)` for count sampling.
+///
+/// # Example
+///
+/// ```
+/// use ethpos_stats::{seeded_rng, Binomial};
+///
+/// let mut rng = seeded_rng(7);
+/// let d = Binomial::new(1_000_000, 0.5);
+/// let k = d.sample(&mut rng);
+/// assert!((400_000..=600_000).contains(&k));
+/// assert_eq!(Binomial::new(9, 0.0).sample(&mut rng), 0);
+/// assert_eq!(Binomial::new(9, 1.0).sample(&mut rng), 9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    /// Number of trials.
+    pub n: u64,
+    /// Success probability.
+    pub p: f64,
+}
+
+impl Binomial {
+    /// Creates a binomial law.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p ∈ [0, 1]`.
+    pub fn new(n: u64, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "binomial needs p in [0, 1], got {p}"
+        );
+        Binomial { n, p }
+    }
+
+    /// Mean `n·p`.
+    pub fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    /// Variance `n·p·(1−p)`.
+    pub fn variance(&self) -> f64 {
+        self.n as f64 * self.p * (1.0 - self.p)
+    }
+
+    /// Draws one exact count.
+    ///
+    /// Degenerate parameters (`n = 0`, `p ∈ {0, 1}`) return without
+    /// consuming randomness.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.n == 0 || self.p <= 0.0 {
+            return 0;
+        }
+        if self.p >= 1.0 {
+            return self.n;
+        }
+        // Work in the p ≤ 1/2 half-plane (counts mirror under p ↔ q).
+        let flipped = self.p > 0.5;
+        let p = if flipped { 1.0 - self.p } else { self.p };
+        let k = if self.n as f64 * p < BINV_THRESHOLD {
+            binv(self.n, p, rng)
+        } else {
+            btpe(self.n, p, rng)
+        };
+        if flipped {
+            self.n - k
+        } else {
+            k
+        }
+    }
+}
+
+/// CDF inversion for small `n·p` (requires `0 < p ≤ 1/2`).
+fn binv<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+    let q = 1.0 - p;
+    let s = p / q;
+    let a = (n + 1) as f64 * s;
+    // f(0) = q^n via exp(n·ln1p(−p)) — exact to an ulp even when a
+    // direct powi would round through many multiplications.
+    let f0 = (n as f64 * (-p).ln_1p()).exp();
+    loop {
+        let mut r = f0;
+        let mut u: f64 = rng.random();
+        for x in 0..=BINV_MAX_X.min(n) {
+            if u < r {
+                return x;
+            }
+            u -= r;
+            r *= a / (x + 1) as f64 - s;
+        }
+        // Tail overflow (u landed beyond the cap): restart with a fresh
+        // uniform rather than walking the far tail.
+    }
+}
+
+/// BTPE rejection for `n·p ≥ 10` (requires `p ≤ 1/2`).
+///
+/// Regions of the hat, left to right: exponential left tail, the
+/// central triangle over the mode, the two parallelogram wedges, and
+/// the exponential right tail. Candidates are squeezed against a
+/// quadratic bound before the exact pmf-ratio (or Stirling-series)
+/// comparison.
+fn btpe<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+    let nf = n as f64;
+    let r = p;
+    let q = 1.0 - r;
+    let nrq = nf * r * q;
+    let fm = nf * r + r;
+    let m = fm.floor();
+    let p1 = (2.195 * nrq.sqrt() - 4.6 * q).floor() + 0.5;
+    let xm = m + 0.5;
+    let xl = xm - p1;
+    let xr = xm + p1;
+    let c = 0.134 + 20.5 / (15.3 + m);
+    let al = (fm - xl) / (fm - xl * r);
+    let laml = al * (1.0 + 0.5 * al);
+    let ar = (xr - fm) / (xr * q);
+    let lamr = ar * (1.0 + 0.5 * ar);
+    let p2 = p1 * (1.0 + 2.0 * c);
+    let p3 = p2 + c / laml;
+    let p4 = p3 + c / lamr;
+
+    loop {
+        let u: f64 = rng.random::<f64>() * p4;
+        let mut v: f64 = rng.random();
+        let y: f64;
+        if u <= p1 {
+            // Central triangle: accept immediately.
+            return (xm - p1 * v + u).floor() as u64;
+        } else if u <= p2 {
+            // Parallelogram wedges.
+            let x = xl + (u - p1) / c;
+            v = v * c + 1.0 - (x - xm).abs() / p1;
+            if v > 1.0 {
+                continue;
+            }
+            y = x.floor();
+        } else if u <= p3 {
+            // Left exponential tail.
+            y = (xl + v.ln() / laml).floor();
+            if y < 0.0 {
+                continue;
+            }
+            v *= (u - p2) * laml;
+        } else {
+            // Right exponential tail.
+            y = (xr - v.ln() / lamr).floor();
+            if y > nf {
+                continue;
+            }
+            v *= (u - p3) * lamr;
+        }
+
+        // Acceptance test: v ≤ f(y)/f(m)?
+        let k = (y - m).abs();
+        if k <= 20.0 || k >= 0.5 * nrq - 1.0 {
+            // Few steps from the mode (or far tail): evaluate the pmf
+            // ratio by the exact recurrence.
+            let s = r / q;
+            let a = s * (nf + 1.0);
+            let mut f = 1.0;
+            if m < y {
+                let mut i = m;
+                while i < y {
+                    i += 1.0;
+                    f *= a / i - s;
+                }
+            } else if m > y {
+                let mut i = y;
+                while i < m {
+                    i += 1.0;
+                    f /= a / i - s;
+                }
+            }
+            if v <= f {
+                return y as u64;
+            }
+        } else {
+            // Squeeze: a quadratic band around the normal-core log-pmf.
+            let rho = (k / nrq) * ((k * (k / 3.0 + 0.625) + 1.0 / 6.0) / nrq + 0.5);
+            let t = -k * k / (2.0 * nrq);
+            let alv = v.ln();
+            if alv < t - rho {
+                return y as u64;
+            }
+            if alv <= t + rho {
+                // Inconclusive: exact comparison via the Stirling series
+                // of ln(f(y)/f(m)).
+                let x1 = y + 1.0;
+                let f1 = m + 1.0;
+                let z = nf + 1.0 - m;
+                let w = nf - y + 1.0;
+                let bound = xm * (f1 / x1).ln()
+                    + (nf - m + 0.5) * (z / w).ln()
+                    + (y - m) * (w * r / (x1 * q)).ln()
+                    + stirling_tail(f1)
+                    + stirling_tail(z)
+                    + stirling_tail(x1)
+                    + stirling_tail(w);
+                if alv <= bound {
+                    return y as u64;
+                }
+            }
+        }
+    }
+}
+
+/// The Stirling-series correction `ln Γ(x) − [(x−1/2)·ln x − x +
+/// ln√(2π)]`, truncated after the x⁻⁷ term — BTPE's exact-comparison
+/// kernel.
+fn stirling_tail(x: f64) -> f64 {
+    let x2 = x * x;
+    (13860.0 - (462.0 - (132.0 - (99.0 - 140.0 / x2) / x2) / x2) / x2) / x / 166320.0
+}
+
+/// Sequential conditional probabilities of a weighted k-way draw:
+/// position `j` is taken with probability `w_j / (w_j + … + w_{k−1})`
+/// given positions `0..j` were refused; the last position absorbs the
+/// rest.
+///
+/// Computed so the two-branch case is bit-exact: for weights
+/// `[p0, 1 − p0]` the tail sum is exactly `1.0` (IEEE-754: the rounding
+/// error of `1 − p0` is under half an ulp of 1), so the first
+/// conditional probability is exactly `p0`.
+pub fn conditional_probabilities(weights: &[f64]) -> Vec<f64> {
+    let mut tails = vec![0.0; weights.len()];
+    let mut tail = 0.0;
+    for (j, w) in weights.iter().enumerate().rev() {
+        tail += w;
+        tails[j] = tail;
+    }
+    weights
+        .iter()
+        .enumerate()
+        .map(|(j, w)| {
+            if j + 1 == weights.len() {
+                1.0
+            } else {
+                w / tails[j]
+            }
+        })
+        .collect()
+}
+
+/// An exact multinomial law `Multinomial(n, w/Σw)`, sampled as a chain
+/// of conditional binomials.
+///
+/// # Example
+///
+/// ```
+/// use ethpos_stats::{seeded_rng, Multinomial};
+///
+/// let mut rng = seeded_rng(3);
+/// let d = Multinomial::new(&[0.2, 0.3, 0.5]);
+/// let counts = d.sample(1000, &mut rng);
+/// assert_eq!(counts.len(), 3);
+/// assert_eq!(counts.iter().sum::<u64>(), 1000);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Multinomial {
+    /// The conditional-binomial chain (see
+    /// [`conditional_probabilities`]).
+    cond: Vec<f64>,
+}
+
+impl Multinomial {
+    /// Creates a multinomial law over `weights` (normalized internally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, any weight is negative or
+    /// non-finite, or all weights are zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "multinomial needs at least one weight");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "multinomial weights must be finite and non-negative, got {weights:?}"
+        );
+        assert!(
+            weights.iter().sum::<f64>() > 0.0,
+            "multinomial weights must not all be zero"
+        );
+        Multinomial {
+            cond: conditional_probabilities(weights),
+        }
+    }
+
+    /// Number of categories.
+    pub fn k(&self) -> usize {
+        self.cond.len()
+    }
+
+    /// Draws exact category counts summing to `n`: the conditional
+    /// chain `N_j ~ Binomial(n − Σ_{i<j} N_i, cond_j)` with the last
+    /// category absorbing the remainder.
+    pub fn sample<R: Rng + ?Sized>(&self, n: u64, rng: &mut R) -> Vec<u64> {
+        let k = self.cond.len();
+        let mut counts = Vec::with_capacity(k);
+        let mut remaining = n;
+        for &c in &self.cond[..k - 1] {
+            // Conditional probabilities can graze 1.0 from below only by
+            // rounding; clamp so `Binomial::new` stays in range.
+            let d = Binomial::new(remaining, c.min(1.0)).sample(rng);
+            counts.push(d);
+            remaining -= d;
+        }
+        counts.push(remaining);
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+    use crate::seedseq::SeedSequence;
+
+    #[test]
+    fn degenerate_parameters_are_exact_and_consume_no_randomness() {
+        let mut rng = seeded_rng(1);
+        let before: u64 = {
+            let mut probe = seeded_rng(1);
+            probe.random()
+        };
+        assert_eq!(Binomial::new(0, 0.3).sample(&mut rng), 0);
+        assert_eq!(Binomial::new(17, 0.0).sample(&mut rng), 0);
+        assert_eq!(Binomial::new(17, 1.0).sample(&mut rng), 17);
+        // The stream was not consumed.
+        assert_eq!(rng.random::<u64>(), before);
+    }
+
+    #[test]
+    fn n_one_is_a_bernoulli() {
+        let mut rng = seeded_rng(5);
+        let d = Binomial::new(1, 0.3);
+        let mut ones = 0u64;
+        for _ in 0..20_000 {
+            let k = d.sample(&mut rng);
+            assert!(k <= 1);
+            ones += k;
+        }
+        let rate = ones as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate = {rate}");
+    }
+
+    #[test]
+    fn samples_never_exceed_n() {
+        let seq = SeedSequence::new(9);
+        for (i, &(n, p)) in [(3u64, 0.9), (40, 0.5), (1000, 0.999), (1000, 0.001)]
+            .iter()
+            .enumerate()
+        {
+            let mut rng = seq.child_rng(i as u64);
+            let d = Binomial::new(n, p);
+            for _ in 0..2000 {
+                assert!(d.sample(&mut rng) <= n);
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_counts() {
+        let d = Binomial::new(1_000_000, 0.37);
+        let a: Vec<u64> = {
+            let mut rng = seeded_rng(77);
+            (0..64).map(|_| d.sample(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = seeded_rng(77);
+            (0..64).map(|_| d.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    /// Moment check against the closed forms, across both sampling
+    /// regimes (BINV and BTPE) and the p ↔ q mirror.
+    #[test]
+    fn moments_match_closed_forms_over_many_seeds() {
+        let cases = [
+            (50u64, 0.08),     // BINV (n·p = 4)
+            (200, 0.03),       // BINV
+            (200, 0.97),       // BINV after mirror
+            (400, 0.5),        // BTPE
+            (100_000, 0.2),    // BTPE
+            (1_000_000, 0.75), // BTPE after mirror
+        ];
+        let seq = SeedSequence::new(42);
+        for (ci, &(n, p)) in cases.iter().enumerate() {
+            let d = Binomial::new(n, p);
+            let draws = 30_000usize;
+            let mut rng = seq.child_rng(ci as u64);
+            let mut sum = 0.0f64;
+            let mut sumsq = 0.0f64;
+            for _ in 0..draws {
+                let k = d.sample(&mut rng) as f64;
+                sum += k;
+                sumsq += k * k;
+            }
+            let mean = sum / draws as f64;
+            let var = sumsq / draws as f64 - mean * mean;
+            let sd = d.variance().sqrt();
+            // Mean of `draws` samples has sd σ/√draws; allow 5 of those.
+            let mean_tol = 5.0 * sd / (draws as f64).sqrt();
+            assert!(
+                (mean - d.mean()).abs() < mean_tol,
+                "n={n} p={p}: mean {mean} vs {} (tol {mean_tol})",
+                d.mean()
+            );
+            assert!(
+                (var / d.variance() - 1.0).abs() < 0.1,
+                "n={n} p={p}: var {var} vs {}",
+                d.variance()
+            );
+        }
+    }
+
+    /// Chi-square agreement between the count sampler and brute-force
+    /// per-member Bernoulli draws at small n: both histograms must be
+    /// consistent with the same binomial pmf.
+    #[test]
+    fn chi_square_agreement_with_per_member_bernoulli() {
+        let (n, p) = (12u64, 0.35);
+        let draws = 40_000usize;
+        let mut count_hist = vec![0u64; n as usize + 1];
+        let mut member_hist = vec![0u64; n as usize + 1];
+        let mut rng_a = seeded_rng(1001);
+        let mut rng_b = seeded_rng(2002);
+        let d = Binomial::new(n, p);
+        for _ in 0..draws {
+            count_hist[d.sample(&mut rng_a) as usize] += 1;
+            let brute = (0..n).filter(|_| rng_b.random_bool(p)).count();
+            member_hist[brute] += 1;
+        }
+        // Exact pmf by the ratio recurrence.
+        let mut pmf = vec![0.0f64; n as usize + 1];
+        pmf[0] = (1.0 - p).powi(n as i32);
+        for x in 0..n as usize {
+            pmf[x + 1] = pmf[x] * ((n - x as u64) as f64 / (x + 1) as f64) * (p / (1.0 - p));
+        }
+        for (label, hist) in [("count", &count_hist), ("member", &member_hist)] {
+            let mut chi2 = 0.0;
+            let mut dof = 0u32;
+            for x in 0..=n as usize {
+                let expect = pmf[x] * draws as f64;
+                if expect < 5.0 {
+                    continue; // standard small-cell exclusion
+                }
+                let obs = hist[x] as f64;
+                chi2 += (obs - expect) * (obs - expect) / expect;
+                dof += 1;
+            }
+            // χ² 99.9th percentile at ~10 dof is ≈ 29.6; anything close
+            // to that over a fixed seed indicates a real sampler bug.
+            assert!(
+                chi2 < 35.0,
+                "{label} sampler: chi2 = {chi2} over {dof} cells"
+            );
+        }
+    }
+
+    #[test]
+    fn multinomial_counts_partition_n() {
+        let seq = SeedSequence::new(13);
+        let d = Multinomial::new(&[0.08, 1.02, 0.4, 0.5]);
+        for i in 0..200 {
+            let mut rng = seq.child_rng(i);
+            let counts = d.sample(10_000, &mut rng);
+            assert_eq!(counts.len(), 4);
+            assert_eq!(counts.iter().sum::<u64>(), 10_000);
+        }
+    }
+
+    #[test]
+    fn multinomial_category_means_follow_the_weights() {
+        let weights = [0.2, 0.3, 0.5];
+        let d = Multinomial::new(&weights);
+        let mut rng = seeded_rng(21);
+        let n = 1000u64;
+        let draws = 20_000usize;
+        let mut sums = [0.0f64; 3];
+        for _ in 0..draws {
+            for (s, c) in sums.iter_mut().zip(d.sample(n, &mut rng)) {
+                *s += c as f64;
+            }
+        }
+        for (j, w) in weights.iter().enumerate() {
+            let mean = sums[j] / draws as f64;
+            let expect = n as f64 * w;
+            assert!(
+                (mean / expect - 1.0).abs() < 0.01,
+                "category {j}: mean {mean} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn multinomial_two_way_first_conditional_is_exact() {
+        // The two-branch bit-exactness contract: [p0, 1 − p0] must give
+        // the chain [p0, 1.0] with no rounding.
+        for p0 in [0.1, 0.25, 0.3333333333333333, 0.5, 0.75] {
+            let cond = conditional_probabilities(&[p0, 1.0 - p0]);
+            assert_eq!(cond, vec![p0, 1.0]);
+        }
+    }
+
+    #[test]
+    fn multinomial_degenerate_categories() {
+        let mut rng = seeded_rng(2);
+        // A zero weight gets zero mass; a lone category takes all.
+        let counts = Multinomial::new(&[0.0, 1.0]).sample(50, &mut rng);
+        assert_eq!(counts, vec![0, 50]);
+        assert_eq!(Multinomial::new(&[3.0]).sample(9, &mut rng), vec![9]);
+        assert_eq!(
+            Multinomial::new(&[0.5, 0.5]).sample(0, &mut rng),
+            vec![0, 0]
+        );
+    }
+}

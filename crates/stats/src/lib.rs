@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod binomial;
 pub mod distributions;
 pub mod erf;
 pub mod quadrature;
@@ -16,6 +17,7 @@ pub mod rootfind;
 pub mod seedseq;
 pub mod summary;
 
+pub use binomial::{conditional_probabilities, Binomial, Multinomial};
 pub use distributions::{LogNormal, Normal};
 pub use erf::{erf, erfc, normal_cdf, normal_pdf};
 pub use quadrature::integrate_simpson;
