@@ -1,0 +1,70 @@
+//! Observability overhead on the hot epoch loop — the gate behind the
+//! cohort path's 1-in-64 stage-timer sampling.
+//!
+//! The workload is the fig2 single-branch leak at the paper's
+//! million-validator population on the cohort backend: epochs cost
+//! single-digit microseconds there, so it is the most
+//! instrumentation-sensitive loop in the workspace. The bench measures
+//! min-of-N wall time with the metrics registry disabled and enabled
+//! and **fails** if enabling costs more than 3%.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ethpos_core::experiments::simulated;
+use ethpos_state::BackendKind;
+use std::hint::black_box;
+
+const EPOCHS: u64 = 4096;
+const N: usize = 1_000_000;
+const REPS: usize = 15;
+const MAX_OVERHEAD: f64 = 0.03;
+
+fn run_once() -> Duration {
+    let start = Instant::now();
+    black_box(simulated::fig2_discrete_at(EPOCHS, N, BackendKind::Cohort));
+    start.elapsed()
+}
+
+/// Minimum wall time over `REPS` runs — the estimator least sensitive
+/// to scheduler noise, which is what an overhead gate needs.
+fn min_of_n() -> Duration {
+    (0..REPS).map(|_| run_once()).min().expect("REPS > 0")
+}
+
+fn bench(c: &mut Criterion) {
+    // Warm the allocator and caches before either measurement.
+    run_once();
+
+    assert!(!ethpos_obs::metrics_enabled(), "stale global flag");
+    let disabled = min_of_n();
+    ethpos_obs::set_metrics_enabled(true);
+    let enabled = min_of_n();
+    ethpos_obs::set_metrics_enabled(false);
+
+    let overhead = enabled.as_secs_f64() / disabled.as_secs_f64() - 1.0;
+    eprintln!(
+        "obs_overhead: fig2 cohort {EPOCHS} epochs x {N} validators — \
+         disabled {disabled:?}, enabled {enabled:?}, overhead {:+.2}%",
+        overhead * 100.0
+    );
+    assert!(
+        overhead < MAX_OVERHEAD,
+        "metrics overhead {:.2}% exceeds the {:.0}% gate",
+        overhead * 100.0,
+        MAX_OVERHEAD * 100.0
+    );
+
+    let mut g = c.benchmark_group("obs_overhead/fig2_cohort");
+    g.sample_size(10);
+    g.bench_function("metrics_disabled", |b| b.iter(run_once));
+    g.bench_function("metrics_enabled", |b| {
+        ethpos_obs::set_metrics_enabled(true);
+        b.iter(run_once);
+        ethpos_obs::set_metrics_enabled(false);
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -97,6 +97,20 @@ OPTIONS:
                             depths, churn count-draws per cohort) as a
                             separate JSON artifact — the main document
                             stays byte-identical
+    --metrics-out <path>    (any run mode) enable the metrics registry and
+                            write its exposition (chunk-pool throughput,
+                            per-stage epoch timings, cohort fragmentation
+                            gauges, per-mode work counters) at the end of
+                            the run — the main document stays
+                            byte-identical
+    --metrics-format <prom|json>
+                            Exposition format of --metrics-out: Prometheus
+                            text or a JSON snapshot [default: prom]
+    --trace-out <path>      (any run mode) enable span tracing and write a
+                            Chrome trace-event JSON (load it in
+                            chrome://tracing or Perfetto) at the end of
+                            the run — the main document stays
+                            byte-identical
     --threads <N>           Worker threads, 0 = all hardware threads
                             [default: 0]; never changes the output bytes
     --walkers <N>           Monte-Carlo walkers [default: 20000]
@@ -145,6 +159,39 @@ pub enum Format {
     Json,
 }
 
+/// Exposition format selected with `--metrics-format`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricsFormat {
+    /// Prometheus text exposition (`# HELP` / `# TYPE` / samples).
+    #[default]
+    Prometheus,
+    /// The registry's JSON snapshot.
+    Json,
+}
+
+/// The observability outputs of one invocation — `--metrics-out`,
+/// `--metrics-format` and `--trace-out`, valid in every run mode.
+/// Recording is **off** unless the corresponding output is requested,
+/// and by the workspace's determinism model turning it on never changes
+/// a byte of the main document (or of `--stats-out`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ObsOutputs {
+    /// `--metrics-out` destination; the metrics registry records iff
+    /// this is set.
+    pub metrics_out: Option<String>,
+    /// `--metrics-format` [default: prom].
+    pub metrics_format: MetricsFormat,
+    /// `--trace-out` destination; span tracing records iff this is set.
+    pub trace_out: Option<String>,
+}
+
+impl ObsOutputs {
+    /// True when neither output was requested.
+    pub fn is_empty(&self) -> bool {
+        self.metrics_out.is_none() && self.trace_out.is_none()
+    }
+}
+
 /// What one invocation should do.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Cli {
@@ -159,6 +206,8 @@ pub enum Cli {
         mc: McConfig,
         /// `--out` destination (stdout when absent).
         out: Option<String>,
+        /// Metrics/trace outputs (`--metrics-out`, `--trace-out`).
+        obs: ObsOutputs,
     },
     /// Run a parameter sweep (`sweep`).
     Sweep {
@@ -168,6 +217,8 @@ pub enum Cli {
         format: Format,
         /// `--out` destination (stdout when absent).
         out: Option<String>,
+        /// Metrics/trace outputs (`--metrics-out`, `--trace-out`).
+        obs: ObsOutputs,
     },
     /// Run an adversary strategy search (`search`).
     Search {
@@ -181,6 +232,8 @@ pub enum Cli {
         /// (no artifact when absent; never part of the frontier
         /// document).
         stats_out: Option<String>,
+        /// Metrics/trace outputs (`--metrics-out`, `--trace-out`).
+        obs: ObsOutputs,
     },
     /// Run partition timelines (`partition`).
     Partition {
@@ -190,6 +243,8 @@ pub enum Cli {
         format: Format,
         /// `--out` destination (stdout when absent).
         out: Option<String>,
+        /// Metrics/trace outputs (`--metrics-out`, `--trace-out`).
+        obs: ObsOutputs,
     },
     /// Run a randomized chaos campaign (`chaos`).
     Chaos {
@@ -203,6 +258,8 @@ pub enum Cli {
         /// churn-draw counters (no artifact when absent; never part of
         /// the report document).
         stats_out: Option<String>,
+        /// Metrics/trace outputs (`--metrics-out`, `--trace-out`).
+        obs: ObsOutputs,
     },
     /// Rewrite the golden-snapshot corpus (`--regen-golden <dir>`).
     RegenGolden {
@@ -236,6 +293,18 @@ impl Cli {
             _ => None,
         }
     }
+
+    /// The observability outputs, if this is a run mode.
+    pub fn obs(&self) -> Option<&ObsOutputs> {
+        match self {
+            Cli::Run { obs, .. }
+            | Cli::Sweep { obs, .. }
+            | Cli::Search { obs, .. }
+            | Cli::Partition { obs, .. }
+            | Cli::Chaos { obs, .. } => Some(obs),
+            Cli::RegenGolden { .. } | Cli::List | Cli::Help => None,
+        }
+    }
 }
 
 /// A failed parse: the message to print before [`USAGE`].
@@ -267,6 +336,26 @@ struct RawFlags {
     regen_golden: Option<String>,
     out: Option<String>,
     stats_out: Option<String>,
+    metrics_out: Option<String>,
+    metrics_format: Option<MetricsFormat>,
+    trace_out: Option<String>,
+}
+
+impl RawFlags {
+    /// Assembles the `--metrics-out` / `--metrics-format` /
+    /// `--trace-out` trio, rejecting a format with nowhere to go.
+    fn obs_outputs(&self) -> Result<ObsOutputs, CliError> {
+        if self.metrics_format.is_some() && self.metrics_out.is_none() {
+            return Err(CliError::Usage(
+                "--metrics-format needs --metrics-out <path>".into(),
+            ));
+        }
+        Ok(ObsOutputs {
+            metrics_out: self.metrics_out.clone(),
+            metrics_format: self.metrics_format.unwrap_or_default(),
+            trace_out: self.trace_out.clone(),
+        })
+    }
 }
 
 /// Parses command-line arguments (without the program name).
@@ -353,6 +442,12 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliErr
             flags.out = Some(value);
         } else if let Some(value) = flag_value("--stats-out")? {
             flags.stats_out = Some(value);
+        } else if let Some(value) = flag_value("--metrics-out")? {
+            flags.metrics_out = Some(value);
+        } else if let Some(value) = flag_value("--metrics-format")? {
+            flags.metrics_format = Some(parse_metrics_format(&value)?);
+        } else if let Some(value) = flag_value("--trace-out")? {
+            flags.trace_out = Some(value);
         } else {
             match arg.as_str() {
                 "--help" | "-h" => return Ok(Cli::Help),
@@ -479,6 +574,7 @@ fn build_partition(experiments: &[Experiment], flags: RawFlags) -> Result<Cli, C
         partition::validate_scenario(scenario).map_err(|err| CliError::Usage(err.to_string()))?;
     }
     let defaults = PartitionSpec::default();
+    let obs = flags.obs_outputs()?;
     Ok(Cli::Partition {
         spec: PartitionSpec {
             scenarios,
@@ -489,6 +585,7 @@ fn build_partition(experiments: &[Experiment], flags: RawFlags) -> Result<Cli, C
         },
         format: flags.format.unwrap_or(Format::Text),
         out: flags.out,
+        obs,
     })
 }
 
@@ -544,11 +641,13 @@ fn build_chaos(experiments: &[Experiment], flags: RawFlags) -> Result<Cli, CliEr
     if let Some(threads) = flags.threads {
         spec.threads = threads;
     }
+    let obs = flags.obs_outputs()?;
     Ok(Cli::Chaos {
         spec,
         format: flags.format.unwrap_or(Format::Text),
         out: flags.out,
         stats_out: flags.stats_out,
+        obs,
     })
 }
 
@@ -618,6 +717,7 @@ fn build_run(mut experiments: Vec<Experiment>, flags: RawFlags) -> Result<Cli, C
         fresh
     });
     let defaults = McConfig::default();
+    let obs = flags.obs_outputs()?;
     Ok(Cli::Run {
         experiments,
         format: flags.format.unwrap_or(Format::Text),
@@ -630,6 +730,7 @@ fn build_run(mut experiments: Vec<Experiment>, flags: RawFlags) -> Result<Cli, C
             backend: flags.backend.unwrap_or(defaults.backend),
         },
         out: flags.out,
+        obs,
     })
 }
 
@@ -679,11 +780,13 @@ fn build_search(experiments: &[Experiment], flags: RawFlags) -> Result<Cli, CliE
     if let Some(threads) = flags.threads {
         spec.threads = threads;
     }
+    let obs = flags.obs_outputs()?;
     Ok(Cli::Search {
         spec,
         format: flags.format.unwrap_or(Format::Text),
         out: flags.out,
         stats_out: flags.stats_out,
+        obs,
     })
 }
 
@@ -721,10 +824,12 @@ fn build_sweep(experiments: &[Experiment], flags: RawFlags) -> Result<Cli, CliEr
     for grid in &flags.grids {
         spec.apply_grid(grid).map_err(CliError::Usage)?;
     }
+    let obs = flags.obs_outputs()?;
     Ok(Cli::Sweep {
         spec,
         format: flags.format.unwrap_or(Format::Text),
         out: flags.out,
+        obs,
     })
 }
 
@@ -734,6 +839,16 @@ fn parse_format(value: &str) -> Result<Format, CliError> {
         "json" => Ok(Format::Json),
         other => Err(CliError::Usage(format!(
             "unknown format `{other}` (expected `text` or `json`)"
+        ))),
+    }
+}
+
+fn parse_metrics_format(value: &str) -> Result<MetricsFormat, CliError> {
+    match value {
+        "prom" => Ok(MetricsFormat::Prometheus),
+        "json" => Ok(MetricsFormat::Json),
+        other => Err(CliError::Usage(format!(
+            "unknown metrics format `{other}` (expected `prom` or `json`)"
         ))),
     }
 }
@@ -769,9 +884,68 @@ pub struct StatsArtifact {
     pub json: String,
 }
 
+/// A generic side-channel artifact: destination path and rendered
+/// contents (Prometheus text, JSON snapshot or Chrome trace JSON).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Artifact {
+    /// Destination path.
+    pub path: String,
+    /// Rendered contents (newline-terminated).
+    pub contents: String,
+}
+
+/// Everything one invocation produced: the main document plus the
+/// optional side-channel artifacts. The document bytes never depend on
+/// which artifacts were requested.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunArtifacts {
+    /// The main document ([`run`]'s return value).
+    pub document: String,
+    /// The `--stats-out` artifact (search and chaos).
+    pub stats: Option<StatsArtifact>,
+    /// The `--metrics-out` artifact (any run mode).
+    pub metrics: Option<Artifact>,
+    /// The `--trace-out` artifact (any run mode).
+    pub trace: Option<Artifact>,
+}
+
 /// Executes a parsed invocation and returns everything to print.
 pub fn run(cli: &Cli) -> String {
     run_with_stats(cli).0
+}
+
+/// [`run_with_stats`] plus the `--metrics-out` / `--trace-out`
+/// artifacts. Recording is enabled (process-globally) before the run
+/// iff the corresponding output was requested, and the registry /
+/// trace ring are rendered once the run is done. Instrumentation is
+/// observation-only: the document and `--stats-out` bytes are identical
+/// with and without it.
+pub fn run_full(cli: &Cli) -> RunArtifacts {
+    let obs = cli.obs().cloned().unwrap_or_default();
+    if obs.metrics_out.is_some() {
+        ethpos_obs::set_metrics_enabled(true);
+    }
+    if obs.trace_out.is_some() {
+        ethpos_obs::set_trace_enabled(true);
+    }
+    let (document, stats) = run_with_stats(cli);
+    let metrics = obs.metrics_out.map(|path| Artifact {
+        path,
+        contents: match obs.metrics_format {
+            MetricsFormat::Prometheus => ethpos_obs::global().render_prometheus(),
+            MetricsFormat::Json => ethpos_obs::global().render_json(),
+        },
+    });
+    let trace = obs.trace_out.map(|path| Artifact {
+        path,
+        contents: ethpos_obs::tracer().export_chrome_json(),
+    });
+    RunArtifacts {
+        document,
+        stats,
+        metrics,
+        trace,
+    }
 }
 
 /// [`run`] plus the `--stats-out` artifact when the invocation asked
@@ -935,11 +1109,13 @@ mod tests {
                     format,
                     mc,
                     out,
+                    obs,
                 }) => {
                     assert_eq!(experiments, vec![e]);
                     assert_eq!(out, None);
                     assert_eq!(format, Format::Text);
                     assert_eq!(mc, McConfig::default());
+                    assert!(obs.is_empty());
                 }
                 other => panic!("{}: parsed to {other:?}", e.id()),
             }
@@ -1183,6 +1359,7 @@ mod tests {
             format,
             out,
             stats_out,
+            obs,
         }) = parse_args(args(&["search"]))
         else {
             panic!("bare search did not parse");
@@ -1190,6 +1367,7 @@ mod tests {
         assert_eq!(format, Format::Text);
         assert_eq!(out, None);
         assert_eq!(stats_out, None);
+        assert!(obs.is_empty());
         assert_eq!(spec, SearchSpec::new(Objective::Conflict));
         // the delay objective switches β0 and the horizon
         let Ok(Cli::Search { spec, .. }) =
@@ -1273,6 +1451,59 @@ mod tests {
     }
 
     #[test]
+    fn obs_flags_are_captured_in_every_run_mode() {
+        for mode in [
+            &["fig2"] as &[&str],
+            &["sweep"],
+            &["search"],
+            &["partition"],
+            &["chaos"],
+        ] {
+            let mut argv = args(mode);
+            argv.extend(args(&[
+                "--metrics-out",
+                "m.prom",
+                "--metrics-format=json",
+                "--trace-out",
+                "t.json",
+            ]));
+            let cli = parse_args(argv).unwrap();
+            let obs = cli.obs().unwrap_or_else(|| panic!("{mode:?}: no obs"));
+            assert_eq!(obs.metrics_out.as_deref(), Some("m.prom"));
+            assert_eq!(obs.metrics_format, MetricsFormat::Json);
+            assert_eq!(obs.trace_out.as_deref(), Some("t.json"));
+        }
+        // defaults: everything off, Prometheus exposition
+        let cli = parse_args(args(&["fig2", "--metrics-out", "m.prom"])).unwrap();
+        let obs = cli.obs().unwrap();
+        assert_eq!(obs.metrics_format, MetricsFormat::Prometheus);
+        assert_eq!(obs.trace_out, None);
+        assert!(!obs.is_empty());
+        // trace alone is fine too
+        let cli = parse_args(args(&["partition", "--trace-out=t.json"])).unwrap();
+        assert_eq!(cli.obs().unwrap().metrics_out, None);
+    }
+
+    #[test]
+    fn obs_flag_misuse_is_a_usage_error() {
+        for bad in [
+            // a format with nowhere to go
+            &["fig2", "--metrics-format", "prom"] as &[&str],
+            &["chaos", "--metrics-format=json"],
+            // unknown exposition format
+            &["fig2", "--metrics-out", "m", "--metrics-format", "yaml"],
+            // missing values
+            &["fig2", "--metrics-out"],
+            &["fig2", "--trace-out"],
+        ] {
+            assert!(
+                matches!(parse_args(args(bad)), Err(CliError::Usage(_))),
+                "{bad:?} was accepted"
+            );
+        }
+    }
+
+    #[test]
     fn frontier_experiment_is_listed_and_runs_in_all() {
         assert_eq!(
             Experiment::from_id("frontier"),
@@ -1331,7 +1562,10 @@ mod tests {
 
     #[test]
     fn partition_parses_with_preset_defaults() {
-        let Ok(Cli::Partition { spec, format, out }) = parse_args(args(&["partition"])) else {
+        let Ok(Cli::Partition {
+            spec, format, out, ..
+        }) = parse_args(args(&["partition"]))
+        else {
             panic!("bare partition did not parse");
         };
         assert_eq!(format, Format::Text);
@@ -1495,6 +1729,7 @@ mod tests {
             format,
             out,
             stats_out,
+            obs,
         }) = parse_args(args(&["chaos"]))
         else {
             panic!("bare chaos did not parse");
@@ -1502,6 +1737,7 @@ mod tests {
         assert_eq!(format, Format::Text);
         assert_eq!(out, None);
         assert_eq!(stats_out, None);
+        assert!(obs.is_empty());
         assert_eq!(spec, ChaosSpec::default());
         assert_eq!(spec.n, 1_000_000);
         assert_eq!(spec.backend, BackendKind::Cohort);

@@ -37,7 +37,7 @@
 
 use std::process::ExitCode;
 
-use ethpos_cli::{parse_args, regen_golden, run_with_stats, Cli, CliError, USAGE};
+use ethpos_cli::{parse_args, regen_golden, run_full, Cli, CliError, USAGE};
 
 fn main() -> ExitCode {
     match parse_args(std::env::args().skip(1)) {
@@ -58,7 +58,15 @@ fn main() -> ExitCode {
             // milliseconds, not after a long simulation — without
             // truncating a pre-existing artifact (an interrupted run
             // must not destroy the previous good output).
-            for path in [cli.out(), cli.stats_out()].into_iter().flatten() {
+            let obs = cli.obs();
+            let obs_paths = obs
+                .into_iter()
+                .flat_map(|o| [o.metrics_out.as_deref(), o.trace_out.as_deref()]);
+            for path in [cli.out(), cli.stats_out()]
+                .into_iter()
+                .chain(obs_paths)
+                .flatten()
+            {
                 let probe = std::fs::OpenOptions::new()
                     .append(true)
                     .create(true)
@@ -68,23 +76,29 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
-            let (document, stats) = run_with_stats(&cli);
+            let artifacts = run_full(&cli);
             match cli.out() {
-                None => print!("{document}"),
+                None => print!("{}", artifacts.document),
                 Some(path) => {
-                    if let Err(err) = std::fs::write(path, &document) {
+                    if let Err(err) = std::fs::write(path, &artifacts.document) {
                         eprintln!("error: cannot write `{path}`: {err}");
                         return ExitCode::FAILURE;
                     }
                     eprintln!("wrote {path}");
                 }
             }
-            if let Some(artifact) = stats {
-                if let Err(err) = std::fs::write(&artifact.path, &artifact.json) {
-                    eprintln!("error: cannot write `{}`: {err}", artifact.path);
+            let side_channels = artifacts
+                .stats
+                .map(|s| (s.path, s.json))
+                .into_iter()
+                .chain(artifacts.metrics.map(|a| (a.path, a.contents)))
+                .chain(artifacts.trace.map(|a| (a.path, a.contents)));
+            for (path, contents) in side_channels {
+                if let Err(err) = std::fs::write(&path, &contents) {
+                    eprintln!("error: cannot write `{path}`: {err}");
                     return ExitCode::FAILURE;
                 }
-                eprintln!("wrote {}", artifact.path);
+                eprintln!("wrote {path}");
             }
             ExitCode::SUCCESS
         }

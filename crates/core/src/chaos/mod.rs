@@ -367,6 +367,7 @@ impl ChaosSpec {
     /// are the side-channel the CLI writes to its separate `--stats-out`
     /// artifact (report JSON is byte-pinned by the golden corpus).
     pub fn run_with_stats(&self) -> (ChaosReport, ChaosStats) {
+        let _span = ethpos_obs::span("chaos", "chaos campaign");
         let pool = ChunkPool::new(self.threads);
         let cases = pool.map(self.budget as usize, |i| evaluate_case(self, i as u64));
         let mut stats = ChaosStats {
@@ -387,6 +388,41 @@ impl ChaosSpec {
             violations.push(shrink_violation(self, row));
         }
         let counts = Counts::tally(&rows);
+        if ethpos_obs::metrics_enabled() {
+            // Publication, not collection: the deterministic report and
+            // stats stay the sources of truth; the registry view is
+            // rendered from them once per campaign. (Per-case fork and
+            // churn counters are published by `PartitionSim::finish`.)
+            let registry = ethpos_obs::global();
+            registry
+                .counter(
+                    "ethpos_chaos_cases_total",
+                    "Cases the chaos campaign ran.",
+                    &[],
+                )
+                .add(self.budget);
+            for (verdict, value) in [
+                ("healthy", counts.healthy),
+                ("expected-conflict", counts.expected_conflict),
+                ("expected-stall", counts.expected_stall),
+                ("unexpected", counts.unexpected),
+            ] {
+                registry
+                    .counter(
+                        "ethpos_chaos_verdicts_total",
+                        "Chaos-oracle verdicts by class.",
+                        &[("verdict", verdict)],
+                    )
+                    .add(value);
+            }
+            registry
+                .counter(
+                    "ethpos_chaos_crosschecked_total",
+                    "Cases that went through the dense/cohort cross-check.",
+                    &[],
+                )
+                .add(counts.crosschecked);
+        }
         let report = ChaosReport {
             budget: self.budget,
             seed: self.seed,
@@ -935,6 +971,7 @@ impl ChaosRow {
 }
 
 fn evaluate_case(spec: &ChaosSpec, index: u64) -> (ChaosRow, ForkStats, ChurnStats) {
+    let _span = ethpos_obs::span_with("chaos", || format!("case {index}"));
     let case = sample_case(spec, index);
     let (outcome, fork, churn) = run_case_with_stats(&case, spec.backend);
     let mut classification = classify(&case, &outcome, &spec.oracle);

@@ -282,6 +282,7 @@ impl PartitionSpec {
     /// assert!(report.rows.iter().all(|r| r.conflict_epoch.is_some()));
     /// ```
     pub fn run(&self) -> PartitionReport {
+        let _span = ethpos_obs::span("partition", "partition batch");
         let pool = ChunkPool::new(self.threads);
         let rows = pool.map(self.scenarios.len(), |i| {
             let scenario = &self.scenarios[i];
@@ -308,6 +309,7 @@ pub fn run_scenario(
     backend: BackendKind,
     seed: u64,
 ) -> PartitionOutcome {
+    let _span = ethpos_obs::span_with("partition", || format!("scenario {}", scenario.name));
     let byzantine = (scenario.beta0 * n as f64).round() as usize;
     let config = PartitionConfig {
         chain: ChainConfig::paper(),

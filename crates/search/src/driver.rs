@@ -153,10 +153,15 @@ impl SearchSpec {
             "beta0 must be in (0, 1), got {}",
             self.beta0
         );
-        match self.backend {
+        let _span = ethpos_obs::span("search", "search run");
+        let result = match self.backend {
             BackendKind::Dense => self.run_typed::<DenseState>(),
             BackendKind::Cohort => self.run_typed::<CohortState>(),
+        };
+        if ethpos_obs::metrics_enabled() {
+            result.1.publish(ethpos_obs::global());
         }
+        result
     }
 
     /// The search loop, monomorphized over the state backend so the

@@ -93,6 +93,47 @@ impl SearchStats {
         }
         (self.reconstructed + self.checkpoint_hits) as f64 / self.evaluations as f64
     }
+
+    /// Renders the counters into `registry` — the end-of-run
+    /// publication path. The struct itself stays the deterministic
+    /// `--stats-out` source; the registry view is additive across runs.
+    pub fn publish(&self, registry: &ethpos_obs::Registry) {
+        for (name, help, value) in [
+            (
+                "ethpos_search_evaluations_total",
+                "Candidate evaluations requested of the prefix memo.",
+                self.evaluations,
+            ),
+            (
+                "ethpos_search_reconstructed_total",
+                "Evaluations answered from gene streams alone (no \
+                 two-branch simulator built).",
+                self.reconstructed,
+            ),
+            (
+                "ethpos_search_checkpoint_records_total",
+                "Full runs that recorded a pair checkpoint on the way.",
+                self.checkpoint_records,
+            ),
+            (
+                "ethpos_search_checkpoint_hits_total",
+                "Evaluations forked from a pair checkpoint (cache hits).",
+                self.checkpoint_hits,
+            ),
+            (
+                "ethpos_search_stream_epochs_total",
+                "Single-branch epochs simulated extending gene streams.",
+                self.stream_epochs,
+            ),
+            (
+                "ethpos_search_pair_epochs_total",
+                "Two-branch epochs simulated by recorders and forks.",
+                self.pair_epochs,
+            ),
+        ] {
+            registry.counter(name, help, &[]).add(value);
+        }
+    }
 }
 
 /// Per-epoch observables of one single-branch gene stream — everything

@@ -998,6 +998,42 @@ impl ForkStats {
         self.max_fork_epoch = self.max_fork_epoch.max(other.max_fork_epoch);
         self.shared_chunks += other.shared_chunks;
     }
+
+    /// Renders the counters into `registry` — the end-of-run
+    /// publication path. The struct itself stays the deterministic
+    /// `--stats-out` source; the registry view is additive across runs.
+    pub fn publish(&self, registry: &ethpos_obs::Registry) {
+        registry
+            .counter(
+                "ethpos_forks_total",
+                "Child branches created by Split timeline events.",
+                &[],
+            )
+            .add(self.forks);
+        registry
+            .counter(
+                "ethpos_fork_epoch_sum_total",
+                "Sum of the epochs at which forks happened (with \
+                 ethpos_forks_total this gives the mean fork depth).",
+                &[],
+            )
+            .add(self.fork_epoch_sum);
+        registry
+            .gauge(
+                "ethpos_fork_max_epoch",
+                "Deepest epoch at which a fork happened.",
+                &[],
+            )
+            .set_max(self.max_fork_epoch as f64);
+        registry
+            .counter(
+                "ethpos_fork_shared_chunks_total",
+                "Storage chunks freshly forked children physically shared \
+                 with their parents at fork time (copy-on-write sharing).",
+                &[],
+            )
+            .add(self.shared_chunks);
+    }
 }
 
 /// Counters describing the count-level churn sampling of one run — the
@@ -1024,6 +1060,28 @@ impl ChurnStats {
     pub fn absorb(&mut self, other: &ChurnStats) {
         self.draws += other.draws;
         self.members += other.members;
+    }
+
+    /// Renders the counters into `registry` — the end-of-run
+    /// publication path. The struct itself stays the deterministic
+    /// `--stats-out` source; the registry view is additive across runs.
+    pub fn publish(&self, registry: &ethpos_obs::Registry) {
+        registry
+            .counter(
+                "ethpos_churn_draws_total",
+                "Per-cohort binomial count draws performed by the churn \
+                 marking stage.",
+                &[],
+            )
+            .add(self.draws);
+        registry
+            .counter(
+                "ethpos_churn_members_total",
+                "Members covered by the binomial draws (the Bernoulli \
+                 draws the per-validator path would have made).",
+                &[],
+            )
+            .add(self.members);
     }
 }
 
@@ -1258,6 +1316,59 @@ impl<B: StateBackend> PartitionSim<B> {
         &self.monitor
     }
 
+    /// Publishes per-branch fragmentation gauges and (when tracing)
+    /// cohorts-over-time counter events. Sampled every 64 epochs plus
+    /// once at [`PartitionSim::finish`]; purely observational — reads
+    /// backend state, never mutates it.
+    fn record_fragmentation(&self) {
+        let metrics = ethpos_obs::metrics_enabled();
+        let tracing = ethpos_obs::trace_enabled();
+        if !metrics && !tracing {
+            return;
+        }
+        for (b, state) in &self.branches {
+            let Some(frag) = state.fragmentation() else {
+                continue;
+            };
+            let branch = b.as_u64().to_string();
+            if metrics {
+                let registry = ethpos_obs::global();
+                let labels = [("branch", branch.as_str())];
+                registry
+                    .gauge(
+                        "ethpos_cohorts",
+                        "Live cohorts in the branch's compressed state.",
+                        &labels,
+                    )
+                    .set(frag.cohorts as f64);
+                registry
+                    .gauge(
+                        "ethpos_cohort_classes",
+                        "Exchangeability classes in the branch's state.",
+                        &labels,
+                    )
+                    .set(frag.classes as f64);
+                registry
+                    .gauge(
+                        "ethpos_max_cohorts_per_class",
+                        "Run peak of the largest per-class cohort count — \
+                         the churn fragmentation floor in the making.",
+                        &labels,
+                    )
+                    .set_max(frag.max_cohorts_per_class as f64);
+            }
+            if tracing {
+                ethpos_obs::counter_event(
+                    &format!("fragmentation branch {branch}"),
+                    &[
+                        ("cohorts", frag.cohorts as f64),
+                        ("max_per_class", frag.max_cohorts_per_class as f64),
+                    ],
+                );
+            }
+        }
+    }
+
     fn byzantine_balance(state: &B) -> u64 {
         state.snapshot().classes[BYZANTINE_CLASS]
             .iter()
@@ -1320,6 +1431,7 @@ impl<B: StateBackend> PartitionSim<B> {
             self.finished = true;
             return false;
         }
+        let _span = ethpos_obs::span_with("sim", || format!("epoch {}", self.epoch));
         self.apply_ops();
         let spe = self.config.chain.slots_per_epoch;
         let epoch = self.epoch;
@@ -1478,6 +1590,11 @@ impl<B: StateBackend> PartitionSim<B> {
             });
         }
 
+        // Fragmentation sample (observability only; every 64 epochs).
+        if epoch.is_multiple_of(64) {
+            self.record_fragmentation();
+        }
+
         // 7. Stop conditions.
         if self.config.stop_on_conflict && self.outcome.conflicting_finalization_epoch.is_some() {
             self.finished = true;
@@ -1500,6 +1617,15 @@ impl<B: StateBackend> PartitionSim<B> {
     /// Finalizes the run: captures the surviving branches' closing
     /// balances and returns the outcome.
     pub fn finish(mut self) -> PartitionOutcome {
+        self.record_fragmentation();
+        if ethpos_obs::metrics_enabled() {
+            // Publication, not collection: the deterministic stats
+            // structs stay the `--stats-out` source of truth; the
+            // registry view is rendered from them once per run.
+            let registry = ethpos_obs::global();
+            self.fork_stats.publish(registry);
+            self.churn_stats.publish(registry);
+        }
         for (b, state) in &self.branches {
             let meta = &mut self.meta[b.as_usize()];
             meta.final_byzantine_balance_gwei = Self::byzantine_balance(state);
@@ -1526,6 +1652,7 @@ impl<B: StateBackend> PartitionSim<B> {
 
     /// Runs the simulation to completion.
     pub fn run(mut self) -> PartitionOutcome {
+        let _span = ethpos_obs::span("sim", "partition run");
         while self.step() {}
         self.finish()
     }

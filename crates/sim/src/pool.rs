@@ -17,6 +17,67 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Cached registry handles for the pool's series — looked up once per
+/// process, so the per-task cost is a couple of relaxed atomic RMWs.
+struct PoolMetrics {
+    maps: Arc<ethpos_obs::Counter>,
+    queued: Arc<ethpos_obs::Counter>,
+    completed: Arc<ethpos_obs::Counter>,
+    task_seconds: Arc<ethpos_obs::Histogram>,
+    busy_micros: Arc<ethpos_obs::Counter>,
+    wall_micros: Arc<ethpos_obs::Counter>,
+}
+
+impl PoolMetrics {
+    /// The handles, or `None` while metrics are disabled (one relaxed
+    /// load — the uninstrumented fast path).
+    fn get() -> Option<&'static PoolMetrics> {
+        if !ethpos_obs::metrics_enabled() {
+            return None;
+        }
+        static HANDLES: OnceLock<PoolMetrics> = OnceLock::new();
+        Some(HANDLES.get_or_init(|| {
+            let r = ethpos_obs::global();
+            PoolMetrics {
+                maps: r.counter(
+                    "ethpos_chunk_pool_maps_total",
+                    "ChunkPool::map invocations.",
+                    &[],
+                ),
+                queued: r.counter(
+                    "ethpos_chunk_pool_tasks_queued_total",
+                    "Tasks submitted to the chunk pool.",
+                    &[],
+                ),
+                completed: r.counter(
+                    "ethpos_chunk_pool_tasks_completed_total",
+                    "Tasks the chunk pool finished.",
+                    &[],
+                ),
+                task_seconds: r.histogram(
+                    "ethpos_chunk_pool_task_seconds",
+                    "Per-task wall-clock latency on the chunk pool.",
+                    &[],
+                    &ethpos_obs::duration_buckets(),
+                ),
+                busy_micros: r.counter(
+                    "ethpos_chunk_pool_worker_busy_micros_total",
+                    "Wall-clock microseconds workers spent inside tasks \
+                     (utilization = busy / (wall x threads)).",
+                    &[],
+                ),
+                wall_micros: r.counter(
+                    "ethpos_chunk_pool_wall_micros_total",
+                    "Wall-clock microseconds ChunkPool::map calls spanned.",
+                    &[],
+                ),
+            }
+        }))
+    }
+}
 
 /// A fixed-width pool that maps an indexed task set onto OS threads.
 ///
@@ -69,38 +130,66 @@ impl ChunkPool {
         if tasks == 0 {
             return Vec::new();
         }
-        let workers = self.threads.min(tasks);
-        if workers <= 1 {
-            return (0..tasks).map(task).collect();
-        }
-
-        let next = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, T)>();
-        let mut slots: Vec<Option<T>> = (0..tasks).map(|_| None).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                let tx = tx.clone();
-                let next = &next;
-                let task = &task;
-                scope.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= tasks {
-                        break;
-                    }
-                    // A send only fails if the receiver is gone, and the
-                    // receiver outlives the scope.
-                    let _ = tx.send((i, task(i)));
-                });
-            }
-            drop(tx);
-            for (i, value) in rx {
-                slots[i] = Some(value);
-            }
+        // Instrumentation (metrics/span recording) is runtime-gated and
+        // observation-only: task inputs, outputs and merge order never
+        // depend on it, so instrumented runs stay byte-identical.
+        let metrics = PoolMetrics::get();
+        let map_start = metrics.map(|m| {
+            m.maps.inc();
+            m.queued.add(tasks as u64);
+            Instant::now()
         });
-        slots
-            .into_iter()
-            .map(|s| s.expect("every task index produced a result"))
-            .collect()
+        let run_one = |i: usize| {
+            let _span = ethpos_obs::span_with("chunk", || format!("pool task {i}"));
+            match metrics {
+                Some(m) => {
+                    let t0 = Instant::now();
+                    let out = task(i);
+                    let elapsed = t0.elapsed();
+                    m.task_seconds.observe_duration(elapsed);
+                    m.busy_micros.add(elapsed.as_micros() as u64);
+                    m.completed.inc();
+                    out
+                }
+                None => task(i),
+            }
+        };
+        let workers = self.threads.min(tasks);
+        let results = if workers <= 1 {
+            (0..tasks).map(run_one).collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            let (tx, rx) = mpsc::channel::<(usize, T)>();
+            let mut slots: Vec<Option<T>> = (0..tasks).map(|_| None).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    let tx = tx.clone();
+                    let next = &next;
+                    let run_one = &run_one;
+                    scope.spawn(move || loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= tasks {
+                            break;
+                        }
+                        // A send only fails if the receiver is gone, and the
+                        // receiver outlives the scope.
+                        let _ = tx.send((i, run_one(i)));
+                    });
+                }
+                drop(tx);
+                for (i, value) in rx {
+                    slots[i] = Some(value);
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| s.expect("every task index produced a result"))
+                .collect()
+        };
+        if let (Some(m), Some(t0)) = (metrics, map_start) {
+            m.wall_micros.add(t0.elapsed().as_micros() as u64);
+        }
+        results
     }
 }
 

@@ -157,6 +157,33 @@ pub struct StateSnapshot {
     pub classes: Vec<Vec<(MemberState, u64)>>,
 }
 
+/// Cohort-compression shape of one backend, read by the observability
+/// layer (the "fragmentation floor" instrument — see ROADMAP): a
+/// churned branch in a deep leak fragments toward one cohort per
+/// validator, and these numbers make that drift watchable as gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Fragmentation {
+    /// Total cohorts across all classes.
+    pub cohorts: u64,
+    /// Behaviour classes (the fragmentation-free floor: one cohort per
+    /// class).
+    pub classes: u64,
+    /// Cohorts of the most fragmented class.
+    pub max_cohorts_per_class: u64,
+}
+
+impl Fragmentation {
+    /// Cohorts per class — 1.0 when compression is perfect, approaching
+    /// members-per-class when fully fragmented.
+    pub fn ratio(&self) -> f64 {
+        if self.classes == 0 {
+            0.0
+        } else {
+            self.cohorts as f64 / self.classes as f64
+        }
+    }
+}
+
 /// The epoch-transition surface shared by the dense and cohort state
 /// representations.
 ///
@@ -291,6 +318,14 @@ pub trait StateBackend: Sized + Clone {
     /// reports `0`.
     fn shared_chunks_with(&self, _other: &Self) -> usize {
         0
+    }
+
+    /// The backend's cohort-compression shape, or `None` for backends
+    /// without a cohort representation (the dense path). Purely
+    /// observational — feeds the `ethpos_cohorts*` gauges and the
+    /// fragmentation trace series; never consulted by the transition.
+    fn fragmentation(&self) -> Option<Fragmentation> {
+        None
     }
 }
 

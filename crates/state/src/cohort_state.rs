@@ -49,7 +49,10 @@ use std::sync::Arc;
 use ethpos_crypto::hash_u64;
 use ethpos_types::{ChainConfig, Checkpoint, Epoch, Gwei, Root, Slot};
 
-use crate::backend::{ClassSpec, ClassStats, MemberState, StateBackend, StateSnapshot};
+use crate::backend::{
+    ClassSpec, ClassStats, Fragmentation, MemberState, StateBackend, StateSnapshot,
+};
+use crate::epoch_metrics::stage_timer;
 use crate::participation::{
     ParticipationFlags, TIMELY_HEAD_FLAG_INDEX, TIMELY_SOURCE_FLAG_INDEX, TIMELY_TARGET_FLAG_INDEX,
 };
@@ -259,9 +262,30 @@ impl CohortState {
     // the per-member updates composed in spec order.
 
     fn process_epoch(&mut self) {
-        self.process_justification_and_finalization();
-        self.process_member_updates();
-        self.process_slashings_reset();
+        // Per-stage wall-clock timing, **sampled every 64th epoch**:
+        // this is the workspace's hottest loop (~0.5 µs per epoch on
+        // compressed states, so one timed epoch costs nearly as much as
+        // an untimed one); the 1-in-64 sample keeps the `obs_overhead`
+        // gate comfortably under 3% while the stage histograms stay
+        // representative (epoch 0 is always in the sample). Timing is
+        // observation-only — the transition itself is identical on both
+        // paths.
+        let timer = stage_timer("cohort", self.current_epoch().as_u64() & 63 == 0);
+        match timer {
+            Some(mut t) => {
+                self.process_justification_and_finalization();
+                t.stage("justification");
+                self.process_member_updates();
+                t.stage("member_updates");
+                self.process_slashings_reset();
+                t.stage("slashings_reset");
+            }
+            None => {
+                self.process_justification_and_finalization();
+                self.process_member_updates();
+                self.process_slashings_reset();
+            }
+        }
     }
 
     fn process_justification_and_finalization(&mut self) {
@@ -707,6 +731,14 @@ impl StateBackend for CohortState {
 
     fn shared_chunks_with(&self, other: &Self) -> usize {
         self.shared_chunks(other)
+    }
+
+    fn fragmentation(&self) -> Option<Fragmentation> {
+        Some(Fragmentation {
+            cohorts: self.num_cohorts() as u64,
+            classes: self.num_classes as u64,
+            max_cohorts_per_class: self.chunks.iter().map(|c| c.len()).max().unwrap_or(0) as u64,
+        })
     }
 }
 

@@ -37,14 +37,42 @@ impl BeaconState {
     /// assert!(state.is_in_inactivity_leak());
     /// ```
     pub fn process_epoch(&mut self) {
-        self.process_justification_and_finalization();
-        self.process_inactivity_updates();
-        self.process_rewards_and_penalties();
-        self.process_registry_updates();
-        self.process_slashings();
-        self.process_effective_balance_updates();
-        self.process_slashings_reset();
-        self.process_participation_flag_rotation();
+        // Per-stage wall-clock timing into the
+        // `ethpos_epoch_stage_seconds{backend="dense", stage}` histograms
+        // when metrics are enabled. Dense epochs cost µs–ms, so every
+        // epoch is timed (the cohort path samples instead — see
+        // `CohortState::process_epoch`). Observation-only: both paths run
+        // the identical spec stage sequence.
+        match crate::epoch_metrics::stage_timer("dense", true) {
+            Some(mut t) => {
+                self.process_justification_and_finalization();
+                t.stage("justification");
+                self.process_inactivity_updates();
+                t.stage("inactivity_leak");
+                self.process_rewards_and_penalties();
+                t.stage("rewards_penalties");
+                self.process_registry_updates();
+                t.stage("registry_ejection");
+                self.process_slashings();
+                t.stage("slashings");
+                self.process_effective_balance_updates();
+                t.stage("effective_balance");
+                self.process_slashings_reset();
+                t.stage("slashings_reset");
+                self.process_participation_flag_rotation();
+                t.stage("flag_rotation");
+            }
+            None => {
+                self.process_justification_and_finalization();
+                self.process_inactivity_updates();
+                self.process_rewards_and_penalties();
+                self.process_registry_updates();
+                self.process_slashings();
+                self.process_effective_balance_updates();
+                self.process_slashings_reset();
+                self.process_participation_flag_rotation();
+            }
+        }
     }
 
     /// Spec `process_justification_and_finalization`.

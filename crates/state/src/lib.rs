@@ -45,6 +45,7 @@ pub mod backend;
 pub mod beacon_state;
 pub mod cohort_state;
 pub mod epoch;
+pub(crate) mod epoch_metrics;
 pub mod error;
 pub mod participation;
 pub mod prefix_vec;
@@ -54,7 +55,8 @@ pub mod slashings;
 pub mod validator;
 
 pub use backend::{
-    BackendKind, ClassSpec, ClassStats, DenseState, MemberState, StateBackend, StateSnapshot,
+    BackendKind, ClassSpec, ClassStats, DenseState, Fragmentation, MemberState, StateBackend,
+    StateSnapshot,
 };
 pub use beacon_state::BeaconState;
 pub use cohort_state::CohortState;

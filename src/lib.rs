@@ -19,7 +19,10 @@
 //!   figure;
 //! * [`search`] — adversary strategy search: duty-cycle genomes over the
 //!   paper's attack space, damage objectives, and worst-case
-//!   damage-vs-cost Pareto frontiers.
+//!   damage-vs-cost Pareto frontiers;
+//! * [`obs`] — the observability substrate: a lock-free metrics registry
+//!   (Prometheus/JSON exposition) and hierarchical span tracing (Chrome
+//!   trace export), runtime-gated and zero-perturbation.
 //!
 //! # Quickstart
 //!
@@ -36,6 +39,7 @@ pub use ethpos_core as core;
 pub use ethpos_crypto as crypto;
 pub use ethpos_forkchoice as forkchoice;
 pub use ethpos_network as network;
+pub use ethpos_obs as obs;
 pub use ethpos_search as search;
 pub use ethpos_sim as sim;
 pub use ethpos_state as state;
