@@ -51,10 +51,10 @@
 
 #![warn(missing_docs)]
 
-use ethpos_core::experiments::{run_experiment_with, Experiment, McConfig};
+use ethpos_core::experiments::{Experiment, McConfig};
 use ethpos_core::partition::{self, PartitionSpec, StrategyKind};
 use ethpos_core::sweep::SweepSpec;
-use ethpos_core::{BackendKind, ChaosSpec};
+use ethpos_core::{BackendKind, ChaosSpec, DocumentFormat, JobRequest};
 use ethpos_search::{Objective, SearchSpec};
 
 /// Usage text printed on `--help` and argument errors.
@@ -68,6 +68,7 @@ USAGE:
     ethpos-cli search [--objective ID] [--budget N] [OPTIONS]
     ethpos-cli partition [--timeline SPEC]... [OPTIONS]
     ethpos-cli chaos [--budget N] [--seed S] [OPTIONS]
+    ethpos-cli serve [--addr A] [--cache-dir D] [--threads N]
     ethpos-cli --regen-golden <dir>
     ethpos-cli --list
 
@@ -88,6 +89,11 @@ ARGS:
                   adversaries × stake splits) against safety/liveness
                   oracles; unexpected violations are shrunk to minimal
                   reproducers
+    serve         run the resident experiment service: a JSON API over
+                  every mode above, behind a content-addressed artifact
+                  cache (identical requests are answered byte-identically
+                  without re-simulating), with GET /metrics and
+                  GET /healthz
 
 OPTIONS:
     --format <text|json>    Output format [default: text]
@@ -144,6 +150,10 @@ OPTIONS:
     --strategy <ID>         (partition) adversary strategy for raw specs:
                             dual-active, semi-active, threshold-seeker,
                             rotate, rotate-dwell [default: rotate-dwell]
+    --addr <HOST:PORT>      (serve) listen address [default: 127.0.0.1:4280;
+                            port 0 picks a free port]
+    --cache-dir <DIR>       (serve) artifact cache directory
+                            [default: .ethpos-cache]
     --regen-golden <dir>    Rewrite the golden-snapshot corpus fixtures
                             (the five paper scenarios plus the chaos
                             replay corpus under <dir>/chaos) into <dir>
@@ -261,6 +271,16 @@ pub enum Cli {
         /// Metrics/trace outputs (`--metrics-out`, `--trace-out`).
         obs: ObsOutputs,
     },
+    /// Run the resident experiment service (`serve`).
+    Serve {
+        /// `--addr` listen address (`host:port`; port 0 = ephemeral).
+        addr: String,
+        /// `--cache-dir` artifact cache directory.
+        cache_dir: String,
+        /// `--threads` worker budget handed to every job (0 = all
+        /// cores).
+        threads: usize,
+    },
     /// Rewrite the golden-snapshot corpus (`--regen-golden <dir>`).
     RegenGolden {
         /// Destination directory (normally `tests/golden`).
@@ -281,7 +301,7 @@ impl Cli {
             | Cli::Search { out, .. }
             | Cli::Partition { out, .. }
             | Cli::Chaos { out, .. } => out.as_deref(),
-            Cli::RegenGolden { .. } | Cli::List | Cli::Help => None,
+            Cli::Serve { .. } | Cli::RegenGolden { .. } | Cli::List | Cli::Help => None,
         }
     }
 
@@ -302,7 +322,7 @@ impl Cli {
             | Cli::Search { obs, .. }
             | Cli::Partition { obs, .. }
             | Cli::Chaos { obs, .. } => Some(obs),
-            Cli::RegenGolden { .. } | Cli::List | Cli::Help => None,
+            Cli::Serve { .. } | Cli::RegenGolden { .. } | Cli::List | Cli::Help => None,
         }
     }
 }
@@ -334,6 +354,8 @@ struct RawFlags {
     timelines: Vec<String>,
     strategy: Option<StrategyKind>,
     regen_golden: Option<String>,
+    addr: Option<String>,
+    cache_dir: Option<String>,
     out: Option<String>,
     stats_out: Option<String>,
     metrics_out: Option<String>,
@@ -365,6 +387,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliErr
     let mut search = false;
     let mut partition = false;
     let mut chaos = false;
+    let mut serve = false;
     let mut flags = RawFlags::default();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -438,6 +461,10 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliErr
             })?);
         } else if let Some(value) = flag_value("--regen-golden")? {
             flags.regen_golden = Some(value);
+        } else if let Some(value) = flag_value("--addr")? {
+            flags.addr = Some(value);
+        } else if let Some(value) = flag_value("--cache-dir")? {
+            flags.cache_dir = Some(value);
         } else if let Some(value) = flag_value("--out")? {
             flags.out = Some(value);
         } else if let Some(value) = flag_value("--stats-out")? {
@@ -459,6 +486,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliErr
                 "search" => search = true,
                 "partition" => partition = true,
                 "chaos" => chaos = true,
+                "serve" => serve = true,
                 "all" => experiments.extend(Experiment::all()),
                 id => {
                     let experiment = Experiment::from_id(id).ok_or_else(|| {
@@ -471,23 +499,33 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliErr
             }
         }
     }
-    if [sweep, search, partition, chaos]
+    if [sweep, search, partition, chaos, serve]
         .iter()
         .filter(|&&m| m)
         .count()
         > 1
     {
         return Err(CliError::Usage(
-            "`sweep`, `search`, `partition` and `chaos` are different subcommands".into(),
+            "`sweep`, `search`, `partition`, `chaos` and `serve` are different \
+             subcommands"
+                .into(),
+        ));
+    }
+    if !serve && (flags.addr.is_some() || flags.cache_dir.is_some()) {
+        return Err(CliError::Usage(
+            "--addr and --cache-dir are only valid with the `serve` subcommand".into(),
         ));
     }
     if let Some(dir) = flags.regen_golden {
-        if sweep || search || partition || chaos || !experiments.is_empty() {
+        if sweep || search || partition || chaos || serve || !experiments.is_empty() {
             return Err(CliError::Usage(
                 "--regen-golden stands alone (it rewrites the fixture corpus)".into(),
             ));
         }
         return Ok(Cli::RegenGolden { dir });
+    }
+    if serve {
+        return build_serve(&experiments, flags);
     }
     if sweep {
         return build_sweep(&experiments, flags);
@@ -503,11 +541,6 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliErr
     }
     build_run(experiments, flags)
 }
-
-/// Default epoch horizon and β₀ of a raw `--timeline` spec (presets
-/// carry their own).
-const PARTITION_DEFAULT_EPOCHS: u64 = 6000;
-const PARTITION_DEFAULT_BETA0: f64 = 0.33;
 
 fn build_partition(experiments: &[Experiment], flags: RawFlags) -> Result<Cli, CliError> {
     if let Some(extra) = experiments.first() {
@@ -543,8 +576,10 @@ fn build_partition(experiments: &[Experiment], flags: RawFlags) -> Result<Cli, C
     }
     reject_stats_out(&flags)?;
     let strategy = flags.strategy.unwrap_or(StrategyKind::RotateDwell);
-    let beta0 = flags.beta0.unwrap_or(PARTITION_DEFAULT_BETA0);
-    let epochs = flags.epochs.unwrap_or(PARTITION_DEFAULT_EPOCHS);
+    // Raw-timeline defaults live in core so the request API resolves
+    // identical scenarios (identical bytes, identical cache addresses).
+    let beta0 = flags.beta0.unwrap_or(partition::RAW_TIMELINE_BETA0);
+    let epochs = flags.epochs.unwrap_or(partition::RAW_TIMELINE_EPOCHS);
     let mut scenarios = if flags.timelines.is_empty() {
         partition::preset_scenarios()
     } else {
@@ -648,6 +683,54 @@ fn build_chaos(experiments: &[Experiment], flags: RawFlags) -> Result<Cli, CliEr
         out: flags.out,
         stats_out: flags.stats_out,
         obs,
+    })
+}
+
+fn build_serve(experiments: &[Experiment], flags: RawFlags) -> Result<Cli, CliError> {
+    if let Some(extra) = experiments.first() {
+        return Err(CliError::Usage(format!(
+            "`serve` cannot be combined with experiment ids (got `{}`) — \
+             submit them to POST /v1/jobs instead",
+            extra.id()
+        )));
+    }
+    // Every run-shaping and output flag belongs to a *request*, not to
+    // the service: the server takes them per-job from the JSON body and
+    // serves documents over HTTP, so a flag here could only be ignored.
+    for (name, set) in [
+        ("--format", flags.format.is_some()),
+        ("--walkers", flags.walkers.is_some()),
+        ("--epochs", flags.epochs.is_some()),
+        ("--seed", flags.seed.is_some()),
+        ("--validators", flags.validators.is_some()),
+        ("--backend", flags.backend.is_some()),
+        ("--grid", !flags.grids.is_empty()),
+        ("--objective", flags.objective.is_some()),
+        ("--budget", flags.budget.is_some()),
+        ("--beta0", flags.beta0.is_some()),
+        ("--p0", flags.p0.is_some()),
+        ("--max-period", flags.max_period.is_some()),
+        ("--timeline", !flags.timelines.is_empty()),
+        ("--strategy", flags.strategy.is_some()),
+        ("--out", flags.out.is_some()),
+        ("--stats-out", flags.stats_out.is_some()),
+        ("--metrics-out", flags.metrics_out.is_some()),
+        ("--metrics-format", flags.metrics_format.is_some()),
+        ("--trace-out", flags.trace_out.is_some()),
+    ] {
+        if set {
+            return Err(CliError::Usage(format!(
+                "{name} is a per-request knob; pass it in the JSON body of \
+                 POST /v1/jobs (`serve` only takes --addr, --cache-dir and \
+                 --threads)"
+            )));
+        }
+    }
+    let defaults = ethpos_server::ServerConfig::default();
+    Ok(Cli::Serve {
+        addr: flags.addr.unwrap_or(defaults.addr),
+        cache_dir: flags.cache_dir.unwrap_or(defaults.cache_dir),
+        threads: flags.threads.unwrap_or(defaults.threads),
     })
 }
 
@@ -952,46 +1035,65 @@ pub fn run_full(cli: &Cli) -> RunArtifacts {
 /// for one (search and chaos). The main document is byte-identical
 /// with and without `--stats-out` — the counters never leak into it.
 pub fn run_with_stats(cli: &Cli) -> (String, Option<StatsArtifact>) {
-    let artifact = |path: &Option<String>, json: String| {
-        path.as_ref().map(|path| StatsArtifact {
-            path: path.clone(),
+    let Some(request) = job_request(cli) else {
+        return (run_plain(cli), None);
+    };
+    let output = request.execute();
+    // Partition jobs carry stats too, but the CLI rejects --stats-out
+    // for them (`reject_stats_out`), so only search and chaos can have a
+    // destination here.
+    let stats = match (cli.stats_out(), output.stats) {
+        (Some(path), Some(json)) => Some(StatsArtifact {
+            path: path.to_string(),
             json,
-        })
+        }),
+        _ => None,
+    };
+    (output.document, stats)
+}
+
+/// The [`JobRequest`] equivalent of a run-mode invocation (`None` for
+/// the non-run modes). This is the single execution path shared with
+/// `ethpos-server`: a command line and the equivalent API request
+/// canonicalize to the same request and produce byte-identical
+/// documents.
+pub fn job_request(cli: &Cli) -> Option<JobRequest> {
+    let doc = |format: Format| match format {
+        Format::Text => DocumentFormat::Text,
+        Format::Json => DocumentFormat::Json,
     };
     match cli {
-        Cli::Search {
-            spec,
+        Cli::Run {
+            experiments,
             format,
-            stats_out,
+            mc,
             ..
-        } => {
-            let (frontier, stats) = spec.run_with_stats();
-            let document = match format {
-                Format::Text => frontier.render_text(),
-                Format::Json => format!("{}\n", frontier.to_json()),
-            };
-            let json = format!("{}\n", serde_json::to_string_pretty(&stats).unwrap());
-            (document, artifact(stats_out, json))
-        }
-        Cli::Chaos {
-            spec,
-            format,
-            stats_out,
-            ..
-        } => {
-            let (report, stats) = spec.run_with_stats();
-            let document = match format {
-                Format::Text => report.render_text(),
-                Format::Json => format!("{}\n", report.to_json()),
-            };
-            let json = format!("{}\n", serde_json::to_string_pretty(&stats).unwrap());
-            (document, artifact(stats_out, json))
-        }
-        other => (run_plain(other), None),
+        } => Some(JobRequest::Run {
+            experiments: experiments.clone(),
+            mc: *mc,
+            format: doc(*format),
+        }),
+        Cli::Sweep { spec, format, .. } => Some(JobRequest::Sweep {
+            spec: spec.clone(),
+            format: doc(*format),
+        }),
+        Cli::Search { spec, format, .. } => Some(JobRequest::Search {
+            spec: spec.clone(),
+            format: doc(*format),
+        }),
+        Cli::Partition { spec, format, .. } => Some(JobRequest::Partition {
+            spec: spec.clone(),
+            format: doc(*format),
+        }),
+        Cli::Chaos { spec, format, .. } => Some(JobRequest::Chaos {
+            spec: spec.clone(),
+            format: doc(*format),
+        }),
+        Cli::Serve { .. } | Cli::RegenGolden { .. } | Cli::List | Cli::Help => None,
     }
 }
 
-/// The stats-free modes of [`run`].
+/// The non-run modes of [`run`].
 fn run_plain(cli: &Cli) -> String {
     match cli {
         Cli::Help => format!("{USAGE}\n"),
@@ -1002,56 +1104,23 @@ fn run_plain(cli: &Cli) -> String {
             }
             out
         }
-        Cli::Run {
-            experiments,
-            format: Format::Text,
-            mc,
-            ..
-        } => {
-            let mut out = String::new();
-            for e in experiments {
-                out.push_str(&run_experiment_with(*e, mc).render_text());
-                out.push('\n');
-            }
-            out
-        }
-        Cli::Run {
-            experiments,
-            format: Format::Json,
-            mc,
-            ..
-        } => {
-            let outputs: Vec<String> = experiments
-                .iter()
-                .map(|e| run_experiment_with(*e, mc).to_json())
-                .collect();
-            match outputs.as_slice() {
-                [single] => format!("{single}\n"),
-                many => format!("[{}]\n", many.join(",\n")),
-            }
-        }
-        Cli::Sweep { spec, format, .. } => {
-            let result = spec.run();
-            match format {
-                Format::Text => result.render_text(),
-                Format::Json => format!("{}\n", result.to_json()),
-            }
-        }
-        Cli::Search { .. } | Cli::Chaos { .. } => {
-            unreachable!("search and chaos are handled by `run_with_stats`")
-        }
-        Cli::Partition { spec, format, .. } => {
-            let report = spec.run();
-            match format {
-                Format::Text => report.render_text(),
-                Format::Json => format!("{}\n", report.to_json()),
-            }
+        Cli::Serve { addr, .. } => {
+            // The binary routes this variant through `ethpos_server`; this
+            // arm keeps `run` total for library callers.
+            format!("serve is a resident mode: run the `ethpos-cli` binary ({addr})\n")
         }
         Cli::RegenGolden { dir } => {
             // The binary routes this variant through [`regen_golden`] so
             // a failure exits non-zero; this arm keeps `run` total for
             // library callers.
             regen_golden(dir).unwrap_or_else(|err| format!("error: {err}\n"))
+        }
+        Cli::Run { .. }
+        | Cli::Sweep { .. }
+        | Cli::Search { .. }
+        | Cli::Partition { .. }
+        | Cli::Chaos { .. } => {
+            unreachable!("run modes are handled by `run_with_stats`")
         }
     }
 }

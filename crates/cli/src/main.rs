@@ -53,6 +53,40 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        // `serve` never returns on success: bind, announce the resolved
+        // address (tests and scripts parse it, so it goes to stdout and
+        // is flushed before blocking), then serve forever.
+        Ok(Cli::Serve {
+            addr,
+            cache_dir,
+            threads,
+        }) => {
+            let config = ethpos_server::ServerConfig {
+                addr,
+                cache_dir,
+                threads,
+                ..ethpos_server::ServerConfig::default()
+            };
+            let server = match ethpos_server::Server::bind(&config) {
+                Ok(server) => server,
+                Err(err) => {
+                    eprintln!("error: cannot start the server on `{}`: {err}", config.addr);
+                    return ExitCode::FAILURE;
+                }
+            };
+            match server.local_addr() {
+                Ok(addr) => {
+                    use std::io::Write;
+                    println!("ethpos-server listening on http://{addr}");
+                    let _ = std::io::stdout().flush();
+                }
+                Err(err) => {
+                    eprintln!("error: cannot resolve the listen address: {err}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            server.serve()
+        }
         Ok(cli) => {
             // Probe the destination up front so a typo'd path fails in
             // milliseconds, not after a long simulation — without

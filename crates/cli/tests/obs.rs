@@ -275,6 +275,70 @@ fn chaos_report_is_byte_identical_with_instrumentation_on() {
     }
 }
 
+/// The registry is a *view* of the deterministic stats, never a second
+/// collector: after a chaos campaign whose cross-checks re-run sims on
+/// the dense backend (budget ≥ the every-16 cross-check cadence, so at
+/// least two replays happen), the published fork/churn totals must equal
+/// the byte-pinned `--stats-out` aggregate exactly. Per-run publication
+/// inside `PartitionSim::finish` — the bug this pins — counted every
+/// replay twice.
+#[test]
+fn chaos_registry_totals_equal_the_stats_artifact() {
+    let stats_path = temp("chaos-regress.stats.json");
+    let metrics_path = temp("chaos-regress.prom");
+    stdout_bytes(&[
+        "chaos",
+        "--budget",
+        "20",
+        "--seed",
+        "9",
+        "--validators",
+        "4096",
+        "--epochs",
+        "256",
+        "--format",
+        "json",
+        "--stats-out",
+        stats_path.to_str().unwrap(),
+        "--metrics-out",
+        metrics_path.to_str().unwrap(),
+    ]);
+    let stats: serde_json::Value =
+        serde_json::from_str(&take(&stats_path)).expect("valid stats JSON");
+    let stat = |group: &str, field: &str| {
+        stats
+            .get(group)
+            .and_then(|g| g.get(field))
+            .and_then(|v| v.as_u64())
+            .unwrap_or_else(|| panic!("missing {group}.{field}: {stats:?}"))
+    };
+    // The campaign must actually have cross-checked (the re-run path
+    // under test) — budget 20 crosses the default every-16 cadence at
+    // least once, and one dense replay is enough to inflate the old
+    // per-run publication.
+    let prom = take(&metrics_path);
+    let sample = |name: &str| {
+        prom.lines()
+            .find_map(|l| l.strip_prefix(&format!("{name} ")))
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or_else(|| panic!("missing sample {name}:\n{prom}"))
+    };
+    assert!(sample("ethpos_chaos_crosschecked_total") >= 1, "{prom}");
+    for (metric, group, field) in [
+        ("ethpos_forks_total", "fork", "forks"),
+        ("ethpos_fork_epoch_sum_total", "fork", "fork_epoch_sum"),
+        ("ethpos_fork_shared_chunks_total", "fork", "shared_chunks"),
+        ("ethpos_churn_draws_total", "churn", "draws"),
+        ("ethpos_churn_members_total", "churn", "members"),
+    ] {
+        assert_eq!(
+            sample(metric),
+            stat(group, field),
+            "{metric} diverged from the stats artifact:\n{prom}"
+        );
+    }
+}
+
 /// The golden-pinned experiment documents survive instrumentation too.
 #[test]
 fn experiment_json_is_byte_identical_with_instrumentation_on() {

@@ -1,0 +1,242 @@
+//! The resident service, checked at the process boundary: a real
+//! `ethpos-cli serve` child on an ephemeral port, driven over real
+//! sockets. Pins the cache contract end to end — a cold run and its
+//! cache hit are byte-identical to each other *and* to the plain CLI
+//! invocation of the same spec, malformed requests leave no trace, and
+//! the cache (being content-addressed files) survives a restart.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// A serve child that dies with the test (pass or panic).
+struct ServerGuard {
+    child: Child,
+    addr: String,
+}
+
+impl Drop for ServerGuard {
+    fn drop(&mut self) {
+        self.child.kill().ok();
+        self.child.wait().ok();
+    }
+}
+
+/// A collision-free temp path (process id + caller tag).
+fn temp(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ethpos-serve-{}-{tag}", std::process::id()))
+}
+
+/// Spawns `ethpos-cli serve` on an ephemeral port and parses the
+/// resolved address from its announcement line.
+fn start_server(cache_dir: &Path) -> ServerGuard {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ethpos-cli"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--cache-dir",
+            cache_dir.to_str().unwrap(),
+            "--threads",
+            "2",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn ethpos-cli serve");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read announcement");
+    let addr = line
+        .trim()
+        .strip_prefix("ethpos-server listening on http://")
+        .unwrap_or_else(|| panic!("unexpected announcement: {line:?}"))
+        .to_string();
+    ServerGuard { child, addr }
+}
+
+/// One raw HTTP exchange: status code and body.
+fn exchange(addr: &str, request: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("receive");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .unwrap_or_else(|| panic!("no status line in {raw:?}"))
+        .parse()
+        .expect("status code");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn get(addr: &str, path: &str) -> (u16, String) {
+    exchange(addr, &format!("GET {path} HTTP/1.1\r\nhost: x\r\n\r\n"))
+}
+
+fn post(addr: &str, path: &str, body: &str) -> (u16, String) {
+    exchange(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nhost: x\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn json(body: &str) -> serde_json::Value {
+    serde_json::from_str(body.trim()).unwrap_or_else(|e| panic!("bad JSON {body:?}: {e:?}"))
+}
+
+fn str_field(value: &serde_json::Value, key: &str) -> String {
+    value
+        .get(key)
+        .and_then(|v| v.as_str())
+        .unwrap_or_else(|| panic!("missing `{key}` in {value:?}"))
+        .to_string()
+}
+
+/// Polls a job until it settles, asserting it settles as done.
+fn poll_done(addr: &str, job: u64) -> serde_json::Value {
+    let deadline = Instant::now() + Duration::from_secs(180);
+    loop {
+        let (status, body) = get(addr, &format!("/v1/jobs/{job}"));
+        assert_eq!(status, 200, "{body}");
+        let value = json(&body);
+        match str_field(&value, "status").as_str() {
+            "done" => return value,
+            "error" => panic!("job failed: {body}"),
+            _ => {}
+        }
+        assert!(Instant::now() < deadline, "job {job} never settled");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// The service's reason to exist: a repeated request is served from the
+/// cache byte-identical to the cold run — and both equal the plain CLI
+/// document for the same spec, because CLI and server share one
+/// execution path.
+#[test]
+fn cache_hit_is_byte_identical_to_cold_run_and_cli() {
+    let cache_dir = temp("hit");
+    std::fs::remove_dir_all(&cache_dir).ok();
+    let server = start_server(&cache_dir);
+    let (status, body) = get(&server.addr, "/healthz");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+    let request = r#"{"kind": "partition", "validators": 800, "format": "json"}"#;
+    let (status, body) = post(&server.addr, "/v1/jobs", request);
+    assert_eq!(status, 202, "{body}");
+    let submitted = json(&body);
+    assert_eq!(
+        submitted.get("cached"),
+        Some(&serde_json::Value::Bool(false))
+    );
+    let job = submitted
+        .get("job")
+        .and_then(|v| v.as_u64())
+        .expect("job id");
+
+    let done = poll_done(&server.addr, job);
+    let cold_document = str_field(&done, "document");
+    let artifact = str_field(&done, "artifact");
+
+    // The cache hit: same request → 200, no new job, identical bytes.
+    let (status, body) = post(&server.addr, "/v1/jobs", request);
+    assert_eq!(status, 200, "{body}");
+    let hit = json(&body);
+    assert_eq!(hit.get("cached"), Some(&serde_json::Value::Bool(true)));
+    assert_eq!(str_field(&hit, "document"), cold_document);
+    assert_eq!(str_field(&hit, "artifact"), artifact);
+
+    // The artifact endpoint serves the raw bytes.
+    let (status, fetched) = get(&server.addr, &format!("/v1/artifacts/{artifact}"));
+    assert_eq!(status, 200);
+    assert_eq!(fetched, cold_document);
+
+    // And the plain CLI renders the same document for the same spec.
+    let cli = Command::new(env!("CARGO_BIN_EXE_ethpos-cli"))
+        .args(["partition", "--validators", "800", "--format", "json"])
+        .output()
+        .expect("spawn ethpos-cli");
+    assert!(cli.status.success());
+    assert_eq!(String::from_utf8(cli.stdout).unwrap(), cold_document);
+
+    // /metrics is live exposition and saw all of this.
+    let (status, prom) = get(&server.addr, "/metrics");
+    assert_eq!(status, 200);
+    for series in [
+        "ethpos_server_requests_total{route=\"submit\"}",
+        "ethpos_server_cache_hits_total 1",
+        "ethpos_server_cache_misses_total 1",
+        "ethpos_server_jobs_completed_total 1",
+    ] {
+        assert!(prom.contains(series), "missing {series}:\n{prom}");
+    }
+    drop(server);
+    std::fs::remove_dir_all(&cache_dir).ok();
+}
+
+/// Malformed requests answer 400 and leave the cache untouched.
+#[test]
+fn malformed_requests_never_reach_the_cache() {
+    let cache_dir = temp("malformed");
+    std::fs::remove_dir_all(&cache_dir).ok();
+    let server = start_server(&cache_dir);
+    for (body, expected) in [
+        ("{", "invalid JSON"),
+        (r#"{"kind": "teapot"}"#, "unknown kind"),
+        (r#"{"kind": "sweep", "beta0": [2.0]}"#, "beta0"),
+        (
+            r#"{"kind": "experiment", "experiments": ["fig2"], "walkerz": 1}"#,
+            "unknown field",
+        ),
+    ] {
+        let (status, response) = post(&server.addr, "/v1/jobs", body);
+        assert_eq!(status, 400, "{body}: {response}");
+        assert!(response.contains(expected), "{body}: {response}");
+    }
+    let entries: Vec<_> = std::fs::read_dir(&cache_dir).expect("cache dir").collect();
+    assert!(entries.is_empty(), "cache written on 400: {entries:?}");
+    drop(server);
+    std::fs::remove_dir_all(&cache_dir).ok();
+}
+
+/// The cache is plain content-addressed files: a restarted server (new
+/// process, same directory) answers a previously-computed request as a
+/// hit without re-simulating.
+#[test]
+fn cache_survives_a_server_restart() {
+    let cache_dir = temp("restart");
+    std::fs::remove_dir_all(&cache_dir).ok();
+    let request = r#"{"kind": "sweep", "beta0": [0.3], "p0": [0.5], "walkers": [400],
+                      "epochs": 300, "format": "json"}"#;
+    let first = start_server(&cache_dir);
+    let (status, body) = post(&first.addr, "/v1/jobs", request);
+    assert_eq!(status, 202, "{body}");
+    let job = json(&body)
+        .get("job")
+        .and_then(|v| v.as_u64())
+        .expect("job id");
+    let done = poll_done(&first.addr, job);
+    let document = str_field(&done, "document");
+    drop(first);
+
+    let second = start_server(&cache_dir);
+    let (status, body) = post(&second.addr, "/v1/jobs", request);
+    assert_eq!(status, 200, "restart lost the cache: {body}");
+    let hit = json(&body);
+    assert_eq!(hit.get("cached"), Some(&serde_json::Value::Bool(true)));
+    assert_eq!(str_field(&hit, "document"), document);
+    drop(second);
+    std::fs::remove_dir_all(&cache_dir).ok();
+}

@@ -391,9 +391,14 @@ impl ChaosSpec {
         if ethpos_obs::metrics_enabled() {
             // Publication, not collection: the deterministic report and
             // stats stay the sources of truth; the registry view is
-            // rendered from them once per campaign. (Per-case fork and
-            // churn counters are published by `PartitionSim::finish`.)
+            // rendered from them once per campaign. Fork and churn
+            // counters are published here from the campaign aggregate —
+            // never per sim run — so shrinker replays and dense
+            // cross-check re-runs cannot inflate the registry relative
+            // to the byte-pinned `--stats-out` artifact.
             let registry = ethpos_obs::global();
+            stats.fork.publish(registry);
+            stats.churn.publish(registry);
             registry
                 .counter(
                     "ethpos_chaos_cases_total",

@@ -45,6 +45,7 @@ pub mod experiments;
 pub mod golden;
 pub mod partition;
 pub mod report;
+pub mod request;
 pub mod scenarios;
 pub mod stake_model;
 pub mod sweep;
@@ -54,5 +55,8 @@ pub use ethpos_state::BackendKind;
 pub use experiments::{
     run_experiment, run_experiment_with, Experiment, ExperimentOutput, McConfig,
 };
-pub use partition::{PartitionReport, PartitionScenario, PartitionSpec, StrategyKind};
+pub use partition::{
+    PartitionReport, PartitionScenario, PartitionSpec, PartitionStats, StrategyKind,
+};
+pub use request::{DocumentFormat, JobOutput, JobRequest, RequestError, ARTIFACT_SALT};
 pub use sweep::{SweepResult, SweepRow, SweepSpec};

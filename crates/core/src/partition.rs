@@ -27,7 +27,8 @@
 use serde::Serialize;
 
 use ethpos_sim::{
-    ChunkPool, PartitionConfig, PartitionOutcome, PartitionSim, PartitionTimeline, TimelineError,
+    ChunkPool, ChurnStats, ForkStats, PartitionConfig, PartitionOutcome, PartitionSim,
+    PartitionTimeline, TimelineError,
 };
 use ethpos_state::{BackendKind, CohortState, DenseState};
 use ethpos_types::ChainConfig;
@@ -157,6 +158,15 @@ pub fn preset_scenarios() -> Vec<PartitionScenario> {
     vec![three_branch(), heal_resplit()]
 }
 
+/// Default Byzantine proportion for a raw timeline spec (presets carry
+/// their own; shared by `ethpos-cli partition` and the request API so
+/// both resolve identical scenarios).
+pub const RAW_TIMELINE_BETA0: f64 = 0.33;
+
+/// Default epoch horizon for a raw timeline spec (see
+/// [`RAW_TIMELINE_BETA0`]).
+pub const RAW_TIMELINE_EPOCHS: u64 = 6000;
+
 /// Resolves a `--timeline` argument: a preset name or a timeline spec
 /// string (see [`PartitionTimeline::parse`]). Presets carry their own
 /// strategy/β₀/horizon; a raw spec uses the caller's defaults.
@@ -282,20 +292,69 @@ impl PartitionSpec {
     /// assert!(report.rows.iter().all(|r| r.conflict_epoch.is_some()));
     /// ```
     pub fn run(&self) -> PartitionReport {
+        self.run_with_stats().0
+    }
+
+    /// [`PartitionSpec::run`] plus the batch's aggregated
+    /// [`PartitionStats`] fork and churn-draw counters. The report is
+    /// unchanged — the stats are the side channel the experiment
+    /// service attaches to partition jobs (report JSON is byte-pinned
+    /// by the golden corpus and must not grow fields).
+    ///
+    /// Fork/churn publication into the global registry happens here,
+    /// **once per batch** from the aggregate — never inside individual
+    /// sim runs — so drivers that re-run sims (chaos cross-checks,
+    /// shrinker replays) cannot inflate the registry relative to the
+    /// deterministic stats.
+    pub fn run_with_stats(&self) -> (PartitionReport, PartitionStats) {
         let _span = ethpos_obs::span("partition", "partition batch");
         let pool = ChunkPool::new(self.threads);
-        let rows = pool.map(self.scenarios.len(), |i| {
+        let results = pool.map(self.scenarios.len(), |i| {
             let scenario = &self.scenarios[i];
-            let outcome = run_scenario(scenario, self.n, self.backend, self.seed);
-            PartitionRow::new(scenario, &outcome)
+            let (outcome, fork, churn) =
+                run_scenario_with_stats(scenario, self.n, self.backend, self.seed);
+            (PartitionRow::new(scenario, &outcome), fork, churn)
         });
-        PartitionReport {
+        let mut stats = PartitionStats {
+            scenarios: self.scenarios.len() as u64,
+            fork: ForkStats::default(),
+            churn: ChurnStats::default(),
+        };
+        let rows: Vec<PartitionRow> = results
+            .into_iter()
+            .map(|(row, fork, churn)| {
+                stats.fork.absorb(&fork);
+                stats.churn.absorb(&churn);
+                row
+            })
+            .collect();
+        if ethpos_obs::metrics_enabled() {
+            let registry = ethpos_obs::global();
+            stats.fork.publish(registry);
+            stats.churn.publish(registry);
+        }
+        let report = PartitionReport {
             n: self.n,
             backend: self.backend,
             seed: self.seed,
             rows,
-        }
+        };
+        (report, stats)
     }
+}
+
+/// Batch-level work counters of one partition run: every scenario's
+/// [`ForkStats`] and [`ChurnStats`], summed. Deliberately **not** part
+/// of [`PartitionReport`] — report JSON is byte-pinned by the golden
+/// corpus; these travel as the job-stats side channel instead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct PartitionStats {
+    /// Scenarios the batch ran.
+    pub scenarios: u64,
+    /// Their aggregated fork counters.
+    pub fork: ForkStats,
+    /// Their aggregated churn-draw counters.
+    pub churn: ChurnStats,
 }
 
 /// Runs one scenario at registry size `n` on the chosen backend.
@@ -309,6 +368,31 @@ pub fn run_scenario(
     backend: BackendKind,
     seed: u64,
 ) -> PartitionOutcome {
+    run_scenario_with_stats(scenario, n, backend, seed).0
+}
+
+/// [`run_scenario`] plus the run's [`ForkStats`] and [`ChurnStats`].
+/// The outcome is identical — [`PartitionSim::run`] *is*
+/// step-to-exhaustion plus finish. Nothing is published to the global
+/// registry here; batch owners aggregate and publish once.
+///
+/// # Panics
+///
+/// Panics if the timeline does not compile at this population size.
+pub fn run_scenario_with_stats(
+    scenario: &PartitionScenario,
+    n: usize,
+    backend: BackendKind,
+    seed: u64,
+) -> (PartitionOutcome, ForkStats, ChurnStats) {
+    fn drive<B: ethpos_state::backend::StateBackend>(
+        mut sim: PartitionSim<B>,
+    ) -> (PartitionOutcome, ForkStats, ChurnStats) {
+        while sim.step() {}
+        let fork = sim.fork_stats();
+        let churn = sim.churn_stats();
+        (sim.finish(), fork, churn)
+    }
     let _span = ethpos_obs::span_with("partition", || format!("scenario {}", scenario.name));
     let byzantine = (scenario.beta0 * n as f64).round() as usize;
     let config = PartitionConfig {
@@ -324,11 +408,9 @@ pub fn run_scenario(
     };
     let schedule = scenario.strategy.build();
     let result = match backend {
-        BackendKind::Dense => {
-            PartitionSim::<DenseState>::with_backend(config, schedule).map(PartitionSim::run)
-        }
+        BackendKind::Dense => PartitionSim::<DenseState>::with_backend(config, schedule).map(drive),
         BackendKind::Cohort => {
-            PartitionSim::<CohortState>::with_backend(config, schedule).map(PartitionSim::run)
+            PartitionSim::<CohortState>::with_backend(config, schedule).map(drive)
         }
     };
     result.unwrap_or_else(|err| panic!("scenario `{}`: {err}", scenario.name))

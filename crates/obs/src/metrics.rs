@@ -239,6 +239,17 @@ impl Registry {
         Registry::default()
     }
 
+    /// Locks the family map, recovering from a poisoned mutex. A panic
+    /// on another thread mid-registration (a kind conflict, a bad
+    /// histogram bucketing, a dying job thread) must not take every
+    /// later scrape down with it — a resident server keeps serving
+    /// `/metrics` after a worker dies. Recovery is sound because every
+    /// mutation under this lock is a single map-entry insertion: the
+    /// map is structurally consistent at every panic site.
+    fn lock_families(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Family>> {
+        self.families.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     fn series<T>(
         &self,
         name: &str,
@@ -253,7 +264,7 @@ impl Registry {
             .map(|(k, v)| (k.to_string(), v.to_string()))
             .collect();
         sorted.sort();
-        let mut families = self.families.lock().expect("registry poisoned");
+        let mut families = self.lock_families();
         let family = families.entry(name.to_string()).or_insert_with(|| Family {
             help: help.to_string(),
             kind,
@@ -323,14 +334,14 @@ impl Registry {
 
     /// True when no metric family has been registered.
     pub fn is_empty(&self) -> bool {
-        self.families.lock().expect("registry poisoned").is_empty()
+        self.lock_families().is_empty()
     }
 
     /// Renders the registry in the Prometheus text exposition format
     /// (`# HELP` / `# TYPE` headers, one sample per line, histograms as
     /// cumulative `_bucket{le=...}` plus `_sum` / `_count`).
     pub fn render_prometheus(&self) -> String {
-        let families = self.families.lock().expect("registry poisoned");
+        let families = self.lock_families();
         let mut out = String::new();
         for (name, family) in families.iter() {
             let _ = writeln!(out, "# HELP {name} {}", family.help.replace('\n', " "));
@@ -382,7 +393,7 @@ impl Registry {
     /// `metrics` array of `{name, kind, help, series}` entries, each
     /// series carrying its labels and value(s).
     pub fn render_json(&self) -> String {
-        let families = self.families.lock().expect("registry poisoned");
+        let families = self.lock_families();
         let mut out = String::from("{\n  \"metrics\": [");
         let mut first_family = true;
         for (name, family) in families.iter() {
@@ -629,6 +640,34 @@ mod tests {
         assert_eq!(series0.get("value").and_then(|v| v.as_u64()), Some(3));
         let series2 = field(2, "series").get_index(0).cloned().expect("series");
         assert_eq!(series2.get("count").and_then(|v| v.as_u64()), Some(1));
+    }
+
+    /// A panic raised while the registry lock is held (here: a bad
+    /// histogram bucketing inside the get-or-create closure) poisons
+    /// the mutex. A resident process scrapes `/metrics` long after any
+    /// individual worker dies, so the registry must recover: later
+    /// registrations, renders, and `is_empty` all keep working.
+    #[test]
+    fn registry_survives_a_poisoning_panic() {
+        let r = Registry::new();
+        r.counter("pre_total", "Registered before the panic.", &[])
+            .inc();
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // Decreasing bounds: `Histogram::new` asserts inside
+            // `or_insert_with` with the families guard alive.
+            r.histogram("bad_seconds", "Bad bucketing.", &[], &[2.0, 1.0]);
+        }));
+        assert!(panicked.is_err(), "bad bucketing must still panic");
+        r.counter("post_total", "Registered after the panic.", &[])
+            .add(2);
+        assert!(!r.is_empty());
+        let text = r.render_prometheus();
+        assert!(text.contains("pre_total 1"), "{text}");
+        assert!(text.contains("post_total 2"), "{text}");
+        let json = r.render_json();
+        let parsed: serde_json::Value =
+            serde_json::from_str(&json).expect("snapshot parses after poison recovery");
+        assert!(parsed.get("metrics").is_some());
     }
 
     #[test]

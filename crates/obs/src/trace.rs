@@ -118,8 +118,17 @@ impl Tracer {
         });
     }
 
+    /// Locks the event buffer, recovering from a poisoned mutex: a
+    /// panicking span holder on a worker thread must not silence the
+    /// tracer for the rest of a resident process (same rationale as
+    /// `Registry::lock_families`; every mutation is a single push or
+    /// clear, so the buffer stays consistent under poison).
+    fn lock_events(&self) -> std::sync::MutexGuard<'_, Vec<TraceEvent>> {
+        self.events.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     fn push(&self, event: TraceEvent) {
-        let mut events = self.events.lock().expect("tracer poisoned");
+        let mut events = self.lock_events();
         if events.len() < Self::CAPACITY {
             events.push(event);
         } else {
@@ -130,7 +139,7 @@ impl Tracer {
 
     /// Number of events currently buffered.
     pub fn len(&self) -> usize {
-        self.events.lock().expect("tracer poisoned").len()
+        self.lock_events().len()
     }
 
     /// True when nothing has been recorded.
@@ -146,20 +155,20 @@ impl Tracer {
     /// Clears the buffer (tests; a long-lived server would export then
     /// clear between runs).
     pub fn clear(&self) {
-        self.events.lock().expect("tracer poisoned").clear();
+        self.lock_events().clear();
         self.dropped.store(0, Ordering::Relaxed);
     }
 
     /// A snapshot of the buffered events.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.events.lock().expect("tracer poisoned").clone()
+        self.lock_events().clone()
     }
 
     /// Exports the buffer as Chrome trace JSON: one `traceEvents` array
     /// of complete/counter events (one per line, stable order), loadable
     /// in `chrome://tracing` and Perfetto.
     pub fn export_chrome_json(&self) -> String {
-        let events = self.events.lock().expect("tracer poisoned");
+        let events = self.lock_events();
         let mut out = String::from("{\"traceEvents\": [\n");
         for (i, e) in events.iter().enumerate() {
             if i > 0 {

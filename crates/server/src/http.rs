@@ -1,0 +1,194 @@
+//! A deliberately minimal HTTP/1.1 layer: enough for a localhost
+//! experiment service, nothing more.
+//!
+//! The build environment has no crates.io access (see
+//! `vendor/README.md`), so like the vendored serde shims this
+//! implements exactly the subset the service uses: one request per
+//! connection (`Connection: close`), a request line, headers,
+//! `Content-Length`-framed bodies. No chunked encoding, no keep-alive,
+//! no TLS — callers needing those should put a reverse proxy in front.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Hard cap on the header block (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Hard cap on a request body. Requests are small spec JSON; a megabyte
+/// is already generous.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target (path + optional query), as sent.
+    pub path: String,
+    /// The body, if a `Content-Length` was supplied.
+    pub body: String,
+}
+
+/// Why a connection's bytes never became a [`Request`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Malformed request line, header, or framing — answer 400.
+    Malformed(String),
+    /// Body (declared or actual) above [`MAX_BODY_BYTES`] — answer 413.
+    BodyTooLarge,
+    /// Socket-level failure; nothing to answer.
+    Io(String),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed(msg) => write!(f, "malformed request: {msg}"),
+            HttpError::BodyTooLarge => write!(f, "request body too large"),
+            HttpError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Reads one request off the stream.
+///
+/// # Errors
+///
+/// Returns an [`HttpError`] on malformed framing, an oversized head or
+/// body, a non-UTF-8 body, or a socket failure.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    let mut reader = BufReader::new(stream);
+    let mut head = String::new();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| HttpError::Io(e.to_string()))?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-head".into()));
+        }
+        if line == "\r\n" || line == "\n" {
+            break;
+        }
+        head.push_str(&line);
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::Malformed("head too large".into()));
+        }
+    }
+    let mut lines = head.lines();
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request".into()))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing method".into()))?
+        .to_uppercase();
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing path".into()))?
+        .to_string();
+
+    let mut content_length = 0usize;
+    for header in lines {
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(HttpError::Malformed(format!("bad header `{header}`")));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::Malformed("bad content-length".into()))?;
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::BodyTooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| HttpError::Io(e.to_string()))?;
+    let body =
+        String::from_utf8(body).map_err(|_| HttpError::Malformed("body is not UTF-8".into()))?;
+    Ok(Request { method, path, body })
+}
+
+/// Writes a `Connection: close` response and flushes it. I/O errors are
+/// swallowed: the peer hanging up mid-response is its problem, not the
+/// server's.
+pub fn write_response(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) {
+    let reason = match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        _ => "Internal Server Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\n\
+         content-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Round-trips raw bytes through a real socket pair and parses them.
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let raw = raw.to_string();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(raw.as_bytes()).expect("write");
+        });
+        let (mut conn, _) = listener.accept().expect("accept");
+        let parsed = read_request(&mut conn);
+        writer.join().expect("writer");
+        parsed
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse("POST /v1/jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody")
+            .expect("parses");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/jobs");
+        assert_eq!(req.body, "body");
+    }
+
+    #[test]
+    fn parses_a_bodyless_get() {
+        let req = parse("GET /healthz HTTP/1.1\r\n\r\n").expect("parses");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.body, "");
+    }
+
+    #[test]
+    fn rejects_garbage_and_oversized_declarations() {
+        assert!(matches!(parse("\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(
+            parse("POST /v1/jobs HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(&format!(
+                "POST /v1/jobs HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                MAX_BODY_BYTES + 1
+            )),
+            Err(HttpError::BodyTooLarge)
+        ));
+    }
+}

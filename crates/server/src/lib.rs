@@ -1,0 +1,295 @@
+//! `ethpos_server` — the resident experiment service.
+//!
+//! Every artifact in this workspace is deterministic: the same
+//! canonical request produces the same bytes on any machine at any
+//! thread count. That turns the classic "results server" problem into
+//! pure content addressing — this crate is the thin std-only service
+//! that exploits it:
+//!
+//! * [`ethpos_core::JobRequest`] parses and canonicalizes a JSON
+//!   request into the same spec types the CLI builds, and hashes it
+//!   (salted by [`ethpos_core::ARTIFACT_SALT`]) into an artifact
+//!   address;
+//! * [`cache::ArtifactCache`] stores executed documents under that
+//!   address — a hit is returned byte-identical without simulating
+//!   anything, across restarts, forever (version bumps change the salt,
+//!   not the entries);
+//! * [`jobs::JobQueue`] serializes misses behind a single runner
+//!   (each job parallelizes internally), coalescing concurrent
+//!   identical submissions into one execution;
+//! * [`server::Server`] is the HTTP face: submit, poll, fetch,
+//!   `GET /metrics` (a live scrape of the `ethpos_obs` registry) and
+//!   `GET /healthz`. Started via `ethpos-cli serve`.
+//!
+//! Like the rest of the workspace the crate uses no external
+//! dependencies (the build environment has no crates.io access — see
+//! `vendor/README.md`): the HTTP layer ([`http`]) implements just the
+//! `Connection: close` subset the service needs.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use ethpos_server::{Server, ServerConfig};
+//!
+//! let server = Server::bind(&ServerConfig::default())?;
+//! println!("listening on http://{}", server.local_addr()?);
+//! server.serve();
+//! # #[allow(unreachable_code)]
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod http;
+pub mod jobs;
+pub mod server;
+
+pub use cache::ArtifactCache;
+pub use jobs::{JobId, JobQueue, JobSnapshot, JobStatus, SubmitOutcome};
+pub use server::{Server, ServerConfig};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::time::{Duration, Instant};
+
+    /// Binds a server on an ephemeral port with the given executor and
+    /// serves it from a detached thread.
+    fn start(tag: &str, executor: jobs::Executor) -> (std::net::SocketAddr, String) {
+        let cache_dir = std::env::temp_dir()
+            .join(format!("ethpos-server-{}-{tag}", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        std::fs::remove_dir_all(&cache_dir).ok();
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            cache_dir: cache_dir.clone(),
+            threads: 1,
+            queue_depth: 8,
+        };
+        let server = Server::bind_with_executor(&config, executor).expect("bind");
+        let addr = server.local_addr().expect("addr");
+        std::thread::spawn(move || server.serve());
+        (addr, cache_dir)
+    }
+
+    /// One raw HTTP exchange (the tests are their own minimal client so
+    /// the server is exercised over a real socket).
+    fn exchange(addr: std::net::SocketAddr, request: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(request.as_bytes()).expect("send");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("receive");
+        let status: u16 = raw
+            .split_whitespace()
+            .nth(1)
+            .expect("status line")
+            .parse()
+            .expect("status code");
+        let body = raw
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    fn get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+        exchange(addr, &format!("GET {path} HTTP/1.1\r\nhost: x\r\n\r\n"))
+    }
+
+    fn post(addr: std::net::SocketAddr, path: &str, body: &str) -> (u16, String) {
+        exchange(
+            addr,
+            &format!(
+                "POST {path} HTTP/1.1\r\nhost: x\r\ncontent-length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+        )
+    }
+
+    fn poll_done(addr: std::net::SocketAddr, job: u64) -> String {
+        let deadline = Instant::now() + Duration::from_secs(120);
+        loop {
+            let (status, body) = get(addr, &format!("/v1/jobs/{job}"));
+            assert_eq!(status, 200, "{body}");
+            if body.contains("\"status\":\"done\"") || body.contains("\"status\":\"error\"") {
+                return body;
+            }
+            assert!(Instant::now() < deadline, "job {job} never settled: {body}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    fn field_u64(body: &str, key: &str) -> u64 {
+        let value: serde_json::Value = serde_json::from_str(body.trim()).expect("json body");
+        value.get(key).and_then(|v| v.as_u64()).unwrap_or_else(|| {
+            panic!("missing `{key}` in {body}");
+        })
+    }
+
+    #[test]
+    fn submit_poll_fetch_then_cache_hit() {
+        let (addr, cache_dir) = start("happy", jobs::default_executor());
+        let (status, body) = get(addr, "/healthz");
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+        let request = r#"{"kind": "partition", "validators": 600}"#;
+        let (status, body) = post(addr, "/v1/jobs", request);
+        assert_eq!(status, 202, "{body}");
+        assert!(body.contains("\"cached\":false"), "{body}");
+        let job = field_u64(&body, "job");
+
+        let settled = poll_done(addr, job);
+        assert!(settled.contains("\"status\":\"done\""), "{settled}");
+        let settled_json: serde_json::Value =
+            serde_json::from_str(settled.trim()).expect("status json");
+        let hash = settled_json
+            .get("artifact")
+            .and_then(|v| v.as_str())
+            .expect("artifact hash")
+            .to_string();
+        let document = settled_json
+            .get("document")
+            .and_then(|v| v.as_str())
+            .expect("document")
+            .to_string();
+        assert!(settled_json.get("stats").is_some(), "{settled}");
+
+        // The artifact endpoint serves the same bytes.
+        let (status, fetched) = get(addr, &format!("/v1/artifacts/{hash}"));
+        assert_eq!(status, 200);
+        assert_eq!(fetched, document);
+
+        // Resubmitting is a cache hit carrying identical bytes.
+        let (status, hit) = post(addr, "/v1/jobs", request);
+        assert_eq!(status, 200, "{hit}");
+        assert!(hit.contains("\"cached\":true"), "{hit}");
+        let hit_json: serde_json::Value = serde_json::from_str(hit.trim()).expect("hit json");
+        assert_eq!(
+            hit_json.get("document").and_then(|v| v.as_str()),
+            Some(document.as_str())
+        );
+
+        // A differently-spelled identical request hits too.
+        let spelled = r#"{"kind": "partition", "validators": 600, "seed": 0,
+                          "backend": "cohort", "format": "json"}"#;
+        let (status, hit) = post(addr, "/v1/jobs", spelled);
+        assert_eq!(status, 200, "{hit}");
+        assert!(hit.contains("\"cached\":true"), "{hit}");
+
+        std::fs::remove_dir_all(&cache_dir).ok();
+    }
+
+    #[test]
+    fn malformed_requests_get_400_and_touch_nothing() {
+        let (addr, cache_dir) = start("malformed", jobs::default_executor());
+        for body in [
+            "not json",
+            r#"{"kind": "teapot"}"#,
+            r#"{"kind": "partition", "validatorz": 10}"#,
+        ] {
+            let (status, response) = post(addr, "/v1/jobs", body);
+            assert_eq!(status, 400, "{body}: {response}");
+            assert!(response.contains("\"error\""), "{response}");
+        }
+        // Nothing was cached: the cache directory has no entries.
+        let entries: Vec<_> = std::fs::read_dir(&cache_dir)
+            .expect("cache dir exists")
+            .collect();
+        assert!(entries.is_empty(), "{entries:?}");
+
+        let (status, _) = get(addr, "/v1/jobs/999");
+        assert_eq!(status, 404);
+        let (status, _) = get(addr, "/nope");
+        assert_eq!(status, 404);
+        let (status, _) = exchange(addr, "DELETE /healthz HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 405);
+        std::fs::remove_dir_all(&cache_dir).ok();
+    }
+
+    /// The acceptance property: a panicking in-process job leaves
+    /// `GET /metrics` serving valid Prometheus exposition.
+    #[test]
+    fn metrics_survive_a_panicking_job() {
+        let (addr, cache_dir) = start(
+            "panic",
+            Box::new(|request| {
+                if request.kind() == "chaos" {
+                    panic!("injected chaos fault");
+                }
+                request.execute()
+            }),
+        );
+        let (status, body) = post(addr, "/v1/jobs", r#"{"kind": "chaos", "budget": 1}"#);
+        assert_eq!(status, 202, "{body}");
+        let job = field_u64(&body, "job");
+        let settled = poll_done(addr, job);
+        assert!(settled.contains("\"status\":\"error\""), "{settled}");
+        assert!(settled.contains("injected chaos fault"), "{settled}");
+
+        // The scrape still works and is well-formed exposition.
+        let (status, metrics) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        // The registry is process-global and other tests publish to it
+        // too, so assert the family and a non-zero count, not an exact
+        // total.
+        let failed = metrics
+            .lines()
+            .find_map(|l| l.strip_prefix("ethpos_server_jobs_failed_total "))
+            .and_then(|v| v.parse::<f64>().ok())
+            .expect("failed-jobs family scraped");
+        assert!(failed >= 1.0, "{metrics}");
+        assert!(metrics.contains("# HELP"), "{metrics}");
+        for line in metrics.lines() {
+            assert!(
+                line.starts_with('#') || line.rsplit_once(' ').is_some(),
+                "bad exposition line: {line}"
+            );
+        }
+
+        // And the runner still serves jobs after the panic.
+        let (status, body) = post(
+            addr,
+            "/v1/jobs",
+            r#"{"kind": "partition", "validators": 500}"#,
+        );
+        assert_eq!(status, 202, "{body}");
+        let job = field_u64(&body, "job");
+        let settled = poll_done(addr, job);
+        assert!(settled.contains("\"status\":\"done\""), "{settled}");
+        std::fs::remove_dir_all(&cache_dir).ok();
+    }
+
+    #[test]
+    fn concurrent_identical_submissions_coalesce() {
+        // A deliberately slow executor keeps the first job running while
+        // the duplicates arrive.
+        let (addr, cache_dir) = start(
+            "coalesce",
+            Box::new(|request| {
+                std::thread::sleep(Duration::from_millis(300));
+                request.execute()
+            }),
+        );
+        let request = r#"{"kind": "partition", "validators": 700}"#;
+        let (status, first) = post(addr, "/v1/jobs", request);
+        assert_eq!(status, 202, "{first}");
+        let first_id = field_u64(&first, "job");
+        let mut ids = vec![first_id];
+        for _ in 0..2 {
+            let (status, dup) = post(addr, "/v1/jobs", request);
+            assert_eq!(status, 202, "{dup}");
+            assert!(dup.contains("\"coalesced\":true"), "{dup}");
+            ids.push(field_u64(&dup, "job"));
+        }
+        ids.dedup();
+        assert_eq!(ids, vec![first_id], "duplicates must share one job");
+        let settled = poll_done(addr, first_id);
+        assert!(settled.contains("\"status\":\"done\""), "{settled}");
+        std::fs::remove_dir_all(&cache_dir).ok();
+    }
+}

@@ -1,0 +1,308 @@
+//! The resident service: socket handling, routing, and the JSON wire
+//! format.
+//!
+//! Routes:
+//!
+//! | Route | Semantics |
+//! |---|---|
+//! | `GET /healthz` | liveness (`ok`) |
+//! | `GET /metrics` | live Prometheus scrape of the global registry |
+//! | `POST /v1/jobs` | submit a request: cache hit → the artifact now; miss → a job id to poll |
+//! | `GET /v1/jobs/<id>` | job status (`queued`/`running`/`done`/`error`), with the artifact once done |
+//! | `GET /v1/artifacts/<hash>` | the raw cached document |
+//!
+//! Submissions are answered from the cache whenever possible: the body
+//! is canonicalized, hashed ([`JobRequest::request_hash`]) and looked
+//! up before any simulation work. Only a miss reaches the job queue.
+//! Connection handling is thread-per-connection — clients are few
+//! (curl, CI, a dashboard), requests are tiny, and the real work is
+//! serialized behind the single runner anyway.
+
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+use ethpos_core::{JobRequest, RequestError};
+use serde_json::Value;
+
+use crate::cache::ArtifactCache;
+use crate::http::{self, HttpError, Request};
+use crate::jobs::{default_executor, spawn_runner, Executor, JobId, JobQueue, JobStatus};
+
+/// Deployment knobs for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:4280` (port 0 picks a free one).
+    pub addr: String,
+    /// Artifact cache directory (created if absent).
+    pub cache_dir: String,
+    /// Worker threads handed to each job (`0` = all cores).
+    pub threads: usize,
+    /// Maximum number of waiting jobs before submissions get 429.
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:4280".into(),
+            cache_dir: ".ethpos-cache".into(),
+            threads: 0,
+            queue_depth: 64,
+        }
+    }
+}
+
+/// A bound, ready-to-serve service.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    cache: ArtifactCache,
+    queue: Arc<JobQueue>,
+}
+
+impl Server {
+    /// Binds the listener, opens the cache and starts the job runner.
+    /// Also turns the global metrics registry on: a resident process
+    /// exists to be scraped.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error when the address cannot be bound or
+    /// the cache directory cannot be created.
+    pub fn bind(config: &ServerConfig) -> io::Result<Server> {
+        Server::bind_with_executor(config, default_executor())
+    }
+
+    /// [`Server::bind`] with a custom job executor — the fault-injection
+    /// seam used by the in-process tests.
+    pub fn bind_with_executor(config: &ServerConfig, executor: Executor) -> io::Result<Server> {
+        ethpos_obs::set_metrics_enabled(true);
+        let listener = TcpListener::bind(&config.addr)?;
+        let cache = ArtifactCache::open(&config.cache_dir)?;
+        let queue = JobQueue::new(config.queue_depth);
+        // The runner is detached: it lives as long as the process. It
+        // holds its own queue and cache handles.
+        let _ = spawn_runner(Arc::clone(&queue), cache.clone(), config.threads, executor);
+        Ok(Server {
+            listener,
+            cache,
+            queue,
+        })
+    }
+
+    /// The actual bound address (resolves port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket error.
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves forever, one thread per connection.
+    pub fn serve(&self) -> ! {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let cache = self.cache.clone();
+                    let queue = Arc::clone(&self.queue);
+                    std::thread::spawn(move || handle_connection(stream, &cache, &queue));
+                }
+                // Accept errors (FD pressure, aborted handshakes) are
+                // transient; a resident service keeps listening.
+                Err(_) => continue,
+            }
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, cache: &ArtifactCache, queue: &JobQueue) {
+    let request = match http::read_request(&mut stream) {
+        Ok(request) => request,
+        Err(HttpError::BodyTooLarge) => {
+            return respond_error(&mut stream, 413, "request body too large");
+        }
+        Err(HttpError::Malformed(msg)) => {
+            return respond_error(&mut stream, 400, &msg);
+        }
+        // The socket died; nothing to answer.
+        Err(HttpError::Io(_)) => return,
+    };
+    ethpos_obs::global()
+        .counter(
+            "ethpos_server_requests_total",
+            "HTTP requests accepted, by route.",
+            &[("route", route_label(&request))],
+        )
+        .inc();
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            http::write_response(&mut stream, 200, "text/plain; charset=utf-8", "ok\n");
+        }
+        ("GET", "/metrics") => {
+            let body = ethpos_obs::global().render_prometheus();
+            http::write_response(
+                &mut stream,
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            );
+        }
+        ("POST", "/v1/jobs") => submit_job(&mut stream, &request.body, cache, queue),
+        ("GET", path) if path.starts_with("/v1/jobs/") => {
+            job_status(&mut stream, &path["/v1/jobs/".len()..], cache, queue);
+        }
+        ("GET", path) if path.starts_with("/v1/artifacts/") => {
+            artifact(&mut stream, &path["/v1/artifacts/".len()..], cache);
+        }
+        ("GET" | "POST", _) => respond_error(&mut stream, 404, "no such route"),
+        _ => respond_error(&mut stream, 405, "method not allowed"),
+    }
+}
+
+/// Low-cardinality route label for the request counter.
+fn route_label(request: &Request) -> &'static str {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => "healthz",
+        ("GET", "/metrics") => "metrics",
+        ("POST", "/v1/jobs") => "submit",
+        ("GET", path) if path.starts_with("/v1/jobs/") => "job-status",
+        ("GET", path) if path.starts_with("/v1/artifacts/") => "artifact",
+        _ => "other",
+    }
+}
+
+/// `POST /v1/jobs`: canonicalize → hash → cache lookup → (hit: 200 with
+/// the artifact; miss: enqueue and 202 with the job to poll).
+fn submit_job(stream: &mut TcpStream, body: &str, cache: &ArtifactCache, queue: &JobQueue) {
+    let request = match JobRequest::parse(body) {
+        Ok(request) => request,
+        Err(RequestError(msg)) => {
+            // Malformed requests never reach the cache or the queue.
+            return respond_error(stream, 400, &msg);
+        }
+    };
+    let hash = request.request_hash();
+    let registry = ethpos_obs::global();
+    if let Some(document) = cache.load_document(&hash) {
+        registry
+            .counter(
+                "ethpos_server_cache_hits_total",
+                "Submissions answered from the artifact cache.",
+                &[],
+            )
+            .inc();
+        let mut fields = vec![
+            ("cached".to_string(), Value::Bool(true)),
+            ("kind".to_string(), Value::String(request.kind().into())),
+            ("artifact".to_string(), Value::String(hash.clone())),
+            ("document".to_string(), Value::String(document)),
+        ];
+        push_stats(&mut fields, cache.load_stats(&hash));
+        return respond_json(stream, 200, Value::Object(fields));
+    }
+    registry
+        .counter(
+            "ethpos_server_cache_misses_total",
+            "Submissions that had to enqueue a job.",
+            &[],
+        )
+        .inc();
+    use crate::jobs::SubmitOutcome;
+    let (id, coalesced) = match queue.submit(request.clone(), hash.clone()) {
+        SubmitOutcome::Queued(id) => (id, false),
+        SubmitOutcome::Coalesced(id) => (id, true),
+        SubmitOutcome::Full => {
+            return respond_error(stream, 429, "job queue is full; retry later");
+        }
+    };
+    let status = queue
+        .snapshot(id)
+        .map(|s| s.status.id())
+        .unwrap_or("queued");
+    respond_json(
+        stream,
+        202,
+        Value::Object(vec![
+            ("cached".to_string(), Value::Bool(false)),
+            ("coalesced".to_string(), Value::Bool(coalesced)),
+            ("kind".to_string(), Value::String(request.kind().into())),
+            ("artifact".to_string(), Value::String(hash)),
+            ("job".to_string(), Value::U64(id)),
+            ("status".to_string(), Value::String(status.into())),
+            ("poll".to_string(), Value::String(format!("/v1/jobs/{id}"))),
+        ]),
+    );
+}
+
+/// `GET /v1/jobs/<id>`.
+fn job_status(stream: &mut TcpStream, id: &str, cache: &ArtifactCache, queue: &JobQueue) {
+    let Ok(id) = id.parse::<JobId>() else {
+        return respond_error(stream, 400, "job ids are integers");
+    };
+    let Some(snapshot) = queue.snapshot(id) else {
+        return respond_error(stream, 404, "no such job");
+    };
+    let mut fields = vec![
+        ("job".to_string(), Value::U64(snapshot.id)),
+        ("kind".to_string(), Value::String(snapshot.kind.into())),
+        (
+            "status".to_string(),
+            Value::String(snapshot.status.id().into()),
+        ),
+        ("artifact".to_string(), Value::String(snapshot.hash.clone())),
+    ];
+    match &snapshot.status {
+        JobStatus::Done => {
+            if let Some(document) = cache.load_document(&snapshot.hash) {
+                fields.push(("document".to_string(), Value::String(document)));
+            }
+            push_stats(&mut fields, cache.load_stats(&snapshot.hash));
+        }
+        JobStatus::Error(message) => {
+            fields.push(("error".to_string(), Value::String(message.clone())));
+        }
+        JobStatus::Queued | JobStatus::Running => {}
+    }
+    respond_json(stream, 200, Value::Object(fields));
+}
+
+/// `GET /v1/artifacts/<hash>`: the raw document bytes.
+fn artifact(stream: &mut TcpStream, hash: &str, cache: &ArtifactCache) {
+    match cache.load_document(hash) {
+        Some(document) => {
+            http::write_response(stream, 200, "text/plain; charset=utf-8", &document);
+        }
+        None => respond_error(stream, 404, "no such artifact"),
+    }
+}
+
+/// Attaches the stats side channel, re-parsed so the response embeds it
+/// as JSON rather than a string-escaped blob.
+fn push_stats(fields: &mut Vec<(String, Value)>, stats: Option<String>) {
+    if let Some(stats) = stats {
+        if let Ok(value) = serde_json::from_str::<Value>(&stats) {
+            fields.push(("stats".to_string(), value));
+        }
+    }
+}
+
+fn respond_json(stream: &mut TcpStream, status: u16, value: Value) {
+    let body = format!(
+        "{}\n",
+        serde_json::to_string(&value).expect("response serializes")
+    );
+    http::write_response(stream, status, "application/json", &body);
+}
+
+fn respond_error(stream: &mut TcpStream, status: u16, message: &str) {
+    respond_json(
+        stream,
+        status,
+        Value::Object(vec![(
+            "error".to_string(),
+            Value::String(message.to_string()),
+        )]),
+    );
+}

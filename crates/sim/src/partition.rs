@@ -1616,16 +1616,14 @@ impl<B: StateBackend> PartitionSim<B> {
 
     /// Finalizes the run: captures the surviving branches' closing
     /// balances and returns the outcome.
+    /// Fork/churn counters are **not** published to the global registry
+    /// here: campaign drivers re-run sims (chaos cross-checks, shrinker
+    /// replays), so per-run publication would inflate the registry
+    /// relative to the byte-pinned `--stats-out` totals. Callers that
+    /// own a campaign read [`Self::fork_stats`] / [`Self::churn_stats`]
+    /// before `finish` and publish exactly once per batch.
     pub fn finish(mut self) -> PartitionOutcome {
         self.record_fragmentation();
-        if ethpos_obs::metrics_enabled() {
-            // Publication, not collection: the deterministic stats
-            // structs stay the `--stats-out` source of truth; the
-            // registry view is rendered from them once per run.
-            let registry = ethpos_obs::global();
-            self.fork_stats.publish(registry);
-            self.churn_stats.publish(registry);
-        }
         for (b, state) in &self.branches {
             let meta = &mut self.meta[b.as_usize()];
             meta.final_byzantine_balance_gwei = Self::byzantine_balance(state);

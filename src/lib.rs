@@ -22,7 +22,10 @@
 //!   damage-vs-cost Pareto frontiers;
 //! * [`obs`] — the observability substrate: a lock-free metrics registry
 //!   (Prometheus/JSON exposition) and hierarchical span tracing (Chrome
-//!   trace export), runtime-gated and zero-perturbation.
+//!   trace export), runtime-gated and zero-perturbation;
+//! * [`server`] — the resident experiment service: a std-only HTTP
+//!   server executing canonicalized requests behind a content-addressed
+//!   artifact cache (`ethpos-cli serve`).
 //!
 //! # Quickstart
 //!
@@ -41,6 +44,7 @@ pub use ethpos_forkchoice as forkchoice;
 pub use ethpos_network as network;
 pub use ethpos_obs as obs;
 pub use ethpos_search as search;
+pub use ethpos_server as server;
 pub use ethpos_sim as sim;
 pub use ethpos_state as state;
 pub use ethpos_stats as stats;
